@@ -1,0 +1,87 @@
+// Future-work study (§VI + [30] SASTA): the cost of fault / side-channel
+// countermeasures on the PASTA cryptoprocessor, compared against paying the
+// same protections on a PKE client accelerator — plus a live fault-injection
+// demonstration of the attack surface and its detection.
+#include <iostream>
+
+#include "analytics/prior_works.hpp"
+#include "common/table.hpp"
+#include "core/poe.hpp"
+#include "hw/countermeasures.hpp"
+
+int main() {
+  using namespace poe;
+  using hw::Countermeasure;
+
+  hw::AreaModel model;
+  const auto params = pasta::pasta4();
+  Xoshiro256 rng(1);
+  const auto key = pasta::PastaCipher::random_key(params, rng);
+  hw::AcceleratorSim sim(params);
+  const auto base_cycles = sim.run_block(key, 1, 0).stats.total_cycles;
+
+  std::cout << "=== Countermeasure cost on the PASTA cryptoprocessor "
+               "(PASTA-4, w=17) ===\n";
+  TextTable t;
+  t.header({"Countermeasure", "cycles/block", "FPGA us", "kLUT", "DSP",
+            "detects faults", "1st-order SCA"});
+  for (auto cm : {Countermeasure::kNone, Countermeasure::kTemporalRedundancy,
+                  Countermeasure::kSpatialRedundancy,
+                  Countermeasure::kMasking}) {
+    const auto cost = hw::countermeasure_cost(cm);
+    const auto cycles = hw::protected_cycles(base_cycles, cm);
+    const auto area = hw::protected_fpga(model, params, cm);
+    t.row({hw::to_string(cm), with_commas(cycles),
+           fixed(hw::fpga_artix7().cycles_to_us(cycles), 1),
+           fixed(area.lut / 1000.0, 1), std::to_string(area.dsp),
+           cost.detects_transient_faults ? "yes" : "no",
+           cost.first_order_sca_protected ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  // The same protections on a PKE client accelerator scale from its much
+  // larger baseline (Aloha-HE [18] as the representative design).
+  const auto& aloha = analytics::table3_prior_works()[2];
+  std::cout << "\n=== Same countermeasures on a PKE client accelerator "
+               "(Aloha-HE [18] baseline) ===\n";
+  TextTable p;
+  p.header({"Countermeasure", "PKE us/encr", "PASTA us/block",
+            "protection overhead ratio (PKE/PASTA, us)"});
+  for (auto cm : {Countermeasure::kTemporalRedundancy,
+                  Countermeasure::kMasking}) {
+    const auto cost = hw::countermeasure_cost(cm);
+    const double pke_us = aloha.encrypt_us * cost.cycle_factor;
+    const double pasta_us = hw::fpga_artix7().cycles_to_us(
+        hw::protected_cycles(base_cycles, cm));
+    const double pke_extra = pke_us - aloha.encrypt_us;
+    const double pasta_extra =
+        pasta_us - hw::fpga_artix7().cycles_to_us(base_cycles);
+    p.row({hw::to_string(cm), fixed(pke_us, 0), fixed(pasta_us, 1),
+           fixed(pke_extra / pasta_extra, 0) + "x"});
+  }
+  p.print(std::cout);
+  std::cout << "Absolute protection cost on the HHE client is ~two orders "
+               "of magnitude below protecting the PKE path.\n";
+
+  // Live fault injection (SASTA attack surface + detection).
+  std::cout << "\n=== Fault injection demo ===\n";
+  hw::FaultInjection fault{.affine_layer = 1, .left_half = true,
+                           .element = 3, .delta = 42};
+  const auto clean = sim.run_block(key, 7, 0);
+  const auto faulty = sim.run_block(key, 7, 0, &fault);
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < params.t; ++i) {
+    if (clean.keystream[i] != faulty.keystream[i]) ++corrupted;
+  }
+  std::cout << "Single transient fault in affine layer 1 corrupts "
+            << corrupted << "/" << params.t
+            << " keystream elements (full diffusion) — exactly the "
+               "single-fault leverage SASTA [30] exploits.\n";
+  const auto detect =
+      hw::run_with_temporal_redundancy(sim, key, 7, 0, &fault);
+  std::cout << "Temporal redundancy: fault "
+            << (detect.detected ? "DETECTED" : "missed") << " at a cost of "
+            << with_commas(detect.cycles) << " cycles (vs "
+            << with_commas(clean.stats.total_cycles) << " unprotected).\n";
+  return detect.detected ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Regenerates the research-gap analysis of §I-A: the modular-multiplication
+// complexity of an FHE public-key client encryption (~2^19) versus PASTA
+// (~2^18 for PASTA-3), and the resulting throughput trade-off for
+// data-intensive workloads.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+
+int main() {
+  using namespace poe;
+
+  analytics::PkeEncryptModel pke;
+  std::cout << "=== Sec. I-A: multiplicative complexity ===\n";
+  std::cout << "PKE client encryption (N=2^13, 3 NTTs x 3 moduli): "
+            << with_commas(pke.total_mults()) << " mults = 2^"
+            << fixed(std::log2(static_cast<double>(pke.total_mults())), 2)
+            << " (paper: ~2^19)\n";
+
+  TextTable t;
+  t.header({"Scheme", "affine mults", "s-box mults", "total", "log2",
+            "per element"});
+  for (const auto& params : {pasta::pasta3(), pasta::pasta4()}) {
+    analytics::PastaCostModel m{params};
+    t.row({params.name, with_commas(m.affine_mults()),
+           with_commas(m.sbox_mults()), with_commas(m.total_mults()),
+           fixed(std::log2(static_cast<double>(m.total_mults())), 2),
+           fixed(m.mults_per_element(), 0)});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: PASTA-3 affine cost 2^18 — half the PKE cost for "
+               "1/32 of the elements)\n\n";
+
+  std::cout << "=== Throughput ratio for 2^12 elements ===\n";
+  for (const auto& params : {pasta::pasta3(), pasta::pasta4()}) {
+    analytics::PastaCostModel m{params};
+    const double ratio =
+        analytics::pasta_vs_pke_throughput_ratio(m, pke, 1ull << 12);
+    std::cout << params.name << ": " << fixed(ratio, 1)
+              << "x more multiplications than one PKE encryption packing "
+                 "2^12 elements (paper: 32x for PASTA-3)\n";
+  }
+  std::cout << "\nCommunication: PASTA ciphertexts carry "
+            << fixed(
+                   static_cast<double>(pasta::ciphertext_bytes(
+                       pasta::pasta4(pasta::pasta_prime(33)), 32)),
+                   0)
+            << " B per 32 elements (4.1 B/elem) vs an RLWE ciphertext's "
+            << fixed(analytics::RiseCommModel{}.ciphertext_bytes() / 4096.0, 1)
+            << " B/elem packed — the ~6x-lower-communication claim of the "
+               "paper depends on packing density.\n";
+  return 0;
+}

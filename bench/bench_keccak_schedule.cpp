@@ -1,0 +1,84 @@
+// Regenerates the §IV-B cycle-count derivation: Keccak permutation counts
+// per block, the overlapped-vs-naive Keccak ablation, and the
+// nonce-dependent cycle distribution.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+
+int main() {
+  using namespace poe;
+
+  std::cout << "=== Sec. IV-B: XOF schedule ablation ===\n";
+  TextTable t;
+  t.header({"Scheme", "Keccak mode", "mean cycles", "min..max", "mean perms",
+            "XOF stalls"});
+
+  for (const auto& params : {pasta::pasta4(), pasta::pasta3()}) {
+    Xoshiro256 rng(5);
+    const auto key = pasta::PastaCipher::random_key(params, rng);
+    for (const bool naive : {false, true}) {
+      hw::XofTimingConfig cfg;
+      cfg.mode = naive ? hw::KeccakMode::kNaive : hw::KeccakMode::kOverlapped;
+      hw::AcceleratorSim sim(params, cfg);
+      std::uint64_t sum = 0, perms = 0, stalls = 0;
+      std::uint64_t lo = ~0ull, hi = 0;
+      const int kBlocks = 20;
+      for (int i = 0; i < kBlocks; ++i) {
+        const auto r = sim.run_block(key, 100 + i, 0);
+        sum += r.stats.total_cycles;
+        perms += r.stats.permutations;
+        stalls += r.stats.xof_stall_cycles;
+        lo = std::min(lo, r.stats.total_cycles);
+        hi = std::max(hi, r.stats.total_cycles);
+      }
+      t.row({params.name, naive ? "naive" : "overlapped [14]",
+             with_commas(sum / kBlocks),
+             with_commas(lo) + ".." + with_commas(hi),
+             fixed(static_cast<double>(perms) / kBlocks, 1),
+             std::to_string(stalls)});
+    }
+    t.separator();
+  }
+  t.print(std::cout);
+
+  // Reconstructed Fig.-3 schedule from a real PASTA-4 block (write
+  // schedule.vcd with POE_DUMP_VCD=1 for GTKWave).
+  {
+    const auto params = pasta::pasta4();
+    Xoshiro256 rng(6);
+    const auto key = pasta::PastaCipher::random_key(params, rng);
+    hw::AcceleratorSim sim(params);
+    hw::ScheduleTrace trace;
+    const auto r = sim.run_block(key, 7, 0, nullptr, &trace);
+    std::cout << "\nReconstructed schedule (PASTA-4 block, "
+              << with_commas(r.stats.total_cycles) << " cycles):\n";
+    trace.print_timeline(std::cout, r.stats.total_cycles, 100);
+    std::cout << "Unit utilisation: xof "
+              << percent(trace.utilisation(hw::Unit::kXof,
+                                           r.stats.total_cycles))
+              << ", mat engine "
+              << percent(trace.utilisation(hw::Unit::kMatEngine,
+                                           r.stats.total_cycles))
+              << ", adders "
+              << percent(trace.utilisation(hw::Unit::kVecAdd,
+                                           r.stats.total_cycles))
+              << "\n";
+    if (std::getenv("POE_DUMP_VCD") != nullptr) {
+      std::ofstream vcd("schedule.vcd");
+      trace.write_vcd(vcd, r.stats.total_cycles);
+      std::cout << "wrote schedule.vcd\n";
+    }
+  }
+
+  std::cout
+      << "Paper: PASTA-4 needs ~60 permutations and 60*(21+5) = 1,560 cc of "
+         "XOF + 32 cc final Mix = 1,592 cc; a naive Keccak 'almost doubles' "
+         "the cycle count. PASTA-3: ~186 permutations, 4,964 cc total.\n"
+      << "Expected rejection-sampling rate for p = 65537 with a 17-bit mask "
+         "is 2.0x; measured rates follow the nonce (hence the min..max "
+         "spread above).\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Google-benchmark microbenchmarks for the primitive layers: Keccak-f,
+// SHAKE squeeze throughput, modular multiplication, the NTT, PASTA block
+// encryption (the CPU baseline of Table II), and BGV primitives.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fhe/bgv.hpp"
+#include "fhe/encoding.hpp"
+#include "fhe/ntt.hpp"
+#include "keccak/shake.hpp"
+#include "modular/primes.hpp"
+#include "fhe/serialize.hpp"
+#include "hw/accelerator.hpp"
+#include "pasta/cipher.hpp"
+#include "pasta/serialize.hpp"
+
+namespace {
+
+using namespace poe;
+
+void BM_KeccakF1600(benchmark::State& state) {
+  keccak::State s{};
+  s[0] = 1;
+  for (auto _ : state) {
+    keccak::f1600(s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_KeccakF1600);
+
+void BM_Shake128Squeeze(benchmark::State& state) {
+  keccak::Shake xof = keccak::Shake::shake128();
+  std::uint8_t seed[16] = {1};
+  xof.absorb(seed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xof.squeeze_u64());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_Shake128Squeeze);
+
+void BM_ModMul(benchmark::State& state) {
+  const mod::Modulus m(pasta::pasta_prime(static_cast<unsigned>(state.range(0))));
+  Xoshiro256 rng(1);
+  std::uint64_t a = rng.below(m.value()), b = rng.below(m.value());
+  for (auto _ : state) {
+    a = m.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ModMul)->Arg(17)->Arg(33)->Arg(60);
+
+void BM_FermatReduce(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  mod::u128 x = static_cast<mod::u128>(rng.next()) * 65536;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod::fermat_reduce(x, 16, 65537));
+  }
+}
+BENCHMARK(BM_FermatReduce);
+
+void BM_Ntt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto q = mod::ntt_prime_chain(1, 50, n)[0];
+  fhe::Ntt ntt(q, n);
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> a(n);
+  for (auto& x : a) x = rng.below(q);
+  for (auto _ : state) {
+    ntt.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Ntt)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_PastaBlockEncrypt(benchmark::State& state) {
+  const auto params =
+      state.range(0) == 3 ? pasta::pasta3() : pasta::pasta4();
+  Xoshiro256 rng(4);
+  pasta::PastaCipher cipher(params,
+                            pasta::PastaCipher::random_key(params, rng));
+  std::uint64_t ctr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.keystream(1, ctr++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.t));
+}
+BENCHMARK(BM_PastaBlockEncrypt)->Arg(3)->Arg(4);
+
+void BM_BgvEncrypt(benchmark::State& state) {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  fhe::BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto pt = enc.encode({1, 2, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgv.encrypt(pt));
+  }
+}
+BENCHMARK(BM_BgvEncrypt);
+
+void BM_BgvMultiplyRelin(benchmark::State& state) {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  fhe::BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto ct = bgv.encrypt(enc.encode({5, 6}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgv.multiply_relin(ct, ct));
+  }
+}
+BENCHMARK(BM_BgvMultiplyRelin);
+
+void BM_BgvRotation(benchmark::State& state) {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  static fhe::GaloisKeys keys = bgv.make_rotation_keys({1});
+  fhe::BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto base = bgv.encrypt(enc.encode({1, 2, 3, 4}));
+  for (auto _ : state) {
+    fhe::Ciphertext ct = base;
+    bgv.rotate_columns_inplace(ct, 1, keys);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvRotation);
+
+void BM_BgvModSwitch(benchmark::State& state) {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  fhe::BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto base = bgv.encrypt(enc.encode({9, 8}));
+  for (auto _ : state) {
+    fhe::Ciphertext ct = base;
+    bgv.mod_switch_inplace(ct);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvModSwitch);
+
+void BM_SerializeCiphertext(benchmark::State& state) {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  fhe::BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto ct = bgv.encrypt(enc.encode({5}));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto wire = fhe::serialize_ciphertext(bgv.rns(), ct);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeCiphertext);
+
+void BM_PastaPackElements(benchmark::State& state) {
+  const auto params = pasta::pasta4(pasta::pasta_prime(33));
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> elems(1024);
+  for (auto& e : elems) e = rng.below(params.p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pasta::pack_elements(params, elems));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_PastaPackElements);
+
+void BM_AcceleratorBlock(benchmark::State& state) {
+  // Host-side cost of simulating one accelerator block (meta-benchmark:
+  // how fast the simulator itself runs).
+  const auto params =
+      state.range(0) == 3 ? pasta::pasta3() : pasta::pasta4();
+  Xoshiro256 rng(10);
+  const auto key = pasta::PastaCipher::random_key(params, rng);
+  hw::AcceleratorSim sim(params);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_block(key, nonce++, 0));
+  }
+}
+BENCHMARK(BM_AcceleratorBlock)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

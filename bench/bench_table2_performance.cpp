@@ -1,0 +1,143 @@
+// Regenerates Table II: clock cycles and latency of one PASTA-3/PASTA-4
+// block encryption on FPGA (75 MHz), ASIC (1 GHz) and the RISC-V SoC
+// (100 MHz), next to the CPU cycle counts reported by the PASTA designers
+// [9], plus our own measured software baseline.
+//
+// Also prints the PASTA-3 vs PASTA-4 area-time comparison of §IV-C ①.
+#include <chrono>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+
+namespace {
+
+using namespace poe;
+
+struct SimSummary {
+  double mean_cycles = 0;
+  std::uint64_t min_cycles = ~0ull, max_cycles = 0;
+};
+
+SimSummary simulate(const pasta::PastaParams& params, int blocks) {
+  hw::AcceleratorSim sim(params);
+  Xoshiro256 rng(42);
+  const auto key = pasta::PastaCipher::random_key(params, rng);
+  SimSummary s;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < blocks; ++i) {
+    const auto cycles = sim.run_block(key, 1000 + i, 0).stats.total_cycles;
+    sum += cycles;
+    s.min_cycles = std::min(s.min_cycles, cycles);
+    s.max_cycles = std::max(s.max_cycles, cycles);
+  }
+  s.mean_cycles = static_cast<double>(sum) / blocks;
+  return s;
+}
+
+std::uint64_t soc_block_cycles(const pasta::PastaParams& params) {
+  // Per-block SoC cost with the one-time key upload amortised over a batch,
+  // as a deployed client would run it.
+  auto accel = Accelerator::with_random_key(params, 7, Backend::kSoc);
+  const std::size_t blocks = 8;
+  std::vector<std::uint64_t> msg(params.t * blocks, 1);
+  EncryptStats stats;
+  accel.encrypt(msg, 3, &stats);
+  return stats.cycles / blocks;
+}
+
+double software_block_us(const pasta::PastaParams& params) {
+  Xoshiro256 rng(9);
+  pasta::PastaCipher cipher(params, pasta::PastaCipher::random_key(params, rng));
+  // Warm up, then time.
+  std::uint64_t sink = cipher.keystream(0, 0)[0];
+  const int reps = params.t >= 128 ? 20 : 100;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) sink += cipher.keystream(1, i)[0];
+  asm volatile("" : : "r"(sink) : "memory");
+  const auto end = std::chrono::steady_clock::now();
+
+  return std::chrono::duration<double, std::micro>(end - begin).count() /
+         reps;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table II: one-block encryption performance ===\n";
+  TextTable t;
+  t.header({"Scheme", "Elements", "clock cycles", "FPGA us", "ASIC us",
+            "RISC-V us"});
+
+  struct PaperRow {
+    const char* name;
+    pasta::PastaParams params;
+    std::uint64_t paper_cpu_cycles;
+    double paper_fpga_us, paper_asic_us, paper_soc_us;
+    std::uint64_t paper_cycles;
+  };
+  const PaperRow rows[] = {
+      {"PASTA-3", pasta::pasta3(), 17041380, 66.1, 4.96, 45.5, 4955},
+      {"PASTA-4", pasta::pasta4(), 1363339, 21.2, 1.59, 15.9, 1591},
+  };
+
+  for (const auto& row : rows) {
+    t.row({std::string(row.name) + " [9] CPU", std::to_string(row.params.t),
+           with_commas(row.paper_cpu_cycles), "-", "-", "-"});
+    t.row({std::string(row.name) + " paper", std::to_string(row.params.t),
+           with_commas(row.paper_cycles), fixed(row.paper_fpga_us, 1),
+           fixed(row.paper_asic_us, 2), fixed(row.paper_soc_us, 1)});
+
+    const auto sim = simulate(row.params, 25);
+    const auto soc_cycles = soc_block_cycles(row.params);
+    t.row({std::string(row.name) + " measured", std::to_string(row.params.t),
+           with_commas(static_cast<std::uint64_t>(sim.mean_cycles)) + " [" +
+               with_commas(sim.min_cycles) + ".." +
+               with_commas(sim.max_cycles) + "]",
+           fixed(hw::fpga_artix7().cycles_to_us(
+                     static_cast<std::uint64_t>(sim.mean_cycles)),
+                 1),
+           fixed(hw::asic_1ghz().cycles_to_us(
+                     static_cast<std::uint64_t>(sim.mean_cycles)),
+                 2),
+           fixed(hw::riscv_soc_100mhz().cycles_to_us(soc_cycles), 1)});
+    t.separator();
+
+    // CPU comparison (Sec. IV-C): cycle reduction vs [9].
+    const double measured = sim.mean_cycles;
+    std::cout.flush();
+    const double reduction =
+        static_cast<double>(row.paper_cpu_cycles) / measured;
+    std::cout << row.name << ": cycle reduction vs CPU [9]: "
+              << fixed(reduction, 0)
+              << "x (paper: 857-3,439x); wall-clock speedup of the 100 MHz "
+                 "SoC vs the 2.2 GHz CPU: "
+              << fixed(reduction / 22.0, 0) << "x (paper: 43-171x)\n";
+  }
+  t.print(std::cout);
+
+  std::cout << "\nOur portable software baseline (this host): PASTA-3 "
+            << fixed(software_block_us(pasta::pasta3()), 0) << " us/block, PASTA-4 "
+            << fixed(software_block_us(pasta::pasta4()), 0)
+            << " us/block (the paper's [9] numbers are from a Xeon E5-2699v4 "
+               "@2.2 GHz).\n";
+
+  // --- Sec. IV-C (1): PASTA-3 vs PASTA-4 area-time trade-off.
+  std::cout << "\n=== PASTA-3 vs PASTA-4 (Sec. IV-C (1)) ===\n";
+  const auto s3 = simulate(pasta::pasta3(), 10);
+  const auto s4 = simulate(pasta::pasta4(), 10);
+  const double t3_per_elem = s3.mean_cycles / 128.0;
+  const double t4_per_elem = s4.mean_cycles / 32.0;
+  hw::AreaModel model;
+  const double area_ratio =
+      static_cast<double>(model.fpga(pasta::pasta3()).lut) /
+      static_cast<double>(model.fpga(pasta::pasta4()).lut);
+  std::cout << "PASTA-3 cycles/element: " << fixed(t3_per_elem, 2)
+            << ", PASTA-4: " << fixed(t4_per_elem, 2) << " -> PASTA-3 is "
+            << percent(1.0 - t3_per_elem / t4_per_elem, 0)
+            << " faster per element (paper: 22%)\n";
+  std::cout << "PASTA-3 / PASTA-4 LUT ratio: " << fixed(area_ratio, 2)
+            << "x (paper: ~3x) -> PASTA-4 has the better area-time product "
+               "for clients\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Regenerates Table III: PASTA-4 performance/area against prior FHE
+// client-side accelerators (FPGA works [18],[21],[22]; RISC-V/ASIC works
+// [19],[20]), with per-element normalisation and the paper's speedup claims
+// recomputed from first principles.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+
+namespace {
+using namespace poe;
+}
+
+int main() {
+  // Measure our design once.
+  const auto params = pasta::pasta4();
+  Xoshiro256 rng(1);
+  const auto key = pasta::PastaCipher::random_key(params, rng);
+  hw::AcceleratorSim sim(params);
+  std::uint64_t sum = 0;
+  const int kBlocks = 20;
+  for (int i = 0; i < kBlocks; ++i)
+    sum += sim.run_block(key, i, 0).stats.total_cycles;
+  const double cycles = static_cast<double>(sum) / kBlocks;
+
+  // SoC per-block cost with the one-time key upload amortised over a batch.
+  auto soc = Accelerator(params, key, Backend::kSoc);
+  const std::size_t soc_blocks = 8;
+  std::vector<std::uint64_t> msg(params.t * soc_blocks, 1);
+  EncryptStats soc_stats;
+  soc.encrypt(msg, 0, &soc_stats);
+  soc_stats.cycles /= soc_blocks;
+  soc_stats.soc_us /= static_cast<double>(soc_blocks);
+
+  const double tw_fpga_us = hw::fpga_artix7().cycles_to_us(
+      static_cast<std::uint64_t>(cycles));
+  const double tw_asic_us =
+      hw::asic_1ghz().cycles_to_us(static_cast<std::uint64_t>(cycles));
+  const double tw_soc_us = soc_stats.soc_us;
+
+  hw::AreaModel model;
+  const auto tw_area = model.fpga(params);
+
+  std::cout << "=== Table III: comparison with prior works (PASTA-4) ===\n";
+  TextTable t;
+  t.header({"Work", "Platform", "kLUT", "kFF", "DSP", "BRAM",
+            "Encr. us (per elem)"});
+  for (const auto& w : analytics::table3_prior_works()) {
+    if (w.is_asic) continue;
+    t.row({w.citation, w.platform,
+           w.klut_x10 ? fixed(w.klut_x10 / 10.0, 1) : "-",
+           w.kff_x10 ? fixed(w.kff_x10 / 10.0, 1) : "-",
+           w.dsp ? std::to_string(w.dsp) : "-",
+           w.bram > 0 ? fixed(w.bram, 1) : "-",
+           fixed(w.encrypt_us, 0) + " (" + fixed(w.us_per_element(), 2) + ")"});
+  }
+  t.row({"TW (measured)", "Artix-7", fixed(tw_area.lut / 1000.0, 1),
+         fixed(tw_area.ff / 1000.0, 1), std::to_string(tw_area.dsp), "0",
+         fixed(tw_fpga_us, 1) + " (" + fixed(tw_fpga_us / 32, 2) + ")"});
+  t.separator();
+  for (const auto& w : analytics::table3_prior_works()) {
+    if (!w.is_asic) continue;
+    t.row({w.citation, w.platform, "-", "-", "-",
+           w.area_mm2 ? fixed(*w.area_mm2, 2) + " mm2" : "-",
+           fixed(w.encrypt_us / 1000.0, 0) + "k (" +
+               fixed(w.us_per_element(), 2) + ")"});
+  }
+  t.row({"TW (measured)", "7/28nm", "-", "-", "-",
+         fixed(model.asic_mm2(params, 28), 2) + " mm2",
+         fixed(tw_asic_us, 2) + " (" + fixed(tw_asic_us / 32, 3) + ")"});
+  t.row({"TW (measured)", "65/130nm SoC", "-", "-", "-", "-",
+         fixed(tw_soc_us, 1) + " (" + fixed(tw_soc_us / 32, 2) + ")"});
+  t.print(std::cout);
+
+  std::cout << "\nSpeedups per element (computed):\n";
+  for (const auto& w : analytics::table3_prior_works()) {
+    const double vs_asic = w.us_per_element() / (tw_asic_us / 32);
+    const double vs_soc = w.us_per_element() / (tw_soc_us / 32);
+    std::cout << "  vs " << w.citation << ": ASIC " << fixed(vs_asic, 0)
+              << "x, SoC " << fixed(vs_soc, 0) << "x\n";
+  }
+  std::cout << "Paper claims: 97x abstract headline (RISE per-element vs TW "
+               "ASIC); 98-338x standalone chip; 10-34x for the SoC.\n";
+
+  // §IV-C ①, last paragraph: small-payload ML inference case.
+  const auto& aloha = analytics::table3_prior_works()[2];
+  std::cout << "\nSmall payloads (32 elements): TW " << fixed(tw_fpga_us, 1)
+            << " us vs FHE client " << fixed(aloha.encrypt_us, 0)
+            << " us — an FHE encryption costs the same for any payload up to "
+               "2^12 elements (paper: 21.2 us vs 1,884 us).\n";
+
+  std::cout << "\nTechnology normalisation (Sec. IV-C (2)): TW 0.24 mm2 @28nm"
+               " -> "
+            << fixed(analytics::normalize_area_mm2(0.24, 28, 12), 3)
+            << " mm2 @12nm vs RISE 0.11 mm2 — same order of magnitude.\n";
+
+  // Abstract claim: "several orders better performance and energy
+  // efficiency". Energy = power x time; TW's power comes from the
+  // calibrated model, the baselines use representative figures (CPU package
+  // ~50 W, client FPGA board ~10 W, RISE reports a 1 GHz 12nm SoC ~1 W).
+  std::cout << "\n=== Energy per 32-element encryption ===\n";
+  TextTable e;
+  e.header({"Platform", "power (W)", "time (us)", "energy (uJ)",
+            "vs TW ASIC"});
+  const double tw_power = model.asic_power_w(params, 28);
+  const double tw_energy = tw_power * tw_asic_us;
+  struct EnergyRow {
+    const char* name;
+    double watts, us;
+  };
+  const EnergyRow rows[] = {
+      {"CPU (Xeon, [9] cycles)", 50.0, 1363339.0 / 2200.0},
+      {"FHE client FPGA ([18], any payload <= 2^12)", 10.0, 1870.0},
+      {"RISE 12nm SoC [19] (per 32 of 2^12)", 1.0, 20000.0 * 32 / 4096},
+      {"TW Artix-7 @75MHz", 2.0, tw_fpga_us},
+      {"TW ASIC @1GHz", tw_power, tw_asic_us},
+  };
+  for (const auto& row : rows) {
+    const double energy = row.watts * row.us;
+    e.row({row.name, fixed(row.watts, 2), fixed(row.us, 1), fixed(energy, 2),
+           fixed(energy / tw_energy, 0) + "x"});
+  }
+  e.print(std::cout);
+  std::cout << "(baseline powers are representative package figures; the "
+             "orders-of-magnitude gap, not the exact ratio, is the claim)\n";
+  return 0;
+}

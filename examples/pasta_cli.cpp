@@ -1,0 +1,104 @@
+// pasta_cli — a small command-line tool around the library: encrypt or
+// decrypt arbitrary bytes from stdin to stdout with PASTA-4, demonstrating
+// the byte <-> field-element packing and the bit-packed wire format.
+//
+//   echo -n "attack at dawn" | ./pasta_cli encrypt 00112233 1 > msg.pasta
+//   ./pasta_cli decrypt 00112233 1 < msg.pasta
+//
+// Arguments: mode (encrypt|decrypt), hex key seed, decimal nonce. The
+// 64-element PASTA key is derived from the seed with SHAKE128 (so both
+// sides can reconstruct it); a real deployment would provision the key.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/poe.hpp"
+#include "keccak/shake.hpp"
+#include "pasta/serialize.hpp"
+
+namespace {
+
+using namespace poe;
+
+std::vector<std::uint64_t> derive_key(const pasta::PastaParams& params,
+                                      const std::string& hex_seed) {
+  keccak::Shake xof = keccak::Shake::shake128();
+  std::vector<std::uint8_t> seed(hex_seed.begin(), hex_seed.end());
+  xof.absorb(seed);
+  std::vector<std::uint64_t> key(params.key_size());
+  const std::uint64_t mask = params.sample_mask();
+  for (auto& k : key) {
+    do {
+      k = xof.squeeze_u64() & mask;
+    } while (k >= params.p);
+  }
+  return key;
+}
+
+// 2 bytes per element for the 17-bit prime (values < 2^16 < p).
+std::vector<std::uint64_t> bytes_to_elements(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint64_t> out((data.size() + 1) / 2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(data[i]) << (8 * (i % 2));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> elements_to_bytes(
+    const std::vector<std::uint64_t>& elems, std::size_t byte_count) {
+  std::vector<std::uint8_t> out(byte_count);
+  for (std::size_t i = 0; i < byte_count; ++i) {
+    out[i] = static_cast<std::uint8_t>(elems[i / 2] >> (8 * (i % 2)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: pasta_cli <encrypt|decrypt> <hex-key-seed> <nonce>\n";
+    return 2;
+  }
+  const bool encrypting = std::strcmp(argv[1], "encrypt") == 0;
+  if (!encrypting && std::strcmp(argv[1], "decrypt") != 0) {
+    std::cerr << "mode must be encrypt or decrypt\n";
+    return 2;
+  }
+  const auto params = pasta::pasta4();
+  const auto key = derive_key(params, argv[2]);
+  const std::uint64_t nonce = std::stoull(argv[3]);
+  Accelerator accel(params, key, Backend::kReference);
+
+  std::vector<std::uint8_t> input(std::istreambuf_iterator<char>(std::cin),
+                                  {});
+  if (encrypting) {
+    const auto elements = bytes_to_elements(input);
+    const auto ct = accel.encrypt(elements, nonce);
+    // Wire format: 8-byte original length, then bit-packed elements.
+    std::uint8_t header[8];
+    store_le64(header, input.size());
+    std::cout.write(reinterpret_cast<const char*>(header), 8);
+    const auto packed = pasta::pack_elements(params, ct);
+    std::cout.write(reinterpret_cast<const char*>(packed.data()),
+                    static_cast<std::streamsize>(packed.size()));
+    std::cerr << "encrypted " << input.size() << " bytes -> "
+              << 8 + packed.size() << " on the wire\n";
+  } else {
+    if (input.size() < 8) {
+      std::cerr << "truncated input\n";
+      return 1;
+    }
+    const std::uint64_t byte_count = load_le64(input.data());
+    const std::size_t element_count = (byte_count + 1) / 2;
+    const auto ct = pasta::unpack_elements(
+        params, std::span(input).subspan(8), element_count);
+    const auto elements = accel.decrypt(ct, nonce);
+    const auto bytes = elements_to_bytes(elements, byte_count);
+    std::cout.write(reinterpret_cast<const char*>(bytes.data()),
+                    static_cast<std::streamsize>(bytes.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Boot the RV32IM SoC, program the PASTA peripheral over the memory-mapped
+// slave interface with a generated RISC-V driver, and encrypt data straight
+// out of RAM — the paper's §IV-A ③ system, end to end.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+#include "riscv/disasm.hpp"
+#include "soc/driver.hpp"
+#include "soc/soc.hpp"
+
+int main() {
+  using namespace poe;
+
+  const auto params = pasta::pasta4();
+  soc::SocConfig cfg{.params = params};
+  soc::Soc machine(cfg);
+  std::cout << "SoC: RV32IM core + " << params.name
+            << " peripheral at 0x40000000, 1 MiB RAM, 100 MHz target\n";
+
+  // Stage key and plaintext in RAM.
+  Xoshiro256 rng(123);
+  const auto key = pasta::PastaCipher::random_key(params, rng);
+  soc::DriverLayout layout;
+  layout.num_blocks = 3;
+  layout.nonce = 0x1234;
+  std::vector<std::uint64_t> msg(params.t * layout.num_blocks);
+  for (auto& m : msg) m = rng.below(params.p);
+  const unsigned stride = machine.peripheral().element_stride();
+  soc::store_elements(machine.ram(), layout.key_addr, key, stride);
+  soc::store_elements(machine.ram(), layout.src_addr, msg, stride);
+
+  // Generate and run the driver program.
+  const auto program = soc::build_encrypt_driver(params, cfg.periph_base, layout);
+  std::cout << "Driver: " << program.size() << " RV32IM instructions "
+            << "(key upload, per-block start/poll/readout); first ten:\n";
+  const auto listing = rv::disassemble_program(program, cfg.reset_pc);
+  for (std::size_t i = 0; i < 10 && i < listing.size(); ++i) {
+    std::cout << "  " << listing[i] << "\n";
+  }
+  const auto reason = machine.run_program(program);
+  if (reason != rv::StopReason::kEcall) {
+    std::cerr << "driver did not reach ecall\n";
+    return 1;
+  }
+
+  // Verify against the reference cipher.
+  const auto ct = soc::load_elements(machine.ram(), layout.dst_addr,
+                                     msg.size(), stride);
+  pasta::PastaCipher reference(params, key);
+  const bool ok = ct == reference.encrypt(msg, layout.nonce);
+
+  const auto t0 = machine.ram().load_word(layout.cycles_addr);
+  const auto t1 = machine.ram().load_word(layout.cycles_addr + 4);
+  const auto& stats = machine.peripheral().stats();
+
+  TextTable t;
+  t.header({"Metric", "Value"});
+  t.row({"Blocks encrypted", std::to_string(stats.blocks_processed)});
+  t.row({"Instructions retired",
+         with_commas(machine.cpu().instructions_retired())});
+  t.row({"SoC cycles (driver-measured)", with_commas(t1 - t0)});
+  t.row({"Peripheral accelerator cycles",
+         with_commas(stats.accelerator_cycles)});
+  t.row({"Per block @100 MHz",
+         fixed(hw::riscv_soc_100mhz().cycles_to_us((t1 - t0) /
+                                                   stats.blocks_processed),
+               1) +
+             " us (paper Table II: 15.9 us)"});
+  t.row({"Ciphertext matches reference", ok ? "yes" : "NO"});
+  t.print(std::cout);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+#include "analytics/pke_model.hpp"
+
+#include "common/bits.hpp"
+
+namespace poe::analytics {
+
+std::uint64_t PkeEncryptModel::ntt_mults() const {
+  const std::uint64_t per_ntt = n / 2 * ceil_log2(n);
+  return per_ntt * transforms_per_modulus * num_moduli;
+}
+
+double PkeEncryptModel::mults_per_element() const {
+  return static_cast<double>(total_mults()) /
+         static_cast<double>(elements_packed);
+}
+
+std::uint64_t PastaCostModel::affine_mults() const {
+  const std::uint64_t t = params.t;
+  // 2 halves * (R+1) layers, each: t^2 (matrix generation MACs) + t^2
+  // (matrix-vector product).
+  return 2 * params.affine_layers() * 2 * t * t;
+}
+
+std::uint64_t PastaCostModel::sbox_mults() const {
+  const std::uint64_t t = params.t;
+  // Feistel rounds: one squaring for t-1 elements per half; the final cube
+  // round: two multiplications per element per half.
+  const std::uint64_t feistel = 2 * (params.rounds - 1) * (t - 1);
+  const std::uint64_t cube = 2 * 2 * t;
+  return feistel + cube;
+}
+
+double PastaCostModel::mults_per_element() const {
+  return static_cast<double>(total_mults()) / static_cast<double>(params.t);
+}
+
+double pasta_vs_pke_throughput_ratio(const PastaCostModel& pasta_model,
+                                     const PkeEncryptModel& pke,
+                                     std::uint64_t elements) {
+  const std::uint64_t blocks = ceil_div(elements, pasta_model.params.t);
+  const std::uint64_t encryptions = ceil_div(elements, pke.elements_packed);
+  const double pasta_cost =
+      static_cast<double>(blocks) *
+      static_cast<double>(pasta_model.total_mults());
+  const double pke_cost = static_cast<double>(encryptions) *
+                          static_cast<double>(pke.total_mults());
+  return pasta_cost / pke_cost;
+}
+
+}  // namespace poe::analytics

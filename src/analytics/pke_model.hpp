@@ -1,0 +1,47 @@
+// Multiplicative-complexity models for the paper's research-gap analysis
+// (§I-A): the modular-multiplication count of an FHE public-key client
+// encryption versus a PASTA block encryption.
+#pragma once
+
+#include <cstdint>
+
+#include "pasta/params.hpp"
+
+namespace poe::analytics {
+
+/// NTT-based PKE client encryption cost model:
+/// transforms_per_modulus NTTs of size N, each N/2 * log2(N) multiplications,
+/// over num_moduli RNS moduli. Defaults are the paper's (§I-A): N = 2^13,
+/// 3 transforms, 3 moduli -> ~2^19 multiplications.
+struct PkeEncryptModel {
+  std::uint64_t n = 1ull << 13;
+  unsigned transforms_per_modulus = 3;
+  unsigned num_moduli = 3;
+  std::uint64_t elements_packed = 1ull << 12;
+
+  std::uint64_t ntt_mults() const;
+  std::uint64_t total_mults() const { return ntt_mults(); }
+  double mults_per_element() const;
+};
+
+/// PASTA multiplicative cost: each affine computation costs t^2 for the
+/// invertible matrix generation plus t^2 for the matrix-vector product;
+/// there are 2(R+1) affine computations (two halves, R+1 layers). S-box
+/// multiplications are counted too (lower-order).
+struct PastaCostModel {
+  pasta::PastaParams params;
+
+  std::uint64_t affine_mults() const;
+  std::uint64_t sbox_mults() const;
+  std::uint64_t total_mults() const { return affine_mults() + sbox_mults(); }
+  double mults_per_element() const;
+};
+
+/// §I-A's punchline: encrypting `elements` values with PASTA vs one FHE
+/// encryption packing 2^12 — the factor by which PASTA is slower for
+/// data-intensive workloads (paper: 32x for PASTA-3).
+double pasta_vs_pke_throughput_ratio(const PastaCostModel& pasta_model,
+                                     const PkeEncryptModel& pke,
+                                     std::uint64_t elements);
+
+}  // namespace poe::analytics

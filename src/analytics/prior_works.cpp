@@ -1,0 +1,76 @@
+#include "analytics/prior_works.hpp"
+
+#include "common/error.hpp"
+
+namespace poe::analytics {
+
+const std::vector<PriorWork>& table3_prior_works() {
+  static const std::vector<PriorWork> works = {
+      {.citation = "[21] Di Matteo et al.",
+       .platform = "Zynq US+",
+       .is_asic = false,
+       .is_riscv_soc = false,
+       .klut_x10 = 0,  // not reported in the paper's table
+       .kff_x10 = 0,
+       .dsp = 0,
+       .bram = 0,
+       .area_mm2 = std::nullopt,
+       .encrypt_us = 7790,
+       .elements = 1ull << 12},
+      {.citation = "[22] Lee et al.",
+       .platform = "AlveoU250",
+       .is_asic = false,
+       .is_riscv_soc = false,
+       .klut_x10 = 11790,
+       .kff_x10 = 10360,
+       .dsp = 12288,
+       .bram = 828.5,
+       .area_mm2 = std::nullopt,
+       .encrypt_us = 16900,
+       .elements = 1ull << 15},
+      {.citation = "[18] Aloha-HE",
+       .platform = "Kintex-7",
+       .is_asic = false,
+       .is_riscv_soc = false,
+       .klut_x10 = 207,
+       .kff_x10 = 176,
+       .dsp = 100,
+       .bram = 82.5,
+       .area_mm2 = std::nullopt,
+       .encrypt_us = 1870,
+       .elements = 1ull << 12},
+      {.citation = "[20] RACE",
+       .platform = "12nm",
+       .is_asic = true,
+       .is_riscv_soc = false,
+       .area_mm2 = std::nullopt,
+       .encrypt_us = 110000,
+       .elements = 1ull << 12},
+      {.citation = "[19] RISE",
+       .platform = "12nm (RISC-V SoC)",
+       .is_asic = true,
+       .is_riscv_soc = true,
+       .area_mm2 = 0.11,
+       .encrypt_us = 20000,
+       .elements = 1ull << 12},
+  };
+  return works;
+}
+
+double normalize_area_mm2(double area_mm2, unsigned from_nm, unsigned to_nm) {
+  POE_ENSURE(from_nm > 0 && to_nm > 0, "invalid technology node");
+  const double scale = static_cast<double>(to_nm) / from_nm;
+  return area_mm2 * scale * scale;
+}
+
+double fhe_client_us_for_elements(const PriorWork& work,
+                                  std::uint64_t elements) {
+  // A PKE encryption always processes a full polynomial: the latency is the
+  // same for 1 element or 2^12 (§IV-C ①). Payloads beyond one packing incur
+  // proportionally more encryptions.
+  const std::uint64_t encryptions =
+      (elements + work.elements - 1) / work.elements;
+  return work.encrypt_us * static_cast<double>(encryptions);
+}
+
+}  // namespace poe::analytics

@@ -1,0 +1,46 @@
+// Published numbers for the prior FHE client-side accelerators the paper
+// compares against (Table III), carried as constants exactly as cited, plus
+// helpers for per-element normalisation and technology scaling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace poe::analytics {
+
+struct PriorWork {
+  std::string citation;   ///< e.g. "[18] Aloha-HE"
+  std::string platform;   ///< FPGA family or ASIC node
+  bool is_asic = false;
+  bool is_riscv_soc = false;
+  // FPGA resources (0 = not reported).
+  std::uint64_t klut_x10 = 0;  ///< kLUT * 10 (to carry one decimal)
+  std::uint64_t kff_x10 = 0;
+  std::uint64_t dsp = 0;
+  double bram = 0;
+  // ASIC area (mm^2), if reported.
+  std::optional<double> area_mm2;
+  // Encryption latency and batch size.
+  double encrypt_us = 0;        ///< one encryption
+  std::uint64_t elements = 0;   ///< elements packed per encryption
+
+  double us_per_element() const {
+    return encrypt_us / static_cast<double>(elements);
+  }
+};
+
+/// The prior-work rows of Table III.
+const std::vector<PriorWork>& table3_prior_works();
+
+/// Normalise ASIC area across nodes (first-order quadratic scaling), used
+/// for the paper's "similar area post-technology normalization" claim.
+double normalize_area_mm2(double area_mm2, unsigned from_nm, unsigned to_nm);
+
+/// Direct-FHE client encryption latency on FPGA for small payloads
+/// (§IV-C ①: FHE pays the full 2^12-element cost for any payload size).
+double fhe_client_us_for_elements(const PriorWork& work,
+                                  std::uint64_t elements);
+
+}  // namespace poe::analytics

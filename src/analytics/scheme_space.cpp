@@ -1,0 +1,71 @@
+#include "analytics/scheme_space.hpp"
+
+#include "common/bits.hpp"
+
+namespace poe::analytics {
+
+std::vector<SchemeProfile> scheme_profiles() {
+  return {
+      // PASTA (exact structural numbers, §III-A).
+      {.name = "PASTA-3",
+       .state_elements = 256,
+       .block_elements = 128,
+       .rounds = 3,
+       .xof_elements = 2048,
+       .needs_matgen = true},
+      {.name = "PASTA-4",
+       .state_elements = 64,
+       .block_elements = 32,
+       .rounds = 4,
+       .xof_elements = 640,
+       .needs_matgen = true},
+      // MASTA-like: single (un-split) state, affine layers from the XOF as
+      // in PASTA, chi-type S-box (1 mult/element, no extra XOF).
+      {.name = "MASTA-like",
+       .state_elements = 64,
+       .block_elements = 64,
+       .rounds = 4,
+       .xof_elements = (4 + 1) * 2 * 64,  // matrix row + RC per layer
+       .needs_matgen = true},
+      // HERA-like: fixed MDS matrix; the XOF only produces multiplicative
+      // round-key randomisers (state-size per round + initial/final).
+      {.name = "HERA-like",
+       .state_elements = 16,
+       .block_elements = 16,
+       .rounds = 5,
+       .xof_elements = 16 * (5 + 1),
+       .needs_matgen = false},
+      // RUBATO-like: HERA plus added noise; slightly smaller round count,
+      // bigger state, one extra noise vector per block.
+      {.name = "RUBATO-like",
+       .state_elements = 36,
+       .block_elements = 36,
+       .rounds = 3,
+       .xof_elements = 36 * (3 + 1) + 36,
+       .needs_matgen = false},
+  };
+}
+
+std::uint64_t estimated_cycles(const SchemeProfile& s) {
+  const double words =
+      static_cast<double>(s.xof_elements) * s.rejection_rate;
+  const std::uint64_t batches =
+      ceil_div(static_cast<std::uint64_t>(words), 21);
+  // 26-cycle start-up (seed absorb + first permutation), 26 cycles per
+  // 21-word squeeze window, state-sized Mix/output tail.
+  return 26 + batches * 26 + s.block_elements;
+}
+
+double estimated_area_factor(const SchemeProfile& s) {
+  // Variable area scales with the number of parallel lanes (half the state
+  // for split designs == multiplier count t); MatGen-free designs drop the
+  // MAC array (~38% of the variable part) and half the DataGen buffering.
+  const double lanes = static_cast<double>(s.state_elements) / 2.0;
+  const double pasta4_lanes = 32.0;
+  double variable = lanes / pasta4_lanes;
+  if (!s.needs_matgen) variable *= 1.0 - 0.38 - 0.06;
+  // PASTA-4 split: ~59% variable, ~41% fixed (SHAKE + control) of its LUTs.
+  return 0.41 + 0.59 * variable;
+}
+
+}  // namespace poe::analytics

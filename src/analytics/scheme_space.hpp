@@ -1,0 +1,47 @@
+// Design-space study across HHE-enabling SE schemes (the paper's first
+// future-work direction, §VI: "implement the other HHE enabling SE schemes
+// and show the impact of the changes across these schemes post-hardware
+// realization").
+//
+// The schemes differ structurally in (i) how much XOF data they consume per
+// block — the accelerator's bottleneck — and (ii) whether they need the
+// invertible-matrix generator at all (HERA/RUBATO use a *fixed* MDS matrix
+// and only draw round keys from the XOF, eliminating the MatGen array that
+// dominates the PASTA design's area).
+//
+// Profiles marked "-like" are structural approximations built from the
+// published state sizes and round counts, not bit-exact reimplementations;
+// they exercise this design's datapath model, which is the point of the
+// study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poe::analytics {
+
+struct SchemeProfile {
+  std::string name;
+  std::size_t state_elements = 0;  ///< total field elements in the state
+  std::size_t block_elements = 0;  ///< keystream elements per block
+  std::size_t rounds = 0;
+  std::size_t xof_elements = 0;    ///< field elements drawn per block
+  bool needs_matgen = true;        ///< random invertible matrices?
+  double rejection_rate = 2.0;     ///< XOF words per accepted element
+};
+
+/// The evaluated design points: PASTA-3/4 (exact) plus MASTA-, HERA- and
+/// RUBATO-like profiles.
+std::vector<SchemeProfile> scheme_profiles();
+
+/// Cycle estimate on this paper's datapath: the XOF stream (21 words per
+/// 26-cycle squeeze window after a 26-cycle start-up) is the bottleneck; a
+/// state-sized Mix/output tail follows.
+std::uint64_t estimated_cycles(const SchemeProfile& s);
+
+/// Relative area estimate (PASTA-4 = 1.0): removing MatGen drops the MAC
+/// array (the largest module); XOF/DataGen stay.
+double estimated_area_factor(const SchemeProfile& s);
+
+}  // namespace poe::analytics

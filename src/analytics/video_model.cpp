@@ -1,0 +1,86 @@
+#include "analytics/video_model.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe::analytics {
+
+Resolution qqvga() { return {"QQVGA", 160, 120}; }
+Resolution qvga() { return {"QVGA", 320, 240}; }
+Resolution vga() { return {"VGA", 640, 480}; }
+
+std::uint64_t RiseCommModel::ciphertext_bytes() const {
+  return 2 * n * log_q / 8;
+}
+
+std::uint64_t RiseCommModel::ciphertexts_per_frame(const Resolution& r) const {
+  return ceil_div(r.pixels(), n);
+}
+
+std::uint64_t RiseCommModel::frame_bytes(const Resolution& r) const {
+  return ciphertexts_per_frame(r) * ciphertext_bytes();
+}
+
+double RiseCommModel::frames_per_second(const Resolution& r,
+                                        double bandwidth_bps) const {
+  return bandwidth_bps / static_cast<double>(frame_bytes(r));
+}
+
+double RiseCommModel::encode_frames_per_second(const Resolution& r) const {
+  const double us_per_frame =
+      encrypt_us_per_ct * static_cast<double>(ciphertexts_per_frame(r));
+  return 1e6 / us_per_frame;
+}
+
+std::uint64_t PastaCommModel::elements_per_frame(const Resolution& r) const {
+  POE_ENSURE(8u * pixels_per_element < params.prime_bits(),
+             "pixels do not fit the field element");
+  return ceil_div(r.pixels(), pixels_per_element);
+}
+
+std::uint64_t PastaCommModel::blocks_per_frame(const Resolution& r) const {
+  return ceil_div(elements_per_frame(r), params.t);
+}
+
+std::uint64_t PastaCommModel::frame_bytes(const Resolution& r) const {
+  // Each block of t elements serialises to t * omega bits (paper §V: 132 B
+  // for t = 32 at omega = 33).
+  return blocks_per_frame(r) *
+         ceil_div(static_cast<std::uint64_t>(params.t) * params.prime_bits(),
+                  8);
+}
+
+double PastaCommModel::frames_per_second(const Resolution& r,
+                                         double bandwidth_bps) const {
+  return bandwidth_bps / static_cast<double>(frame_bytes(r));
+}
+
+double PastaCommModel::encode_frames_per_second(const Resolution& r) const {
+  const double us_per_frame =
+      encrypt_us_per_block * static_cast<double>(blocks_per_frame(r));
+  return 1e6 / us_per_frame;
+}
+
+std::vector<Fig8Point> fig8_series(const RiseCommModel& rise,
+                                   const PastaCommModel& tw) {
+  std::vector<Fig8Point> out;
+  for (const double bw : {kMaxBandwidthBps, kMinBandwidthBps}) {
+    for (const auto& res : {qqvga(), qvga(), vga()}) {
+      Fig8Point p;
+      p.resolution = res.name;
+      p.bandwidth_bps = bw;
+      // Achievable rate is the min of link-limited and compute-limited.
+      p.rise_fps = std::min(rise.frames_per_second(res, bw),
+                            rise.encode_frames_per_second(res));
+      p.this_work_fps = std::min(tw.frames_per_second(res, bw),
+                                 tw.encode_frames_per_second(res));
+      p.ratio = p.this_work_fps / p.rise_fps;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace poe::analytics

@@ -1,0 +1,78 @@
+// Communication model for the video-frame encryption application (paper §V,
+// Fig. 8): frames per second achievable when encrypted frames are streamed
+// over a 5G uplink, for this work (PASTA ciphertexts, zero expansion beyond
+// the field-element packing) versus RISE [19] (RLWE ciphertexts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pasta/params.hpp"
+
+namespace poe::analytics {
+
+struct Resolution {
+  std::string name;
+  unsigned width = 0;
+  unsigned height = 0;
+
+  std::uint64_t pixels() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+};
+
+Resolution qqvga();  ///< 160 x 120
+Resolution qvga();   ///< 320 x 240
+Resolution vga();    ///< 640 x 480
+
+/// Mid-band 5G uplink bounds used by the paper (§V).
+inline constexpr double kMinBandwidthBps = 12.5e6;   // 12.5 MB/s
+inline constexpr double kMaxBandwidthBps = 112.5e6;  // 112.5 MB/s
+
+/// RISE's ciphertext model: N = 2^14 slots, log Q = 390, one 8-bit grayscale
+/// pixel per slot; ciphertext size 2N log Q bits (paper: ~1.5 MB).
+struct RiseCommModel {
+  std::uint64_t n = 1ull << 14;
+  unsigned log_q = 390;
+  double encrypt_us_per_ct = 20000;  ///< RISE encryption latency [19]
+
+  std::uint64_t ciphertext_bytes() const;
+  std::uint64_t ciphertexts_per_frame(const Resolution& r) const;
+  std::uint64_t frame_bytes(const Resolution& r) const;
+  /// Bandwidth-limited frame rate.
+  double frames_per_second(const Resolution& r, double bandwidth_bps) const;
+  /// Compute-limited frame rate (encryption throughput).
+  double encode_frames_per_second(const Resolution& r) const;
+};
+
+/// This work's model: pixels packed into PASTA field elements (8-bit pixels;
+/// pixels_per_element of them fit when 8*pixels_per_element < omega), blocks
+/// of t elements, each element serialised at omega bits.
+struct PastaCommModel {
+  pasta::PastaParams params;
+  unsigned pixels_per_element = 1;
+  double encrypt_us_per_block = 21.2;  ///< FPGA PASTA-4 block latency
+                                       ///< (Artix-7 @75 MHz, Table II)
+
+  std::uint64_t elements_per_frame(const Resolution& r) const;
+  std::uint64_t blocks_per_frame(const Resolution& r) const;
+  std::uint64_t frame_bytes(const Resolution& r) const;
+  double frames_per_second(const Resolution& r, double bandwidth_bps) const;
+  double encode_frames_per_second(const Resolution& r) const;
+};
+
+/// One bar of Fig. 8.
+struct Fig8Point {
+  std::string resolution;
+  double bandwidth_bps = 0;
+  double rise_fps = 0;
+  double this_work_fps = 0;
+  double ratio = 0;
+};
+
+/// All 6 bars (3 resolutions x 2 bandwidths).
+std::vector<Fig8Point> fig8_series(const RiseCommModel& rise,
+                                   const PastaCommModel& tw);
+
+}  // namespace poe::analytics

@@ -1,0 +1,84 @@
+#include "app/video.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "modular/modulus.hpp"
+#include "pasta/cipher.hpp"
+
+namespace poe::app {
+
+Frame SyntheticCamera::next_frame() {
+  Frame f;
+  f.resolution = resolution_;
+  f.pixels.resize(resolution_.pixels());
+  const std::uint64_t phase = frame_index_++;
+  std::size_t idx = 0;
+  for (unsigned y = 0; y < resolution_.height; ++y) {
+    for (unsigned x = 0; x < resolution_.width; ++x) {
+      f.pixels[idx++] = static_cast<std::uint8_t>((x + 2 * y + 3 * phase));
+    }
+  }
+  return f;
+}
+
+std::vector<std::uint64_t> pack_pixels(const Frame& frame,
+                                       const pasta::PastaParams& params,
+                                       unsigned pixels_per_element) {
+  POE_ENSURE(pixels_per_element >= 1 &&
+                 8 * pixels_per_element < params.prime_bits(),
+             "packing does not fit below the prime");
+  const std::size_t count =
+      ceil_div(frame.pixels.size(), pixels_per_element);
+  std::vector<std::uint64_t> out(count, 0);
+  for (std::size_t i = 0; i < frame.pixels.size(); ++i) {
+    out[i / pixels_per_element] |=
+        static_cast<std::uint64_t>(frame.pixels[i])
+        << (8 * (i % pixels_per_element));
+  }
+  return out;
+}
+
+Frame unpack_pixels(const std::vector<std::uint64_t>& elements,
+                    const analytics::Resolution& resolution,
+                    unsigned pixels_per_element) {
+  Frame f;
+  f.resolution = resolution;
+  f.pixels.resize(resolution.pixels());
+  for (std::size_t i = 0; i < f.pixels.size(); ++i) {
+    f.pixels[i] = static_cast<std::uint8_t>(
+        elements[i / pixels_per_element] >> (8 * (i % pixels_per_element)));
+  }
+  return f;
+}
+
+FrameEncryptor::FrameEncryptor(const pasta::PastaParams& params,
+                               std::vector<std::uint64_t> key,
+                               unsigned pixels_per_element)
+    : params_(params),
+      key_(std::move(key)),
+      accel_(params),
+      pixels_per_element_(pixels_per_element) {
+  POE_ENSURE(8 * pixels_per_element_ < params_.prime_bits(),
+             "packing does not fit below the prime");
+}
+
+EncryptedFrame FrameEncryptor::encrypt(const Frame& frame,
+                                       std::uint64_t nonce) const {
+  const auto elements = pack_pixels(frame, params_, pixels_per_element_);
+  auto result = accel_.encrypt(key_, elements, nonce);
+  EncryptedFrame out;
+  out.ciphertext = std::move(result.ciphertext);
+  out.cycles = result.total_cycles;
+  out.bytes_on_wire = pasta::ciphertext_bytes(params_, out.ciphertext.size());
+  return out;
+}
+
+Frame FrameEncryptor::decrypt(const EncryptedFrame& enc,
+                              const analytics::Resolution& resolution,
+                              std::uint64_t nonce) const {
+  pasta::PastaCipher cipher(params_, key_);
+  const auto elements = cipher.decrypt(enc.ciphertext, nonce);
+  return unpack_pixels(elements, resolution, pixels_per_element_);
+}
+
+}  // namespace poe::app

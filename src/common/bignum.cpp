@@ -1,0 +1,159 @@
+#include "common/bignum.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+void UBig::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+int UBig::cmp(const UBig& o) const {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+UBig& UBig::add(const UBig& o) {
+  limbs_.resize(std::max(limbs_.size(), o.limbs_.size()), 0);
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    u64 sum = limbs_[i] + rhs;
+    unsigned c1 = sum < rhs ? 1u : 0u;
+    u64 sum2 = sum + carry;
+    unsigned c2 = sum2 < sum ? 1u : 0u;
+    limbs_[i] = sum2;
+    carry = c1 + c2;
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+UBig& UBig::sub(const UBig& o) {
+  POE_ENSURE(cmp(o) >= 0, "UBig::sub would underflow");
+  unsigned borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    u64 d = limbs_[i] - rhs;
+    unsigned b1 = limbs_[i] < rhs ? 1u : 0u;
+    u64 d2 = d - borrow;
+    unsigned b2 = d < borrow ? 1u : 0u;
+    limbs_[i] = d2;
+    borrow = b1 + b2;
+  }
+  POE_ENSURE(borrow == 0, "UBig::sub borrow out");
+  trim();
+  return *this;
+}
+
+UBig& UBig::mul_u64(u64 m) {
+  if (m == 0 || is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  u64 carry = 0;
+  for (auto& limb : limbs_) {
+    u128 prod = static_cast<u128>(limb) * m + carry;
+    limb = static_cast<u64>(prod);
+    carry = static_cast<u64>(prod >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+UBig& UBig::add_u64(u64 v) {
+  UBig t(v);
+  return add(t);
+}
+
+u64 UBig::divmod_u64(u64 d) {
+  POE_ENSURE(d != 0, "division by zero");
+  u64 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    u128 cur = (static_cast<u128>(rem) << 64) | limbs_[i];
+    limbs_[i] = static_cast<u64>(cur / d);
+    rem = static_cast<u64>(cur % d);
+  }
+  trim();
+  return rem;
+}
+
+u64 UBig::mod_u64(u64 d) const {
+  POE_ENSURE(d != 0, "division by zero");
+  u64 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    u128 cur = (static_cast<u128>(rem) << 64) | limbs_[i];
+    rem = static_cast<u64>(cur % d);
+  }
+  return rem;
+}
+
+UBig& UBig::mod_by_subtraction(const UBig& m) {
+  POE_ENSURE(!m.is_zero(), "modulus is zero");
+  while (cmp(m) >= 0) sub(m);
+  return *this;
+}
+
+unsigned UBig::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return static_cast<unsigned>((limbs_.size() - 1) * 64) +
+         bit_width_u64(limbs_.back());
+}
+
+UBig& UBig::shr1() {
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    limbs_[i] >>= 1;
+    if (i + 1 < limbs_.size() && (limbs_[i + 1] & 1))
+      limbs_[i] |= (1ull << 63);
+  }
+  trim();
+  return *this;
+}
+
+std::string UBig::to_string() const {
+  if (is_zero()) return "0";
+  UBig tmp = *this;
+  std::string out;
+  while (!tmp.is_zero()) {
+    u64 digit = tmp.divmod_u64(10);
+    out.push_back(static_cast<char>('0' + digit));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+UBig UBig::mul(const UBig& a, const UBig& b) {
+  if (a.is_zero() || b.is_zero()) return UBig{};
+  UBig out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
+                 out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + b.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+UBig UBig::product(const std::vector<u64>& factors) {
+  UBig out = UBig::one();
+  for (u64 f : factors) out.mul_u64(f);
+  return out;
+}
+
+}  // namespace poe

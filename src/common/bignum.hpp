@@ -1,0 +1,76 @@
+// Minimal arbitrary-precision *unsigned* integer used only on cold paths of
+// the FHE substrate: CRT reconstruction during BGV decryption and noise
+// measurement, and setup-time constants. All operations are O(#limbs) or
+// O(#limbs^2); none sit on a per-ciphertext-coefficient hot loop except the
+// linear-time ones (mul_u64 / add / conditional subtract / mod_u64).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poe {
+
+class UBig {
+ public:
+  UBig() = default;
+  explicit UBig(std::uint64_t v) {
+    if (v != 0) limbs_.push_back(v);
+  }
+
+  static UBig one() { return UBig(1); }
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// -1 / 0 / +1 comparison.
+  int cmp(const UBig& o) const;
+
+  bool operator==(const UBig& o) const { return cmp(o) == 0; }
+  bool operator<(const UBig& o) const { return cmp(o) < 0; }
+  bool operator<=(const UBig& o) const { return cmp(o) <= 0; }
+  bool operator>(const UBig& o) const { return cmp(o) > 0; }
+  bool operator>=(const UBig& o) const { return cmp(o) >= 0; }
+
+  UBig& add(const UBig& o);
+  /// Subtract o from *this; requires *this >= o.
+  UBig& sub(const UBig& o);
+  UBig& mul_u64(std::uint64_t m);
+  UBig& add_u64(std::uint64_t v);
+
+  /// Divide in place by d (d != 0); returns the remainder.
+  std::uint64_t divmod_u64(std::uint64_t d);
+
+  /// Remainder modulo d without modifying *this.
+  std::uint64_t mod_u64(std::uint64_t d) const;
+
+  /// Reduce *this modulo m by conditional subtraction. Intended for values
+  /// bounded by a small multiple of m (e.g. CRT sums < k*m).
+  UBig& mod_by_subtraction(const UBig& m);
+
+  /// Number of significant bits (0 for zero).
+  unsigned bit_length() const;
+
+  /// Right shift by one bit (used to build m/2 thresholds).
+  UBig& shr1();
+
+  /// Value as decimal string (testing/diagnostics).
+  std::string to_string() const;
+
+  /// Low 64 bits.
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+  /// a * b (schoolbook); setup-time only.
+  static UBig mul(const UBig& a, const UBig& b);
+
+  /// Product of a list of 64-bit factors (e.g. an RNS modulus q).
+  static UBig product(const std::vector<std::uint64_t>& factors);
+
+ private:
+  void trim();
+  // Little-endian 64-bit limbs, no trailing zero limbs; empty == 0.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace poe

@@ -1,0 +1,55 @@
+// Small bit-manipulation helpers used across the Keccak core, samplers and
+// the hardware model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace poe {
+
+/// Rotate a 64-bit word left by n (n in [0,63]).
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned n) {
+  return std::rotl(x, static_cast<int>(n));
+}
+
+/// Number of bits needed to represent x (bit_width(0) == 0).
+constexpr unsigned bit_width_u64(std::uint64_t x) {
+  return static_cast<unsigned>(std::bit_width(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0u : static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/// Integer ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Load a little-endian 64-bit word from 8 bytes.
+constexpr std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t x = 0;
+  for (int i = 7; i >= 0; --i) x = (x << 8) | p[i];
+  return x;
+}
+
+/// Store a 64-bit word as 8 little-endian bytes.
+constexpr void store_le64(std::uint8_t* p, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(x & 0xff);
+    x >>= 8;
+  }
+}
+
+/// Store a 64-bit word as 8 big-endian bytes (PASTA seeds nonce/counter
+/// big-endian, following the reference implementation).
+constexpr void store_be64(std::uint8_t* p, std::uint64_t x) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(x & 0xff);
+    x >>= 8;
+  }
+}
+
+}  // namespace poe

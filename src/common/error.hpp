@@ -1,0 +1,47 @@
+// Error handling primitives shared by all poe_* libraries.
+//
+// Library code signals contract violations and unrecoverable configuration
+// errors with exceptions (poe::Error). Hot inner loops use POE_DCHECK, which
+// compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace poe {
+
+/// Base exception for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed (" << cond << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace poe
+
+/// Always-on invariant check; throws poe::Error on failure.
+#define POE_ENSURE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream poe_os_;                              \
+      poe_os_ << msg;                                          \
+      ::poe::detail::raise(#cond, __FILE__, __LINE__, poe_os_.str()); \
+    }                                                          \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define POE_DCHECK(cond, msg) ((void)0)
+#else
+#define POE_DCHECK(cond, msg) POE_ENSURE(cond, msg)
+#endif

@@ -1,0 +1,50 @@
+// Minimal data-parallel helper: run f(i) for i in [0, count) across a few
+// worker threads. Used by the HHE server, whose per-element homomorphic
+// operations are independent (the Bgv evaluator's const methods only read
+// shared key material). Deterministic: each index writes its own slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace poe {
+
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& f, unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned threads = static_cast<unsigned>(
+      std::min<std::size_t>(count, max_threads == 0 ? hw : max_threads));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) f(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count || failed.load()) return;
+      try {
+        f(i);
+      } catch (...) {
+        if (!failed.exchange(true)) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (failed.load() && error) std::rethrow_exception(error);
+}
+
+}  // namespace poe

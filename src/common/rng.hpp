@@ -1,0 +1,50 @@
+// Deterministic, fast pseudo-random generator for tests, workload
+// generation and key sampling in examples. Not used for any cryptographic
+// sampling inside the PASTA cipher itself (that uses SHAKE128).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace poe {
+
+/// xoshiro256** by Blackman & Vigna — tiny, fast, reproducible.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      si = w ^ (w >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl64(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound) via rejection-free multiply-shift
+  /// (negligible bias for bound << 2^64; fine for test data).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace poe

@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace poe {
+
+TextTable& TextTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+  return *this;
+}
+
+TextTable& TextTable::separator() {
+  pending_separator_ = true;
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r.cells);
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t i = 0; i < ncols; ++i)
+      os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c << std::string(width[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    line(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator_before) hline();
+    line(r.cells);
+  }
+  hline();
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace poe

@@ -1,0 +1,43 @@
+// Plain-text table renderer used by the benchmark harness to print
+// paper-vs-measured rows in a shape matching the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poe {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  TextTable& header(std::vector<std::string> columns);
+  TextTable& row(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  TextTable& separator();
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t v);
+
+/// Fixed-point formatting with the given number of decimals.
+std::string fixed(double v, int decimals);
+
+/// "12.3%" style formatting.
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace poe

@@ -1,0 +1,94 @@
+#include "core/accelerator.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "hw/accelerator.hpp"
+#include "soc/driver.hpp"
+#include "soc/soc.hpp"
+
+namespace poe {
+
+Accelerator::Accelerator(const pasta::PastaParams& params,
+                         std::vector<std::uint64_t> key, Backend backend)
+    : params_(params),
+      key_(std::move(key)),
+      backend_(backend),
+      reference_(params_, key_) {}
+
+Accelerator Accelerator::with_random_key(const pasta::PastaParams& params,
+                                         std::uint64_t seed, Backend backend) {
+  Xoshiro256 rng(seed);
+  return Accelerator(params, pasta::PastaCipher::random_key(params, rng),
+                     backend);
+}
+
+std::vector<std::uint64_t> Accelerator::encrypt(
+    std::span<const std::uint64_t> msg, std::uint64_t nonce,
+    EncryptStats* stats) const {
+  if (stats != nullptr) {
+    *stats = EncryptStats{};
+    stats->blocks = ceil_div(msg.size(), params_.t);
+  }
+  switch (backend_) {
+    case Backend::kReference:
+      return reference_.encrypt(msg, nonce);
+    case Backend::kCycleSim: {
+      hw::AcceleratorSim sim(params_);
+      auto result = sim.encrypt(key_, msg, nonce);
+      if (stats != nullptr) {
+        stats->cycles = result.total_cycles;
+        stats->fpga_us = hw::fpga_artix7().cycles_to_us(result.total_cycles);
+        stats->asic_us = hw::asic_1ghz().cycles_to_us(result.total_cycles);
+        stats->soc_us =
+            hw::riscv_soc_100mhz().cycles_to_us(result.total_cycles);
+      }
+      return result.ciphertext;
+    }
+    case Backend::kSoc:
+      return encrypt_soc(msg, nonce, stats);
+  }
+  throw Error("unreachable backend");
+}
+
+std::vector<std::uint64_t> Accelerator::encrypt_soc(
+    std::span<const std::uint64_t> msg, std::uint64_t nonce,
+    EncryptStats* stats) const {
+  // The peripheral processes whole blocks; pad the tail with zeros and trim
+  // after readout (the driver is oblivious to partial blocks).
+  const std::size_t blocks = ceil_div(msg.size(), params_.t);
+  POE_ENSURE(blocks >= 1, "empty message");
+  std::vector<std::uint64_t> padded(msg.begin(), msg.end());
+  padded.resize(blocks * params_.t, 0);
+
+  soc::SocConfig cfg{.params = params_};
+  soc::Soc machine(cfg);
+  const unsigned stride = machine.peripheral().element_stride();
+
+  soc::DriverLayout layout;
+  layout.num_blocks = blocks;
+  layout.nonce = nonce;
+  soc::store_elements(machine.ram(), layout.key_addr, key_, stride);
+  soc::store_elements(machine.ram(), layout.src_addr, padded, stride);
+
+  const auto reason = machine.run_program(
+      soc::build_encrypt_driver(params_, cfg.periph_base, layout));
+  POE_ENSURE(reason == rv::StopReason::kEcall, "SoC driver did not complete");
+
+  auto ct = soc::load_elements(machine.ram(), layout.dst_addr, padded.size(),
+                               stride);
+  ct.resize(msg.size());
+  if (stats != nullptr) {
+    const auto start = machine.ram().load_word(layout.cycles_addr);
+    const auto end = machine.ram().load_word(layout.cycles_addr + 4);
+    stats->cycles = end - start;
+    stats->soc_us = hw::riscv_soc_100mhz().cycles_to_us(stats->cycles);
+  }
+  return ct;
+}
+
+std::vector<std::uint64_t> Accelerator::decrypt(
+    std::span<const std::uint64_t> ct, std::uint64_t nonce) const {
+  return reference_.decrypt(ct, nonce);
+}
+
+}  // namespace poe

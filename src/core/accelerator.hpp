@@ -1,0 +1,67 @@
+// Public facade of the PASTA cryptoprocessor library.
+//
+// One object, three execution backends:
+//   kReference — portable software PASTA (the CPU baseline),
+//   kCycleSim  — the cycle-accurate accelerator model (FPGA/ASIC numbers),
+//   kSoc       — the full RV32IM SoC with the accelerator as a peripheral.
+// All backends produce bit-identical ciphertexts; they differ in the timing
+// statistics they report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "pasta/cipher.hpp"
+#include "pasta/params.hpp"
+
+namespace poe {
+
+enum class Backend {
+  kReference,
+  kCycleSim,
+  kSoc,
+};
+
+struct EncryptStats {
+  std::uint64_t cycles = 0;  ///< accelerator (or SoC) cycles, 0 for reference
+  std::size_t blocks = 0;
+  double fpga_us = 0;  ///< at 75 MHz (Artix-7 target)
+  double asic_us = 0;  ///< at 1 GHz (28nm / 7nm target)
+  double soc_us = 0;   ///< at 100 MHz (130nm / 65nm SoC target)
+};
+
+class Accelerator {
+ public:
+  Accelerator(const pasta::PastaParams& params, std::vector<std::uint64_t> key,
+              Backend backend = Backend::kCycleSim);
+
+  /// Convenience constructor with a seeded random key.
+  static Accelerator with_random_key(const pasta::PastaParams& params,
+                                     std::uint64_t seed,
+                                     Backend backend = Backend::kCycleSim);
+
+  std::vector<std::uint64_t> encrypt(std::span<const std::uint64_t> msg,
+                                     std::uint64_t nonce,
+                                     EncryptStats* stats = nullptr) const;
+  std::vector<std::uint64_t> decrypt(std::span<const std::uint64_t> ct,
+                                     std::uint64_t nonce) const;
+
+  const pasta::PastaParams& params() const { return params_; }
+  Backend backend() const { return backend_; }
+  const std::vector<std::uint64_t>& key() const { return key_; }
+
+ private:
+  std::vector<std::uint64_t> encrypt_soc(std::span<const std::uint64_t> msg,
+                                         std::uint64_t nonce,
+                                         EncryptStats* stats) const;
+
+  pasta::PastaParams params_;
+  std::vector<std::uint64_t> key_;
+  Backend backend_;
+  pasta::PastaCipher reference_;
+};
+
+}  // namespace poe

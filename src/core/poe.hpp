@@ -1,0 +1,18 @@
+// Umbrella header for the PASTA-on-Edge library.
+//
+//   #include "core/poe.hpp"
+//
+//   auto accel = poe::Accelerator::with_random_key(poe::pasta::pasta4(), 1);
+//   poe::EncryptStats stats;
+//   auto ct = accel.encrypt(message, nonce, &stats);
+#pragma once
+
+#include "analytics/pke_model.hpp"      // IWYU pragma: export
+#include "analytics/prior_works.hpp"    // IWYU pragma: export
+#include "analytics/video_model.hpp"    // IWYU pragma: export
+#include "core/accelerator.hpp"         // IWYU pragma: export
+#include "hw/accelerator.hpp"           // IWYU pragma: export
+#include "hw/area_model.hpp"            // IWYU pragma: export
+#include "hw/platforms.hpp"             // IWYU pragma: export
+#include "pasta/cipher.hpp"             // IWYU pragma: export
+#include "pasta/params.hpp"             // IWYU pragma: export

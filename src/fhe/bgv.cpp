@@ -1,0 +1,456 @@
+#include "fhe/bgv.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "modular/primes.hpp"
+
+namespace poe::fhe {
+
+namespace {
+using u64 = std::uint64_t;
+}
+
+BgvParams BgvParams::toy() {
+  return BgvParams{.n = 1024,
+                   .t = 65537,
+                   .num_primes = 3,
+                   .prime_bits = 40,
+                   .relin_digit_bits = 14,
+                   .seed = 7};
+}
+
+BgvParams BgvParams::demo() {
+  return BgvParams{.n = 4096,
+                   .t = 65537,
+                   .num_primes = 11,
+                   .prime_bits = 45,
+                   .relin_digit_bits = 16,
+                   .seed = 7};
+}
+
+BgvParams BgvParams::secure() {
+  return BgvParams{.n = 32768,
+                   .t = 65537,
+                   .num_primes = 11,
+                   .prime_bits = 45,
+                   .relin_digit_bits = 16,
+                   .seed = 7};
+}
+
+RnsPoly restrict_to_level(const RnsPoly& p, std::size_t level) {
+  POE_ENSURE(level <= p.level(), "cannot extend a polynomial");
+  RnsPoly out(p.context(), level, p.is_ntt());
+  for (std::size_t i = 0; i < level; ++i) {
+    auto dst = out.rns(i);
+    auto src = p.rns(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Bgv::Bgv(const BgvParams& params)
+    : params_(params),
+      ctx_(params.n, params.t,
+           mod::bgv_prime_chain(params.num_primes, params.prime_bits,
+                                params.n, params.t)),
+      rng_(params.seed) {
+  const std::size_t top = ctx_.num_primes();
+
+  // Secret key and its square.
+  RnsPoly s = RnsPoly::sample_ternary(&ctx_, top, rng_);
+  s.to_ntt();
+  s_ntt_ = s;
+  s_sq_ntt_ = s;
+  s_sq_ntt_.mul_inplace(s_ntt_);
+
+  // Public key: b = -(a s) + t e.
+  pk_a_ = RnsPoly::sample_uniform(&ctx_, top, rng_, /*ntt_form=*/true);
+  pk_b_ = pk_a_;
+  pk_b_.mul_inplace(s_ntt_).negate_inplace();
+  pk_b_.add_inplace(sample_t_noise());
+
+  // Relinearisation keys switch the s^2 component onto s.
+  rlk_ = make_ksw_key(s_sq_ntt_);
+}
+
+RnsPoly Bgv::sample_t_noise() const {
+  const std::size_t top = ctx_.num_primes();
+  RnsPoly te = RnsPoly::sample_noise(&ctx_, top, rng_);
+  te.to_ntt();
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto& m = ctx_.mod(i);
+    auto span = te.rns(i);
+    for (auto& x : span) x = m.mul(x, params_.t % m.value());
+  }
+  return te;
+}
+
+KswKey Bgv::make_ksw_key(const RnsPoly& target_ntt) const {
+  // For each prime j and digit d: b = -(a s) + t e + B^d q~_j target, where
+  // q~_j's RNS image is the idempotent delta_ij — the target term only
+  // appears in component j, scaled by B^d.
+  const std::size_t top = ctx_.num_primes();
+  const unsigned dbits = params_.relin_digit_bits;
+  KswKey out;
+  out.digits.resize(top);
+  for (std::size_t j = 0; j < top; ++j) {
+    const unsigned qbits = bit_width_u64(ctx_.prime(j));
+    const unsigned digits = (qbits + dbits - 1) / dbits;
+    for (unsigned d = 0; d < digits; ++d) {
+      KswKey::DigitKey key;
+      key.a = RnsPoly::sample_uniform(&ctx_, top, rng_, true);
+      key.b = key.a;
+      key.b.mul_inplace(s_ntt_).negate_inplace();
+      key.b.add_inplace(sample_t_noise());
+      {
+        const auto& m = ctx_.mod(j);
+        const u64 factor = m.pow(2, d * dbits);
+        auto dst = key.b.rns(j);
+        auto src = target_ntt.rns(j);
+        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
+          dst[idx] = m.add(dst[idx], m.mul(factor, src[idx]));
+        }
+      }
+      out.digits[j].push_back(std::move(key));
+    }
+  }
+  return out;
+}
+
+void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
+                    const KswKey& key) const {
+  POE_ENSURE(!input_coeff.is_ntt(), "ksw input must be in coefficient form");
+  const std::size_t level = ct.level;
+  const unsigned dbits = params_.relin_digit_bits;
+  const u64 mask = (u64{1} << dbits) - 1;
+  for (std::size_t j = 0; j < level; ++j) {
+    const unsigned qbits = bit_width_u64(ctx_.prime(j));
+    const unsigned digits = (qbits + dbits - 1) / dbits;
+    POE_ENSURE(digits <= key.digits[j].size(), "missing ksw digits");
+    const auto src = input_coeff.rns(j);
+    for (unsigned d = 0; d < digits; ++d) {
+      // Digit polynomial: ((input mod q_j) >> (d*dbits)) & mask, lifted to
+      // all active primes.
+      RnsPoly dig(&ctx_, level, false);
+      for (std::size_t i = 0; i < level; ++i) {
+        const auto& m = ctx_.mod(i);
+        auto dst = dig.rns(i);
+        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
+          dst[idx] = (src[idx] >> (d * dbits)) & mask;
+          if (dst[idx] >= m.value()) dst[idx] %= m.value();
+        }
+      }
+      dig.to_ntt();
+      RnsPoly tb = dig;
+      tb.mul_inplace(restrict_to_level(key.digits[j][d].b, level));
+      ct.parts[0].add_inplace(tb);
+      dig.mul_inplace(restrict_to_level(key.digits[j][d].a, level));
+      ct.parts[1].add_inplace(dig);
+    }
+  }
+}
+
+KswKey Bgv::make_galois_key(u64 galois_element) const {
+  // Key switches tau_g(s) onto s.
+  RnsPoly s_coeff = s_ntt_;
+  s_coeff.from_ntt();
+  RnsPoly tau_s = s_coeff.apply_automorphism(galois_element);
+  tau_s.to_ntt();
+  return make_ksw_key(tau_s);
+}
+
+void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
+                               const KswKey& key) const {
+  POE_ENSURE(a.size() == 2, "automorphism requires a 2-part ciphertext");
+  // tau(ct) decrypts under tau(s); key-switch the c1 part back to s.
+  a.parts[0].from_ntt();
+  a.parts[1].from_ntt();
+  RnsPoly c0 = a.parts[0].apply_automorphism(galois_element);
+  RnsPoly c1 = a.parts[1].apply_automorphism(galois_element);
+  c0.to_ntt();
+  a.parts[0] = std::move(c0);
+  a.parts[1] = RnsPoly(&ctx_, a.level, /*ntt_form=*/true);
+  apply_ksw(a, c1, key);
+}
+
+GaloisKeys Bgv::make_rotation_keys(const std::vector<long>& steps) const {
+  const std::size_t n = ctx_.n();
+  GaloisKeys out;
+  for (long step : steps) {
+    if (step == GaloisKeys::kRowSwap) {
+      if (out.keys.count(GaloisKeys::kRowSwap) == 0) {
+        out.keys.emplace(GaloisKeys::kRowSwap,
+                         make_galois_key(2 * n - 1));
+      }
+      continue;
+    }
+    const long c = static_cast<long>(n / 2);
+    const long s = ((step % c) + c) % c;
+    if (out.keys.count(s) != 0 || s == 0) continue;
+    u64 g = 1;
+    for (long i = 0; i < s; ++i) g = (g * 3) % (2 * n);
+    out.keys.emplace(s, make_galois_key(g));
+  }
+  return out;
+}
+
+void Bgv::rotate_columns_inplace(Ciphertext& a, long step,
+                                 const GaloisKeys& keys) const {
+  const std::size_t n = ctx_.n();
+  const long c = static_cast<long>(n / 2);
+  const long s = ((step % c) + c) % c;
+  if (s == 0) return;
+  const auto it = keys.keys.find(s);
+  POE_ENSURE(it != keys.keys.end(), "no rotation key for step " << s);
+  u64 g = 1;
+  for (long i = 0; i < s; ++i) g = (g * 3) % (2 * n);
+  apply_galois_inplace(a, g, it->second);
+}
+
+void Bgv::swap_rows_inplace(Ciphertext& a, const GaloisKeys& keys) const {
+  const auto it = keys.keys.find(GaloisKeys::kRowSwap);
+  POE_ENSURE(it != keys.keys.end(), "no row-swap key");
+  apply_galois_inplace(a, 2 * ctx_.n() - 1, it->second);
+}
+
+RnsPoly Bgv::secret_restricted(std::size_t level) const {
+  return restrict_to_level(s_ntt_, level);
+}
+RnsPoly Bgv::secret_sq_restricted(std::size_t level) const {
+  return restrict_to_level(s_sq_ntt_, level);
+}
+
+Ciphertext Bgv::encrypt(const Plaintext& pt) const {
+  const std::size_t top = ctx_.num_primes();
+  RnsPoly u = RnsPoly::sample_ternary(&ctx_, top, rng_);
+  u.to_ntt();
+
+  Ciphertext ct;
+  ct.level = top;
+  ct.parts.resize(2);
+
+  ct.parts[0] = pk_b_;
+  ct.parts[0].mul_inplace(u);
+  ct.parts[1] = pk_a_;
+  ct.parts[1].mul_inplace(u);
+
+  for (int which = 0; which < 2; ++which) {
+    RnsPoly e = RnsPoly::sample_noise(&ctx_, top, rng_);
+    e.to_ntt();
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& m = ctx_.mod(i);
+      auto span = e.rns(i);
+      for (auto& x : span) x = m.mul(x, params_.t % m.value());
+    }
+    ct.parts[which].add_inplace(e);
+  }
+
+  RnsPoly m = RnsPoly::from_plaintext(&ctx_, top, pt.coeffs, true);
+  ct.parts[0].add_inplace(m);
+  return ct;
+}
+
+RnsPoly Bgv::decrypt_core(const Ciphertext& ct) const {
+  POE_ENSURE(ct.size() >= 2 && ct.size() <= 3, "unsupported ciphertext size");
+  RnsPoly v = ct.parts[0];
+  RnsPoly c1 = ct.parts[1];
+  c1.mul_inplace(secret_restricted(ct.level));
+  v.add_inplace(c1);
+  if (ct.size() == 3) {
+    RnsPoly c2 = ct.parts[2];
+    c2.mul_inplace(secret_sq_restricted(ct.level));
+    v.add_inplace(c2);
+  }
+  v.from_ntt();
+  return v;
+}
+
+Plaintext Bgv::decrypt(const Ciphertext& ct) const {
+  RnsPoly v = decrypt_core(ct);
+  const LevelData& lvl = ctx_.level(ct.level);
+  const std::size_t n = ctx_.n();
+  Plaintext out;
+  out.coeffs.resize(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    // CRT reconstruction: sum [v_i * q_hat_inv_i]_{q_i} * q_hat_i mod q.
+    UBig acc;
+    for (std::size_t i = 0; i < ct.level; ++i) {
+      const auto& m = ctx_.mod(i);
+      const u64 term = m.mul(v.rns(i)[idx], lvl.q_hat_inv[i]);
+      UBig contrib = lvl.q_hat[i];
+      contrib.mul_u64(term);
+      acc.add(contrib);
+    }
+    acc.mod_by_subtraction(lvl.q);
+    // Centered reduction, then mod t.
+    const bool negative = acc > lvl.q_half;
+    if (negative) {
+      UBig tmp = lvl.q;
+      tmp.sub(acc);
+      acc = std::move(tmp);
+    }
+    const u64 r = acc.mod_u64(params_.t);
+    out.coeffs[idx] = negative ? (r == 0 ? 0 : params_.t - r) : r;
+  }
+  return out;
+}
+
+double Bgv::noise_budget_bits(const Ciphertext& ct) const {
+  RnsPoly v = decrypt_core(ct);
+  const LevelData& lvl = ctx_.level(ct.level);
+  unsigned max_bits = 0;
+  for (std::size_t idx = 0; idx < ctx_.n(); ++idx) {
+    UBig acc;
+    for (std::size_t i = 0; i < ct.level; ++i) {
+      const auto& m = ctx_.mod(i);
+      const u64 term = m.mul(v.rns(i)[idx], lvl.q_hat_inv[i]);
+      UBig contrib = lvl.q_hat[i];
+      contrib.mul_u64(term);
+      acc.add(contrib);
+    }
+    acc.mod_by_subtraction(lvl.q);
+    if (acc > lvl.q_half) {
+      UBig tmp = lvl.q;
+      tmp.sub(acc);
+      acc = std::move(tmp);
+    }
+    max_bits = std::max(max_bits, acc.bit_length());
+  }
+  return static_cast<double>(lvl.q.bit_length()) - 1.0 -
+         static_cast<double>(max_bits);
+}
+
+void Bgv::add_inplace(Ciphertext& a, const Ciphertext& b) const {
+  POE_ENSURE(a.level == b.level, "level mismatch (use match_levels)");
+  POE_ENSURE(a.size() == b.size(), "ciphertext size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.parts[i].add_inplace(b.parts[i]);
+  }
+}
+
+void Bgv::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
+  POE_ENSURE(a.level == b.level, "level mismatch (use match_levels)");
+  POE_ENSURE(a.size() == b.size(), "ciphertext size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.parts[i].sub_inplace(b.parts[i]);
+  }
+}
+
+void Bgv::negate_inplace(Ciphertext& a) const {
+  for (auto& part : a.parts) part.negate_inplace();
+}
+
+void Bgv::add_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
+  RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
+  a.parts[0].add_inplace(m);
+}
+
+void Bgv::sub_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
+  RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
+  a.parts[0].sub_inplace(m);
+}
+
+void Bgv::mul_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
+  RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
+  for (auto& part : a.parts) part.mul_inplace(m);
+}
+
+void Bgv::mul_scalar_inplace(Ciphertext& a, u64 scalar) const {
+  for (auto& part : a.parts) part.mul_scalar_inplace(scalar);
+}
+
+void Bgv::add_scalar_inplace(Ciphertext& a, u64 scalar) const {
+  POE_ENSURE(scalar < params_.t, "scalar out of range");
+  // The NTT of a constant polynomial is that constant in every slot.
+  const bool negative = scalar > params_.t / 2;
+  const u64 magnitude = negative ? params_.t - scalar : scalar;
+  for (std::size_t i = 0; i < a.level; ++i) {
+    const auto& m = ctx_.mod(i);
+    const u64 lifted = negative ? m.neg(magnitude) : magnitude;
+    auto span = a.parts[0].rns(i);
+    for (auto& x : span) x = m.add(x, lifted);
+  }
+}
+
+Ciphertext Bgv::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  POE_ENSURE(a.level == b.level, "level mismatch (use match_levels)");
+  POE_ENSURE(a.size() == 2 && b.size() == 2,
+             "multiply requires relinearised inputs");
+  Ciphertext out;
+  out.level = a.level;
+  out.parts.resize(3);
+  // (a0 b0, a0 b1 + a1 b0, a1 b1)
+  out.parts[0] = a.parts[0];
+  out.parts[0].mul_inplace(b.parts[0]);
+  RnsPoly cross1 = a.parts[0];
+  cross1.mul_inplace(b.parts[1]);
+  RnsPoly cross2 = a.parts[1];
+  cross2.mul_inplace(b.parts[0]);
+  cross1.add_inplace(cross2);
+  out.parts[1] = std::move(cross1);
+  out.parts[2] = a.parts[1];
+  out.parts[2].mul_inplace(b.parts[1]);
+  return out;
+}
+
+Ciphertext Bgv::multiply_relin(const Ciphertext& a,
+                               const Ciphertext& b) const {
+  Ciphertext out = multiply(a, b);
+  relinearize_inplace(out);
+  mod_switch_inplace(out);
+  return out;
+}
+
+void Bgv::relinearize_inplace(Ciphertext& a) const {
+  if (a.size() == 2) return;
+  POE_ENSURE(a.size() == 3, "unexpected ciphertext size");
+  RnsPoly c2 = a.parts[2];
+  c2.from_ntt();
+  a.parts.pop_back();
+  apply_ksw(a, c2, rlk_);
+}
+
+void Bgv::mod_switch_inplace(Ciphertext& a) const {
+  POE_ENSURE(a.level >= 2, "cannot switch below the last prime");
+  const LevelData& lvl = ctx_.level(a.level);
+  const std::size_t last = a.level - 1;
+  const u64 qlast = ctx_.prime(last);
+  const u64 qlast_half = qlast / 2;
+
+  for (auto& part : a.parts) {
+    part.from_ntt();
+    const auto clast = part.rns(last);
+    for (std::size_t i = 0; i < last; ++i) {
+      const auto& m = ctx_.mod(i);
+      const u64 t_mod = params_.t % m.value();
+      const u64 t_qlast_mod = m.mul(t_mod, qlast % m.value());
+      auto ci = part.rns(i);
+      for (std::size_t idx = 0; idx < ci.size(); ++idx) {
+        // u = [c * t^{-1}]_{q_last}, centered; delta = t * u.
+        const u64 u = ctx_.mod(last).mul(clast[idx], lvl.t_inv_mod_qlast);
+        u64 delta = m.mul(t_mod, u % m.value());
+        if (u > qlast_half) delta = m.sub(delta, t_qlast_mod);
+        // c' = (c - delta) / q_last.
+        ci[idx] = m.mul(m.sub(ci[idx], delta), lvl.qlast_inv[i]);
+      }
+    }
+    part.drop_last_component();
+    part.to_ntt();
+  }
+  --a.level;
+}
+
+void Bgv::mod_switch_to(Ciphertext& a, std::size_t level) const {
+  POE_ENSURE(level >= 1 && level <= a.level, "invalid target level");
+  while (a.level > level) mod_switch_inplace(a);
+}
+
+void Bgv::match_levels(Ciphertext& a, Ciphertext& b) const {
+  const std::size_t target = std::min(a.level, b.level);
+  mod_switch_to(a, target);
+  mod_switch_to(b, target);
+}
+
+}  // namespace poe::fhe

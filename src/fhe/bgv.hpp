@@ -1,0 +1,161 @@
+// RNS-BGV: the FHE substrate used by the HHE server to evaluate PASTA's
+// decryption circuit homomorphically (paper Fig. 1).
+//
+// Scheme summary (plaintext modulus t, ciphertext modulus q = prod q_i):
+//   sk:  ternary s.            pk: (b = -(a s) + t e, a), a uniform.
+//   enc: c = (b u + t e0 + m, a u + t e1)   with ternary u.
+//   dec: m = [[c0 + c1 s (+ c2 s^2)]_q]_t   (centered reduction mod q).
+//   mul: tensor product; relinearisation via per-prime, per-digit
+//        key-switching keys (the RNS idempotent q~_j has image delta_ij, so
+//        one key set generated at the top level restricts to every level).
+//   modulus switching: divide by the last prime with the t-divisibility
+//        correction delta = t [c t^{-1}]_{q_last} (centered), preserving the
+//        plaintext while shrinking noise.
+//
+// This is an exact-arithmetic BGV sufficient for transciphering; it is not a
+// hardened implementation (no constant-time sampling, seeded randomness) —
+// see DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fhe/poly.hpp"
+
+namespace poe::fhe {
+
+struct BgvParams {
+  std::size_t n = 4096;
+  std::uint64_t t = 65537;
+  std::size_t num_primes = 10;
+  unsigned prime_bits = 45;
+  unsigned relin_digit_bits = 20;
+  std::uint64_t seed = 1;  ///< deterministic randomness for reproducibility
+
+  /// Tiny parameters for fast unit tests (depth ~2).
+  static BgvParams toy();
+  /// Parameters deep enough for homomorphic PASTA-4 decryption. NOTE:
+  /// demo-grade security (documented in EXPERIMENTS.md); use secure() for a
+  /// production-sized ring.
+  static BgvParams demo();
+  /// Ring large enough to support the demo modulus at a conservative
+  /// security margin (slower; used by the opt-in e2e bench).
+  static BgvParams secure();
+};
+
+struct Plaintext {
+  std::vector<std::uint64_t> coeffs;  ///< mod t, length <= n
+};
+
+struct Ciphertext {
+  std::vector<RnsPoly> parts;  ///< NTT form, 2 (fresh) or 3 (post-tensor)
+  std::size_t level = 0;       ///< active primes
+
+  std::size_t size() const { return parts.size(); }
+};
+
+/// A key-switching key: for each RNS prime j and digit d, a pair
+/// (b, a) with b = -(a s) + t e + B^d q~_j target. Switches a ciphertext
+/// component known to multiply `target` onto the secret s. Generated at the
+/// top level; restricts to any lower level (the RNS idempotent q~_j has the
+/// level-independent image delta_ij).
+struct KswKey {
+  struct DigitKey {
+    RnsPoly b, a;  // top level, NTT form
+  };
+  std::vector<std::vector<DigitKey>> digits;  // [prime][digit]
+};
+
+/// Rotation keys: column-rotation step -> key for tau_{3^step}(s); step -1
+/// denotes the row swap (tau_{2n-1}, the conjugation).
+struct GaloisKeys {
+  std::map<long, KswKey> keys;
+  static constexpr long kRowSwap = -1;
+};
+
+class Bgv {
+ public:
+  explicit Bgv(const BgvParams& params);
+
+  const BgvParams& params() const { return params_; }
+  const RnsContext& rns() const { return ctx_; }
+  std::size_t top_level() const { return ctx_.num_primes(); }
+
+  // --- Encryption / decryption.
+  Ciphertext encrypt(const Plaintext& pt) const;
+  Plaintext decrypt(const Ciphertext& ct) const;
+
+  // --- Homomorphic operations (operands must share a level; use
+  // --- match_levels / mod_switch_to to align).
+  void add_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void sub_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void negate_inplace(Ciphertext& a) const;
+  void add_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+  void sub_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+  /// Multiply by the plaintext polynomial (NTT product).
+  void mul_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+  /// Multiply by an integer constant mod t (no NTT, cheap).
+  void mul_scalar_inplace(Ciphertext& a, std::uint64_t scalar) const;
+  /// Add an integer constant mod t.
+  void add_scalar_inplace(Ciphertext& a, std::uint64_t scalar) const;
+
+  /// Tensor product; result has 3 parts until relinearised.
+  Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+  /// multiply + relinearise + one modulus switch (the common idiom).
+  Ciphertext multiply_relin(const Ciphertext& a, const Ciphertext& b) const;
+  void relinearize_inplace(Ciphertext& a) const;
+
+  // --- Slot rotations (for SIMD/batched evaluation).
+  /// Keys for the given column-rotation steps (see fhe/galois.hpp for the
+  /// slot-grid semantics).
+  GaloisKeys make_rotation_keys(const std::vector<long>& steps) const;
+  /// new(row, col) = old(row, col + step): applies tau_{3^step} and
+  /// key-switches back to s. Requires a relinearised (2-part) ciphertext.
+  void rotate_columns_inplace(Ciphertext& a, long step,
+                              const GaloisKeys& keys) const;
+  /// Swap the two slot rows (tau_{2n-1}); requires a key made with
+  /// make_rotation_keys including GaloisKeys::kRowSwap.
+  void swap_rows_inplace(Ciphertext& a, const GaloisKeys& keys) const;
+
+  /// Drop the last active prime (noise /= q_last).
+  void mod_switch_inplace(Ciphertext& a) const;
+  void mod_switch_to(Ciphertext& a, std::size_t level) const;
+  /// Bring both to the lower of the two levels.
+  void match_levels(Ciphertext& a, Ciphertext& b) const;
+
+  // --- Diagnostics.
+  /// log2 of the remaining noise budget (decryption fails below ~0).
+  double noise_budget_bits(const Ciphertext& ct) const;
+
+ private:
+  RnsPoly secret_restricted(std::size_t level) const;
+  RnsPoly secret_sq_restricted(std::size_t level) const;
+  /// c0 + c1 s (+ c2 s^2) in coefficient form.
+  RnsPoly decrypt_core(const Ciphertext& ct) const;
+  /// t * fresh-noise polynomial in NTT form at the top level.
+  RnsPoly sample_t_noise() const;
+  /// Key-switching key for an arbitrary target polynomial (NTT, top level).
+  KswKey make_ksw_key(const RnsPoly& target_ntt) const;
+  KswKey make_galois_key(std::uint64_t galois_element) const;
+  void apply_galois_inplace(Ciphertext& a, std::uint64_t galois_element,
+                            const KswKey& key) const;
+  /// parts[0] += sum_d digit_d(input) * b_d, parts[1] += ... * a_d, with
+  /// `input` in coefficient form at the ciphertext's level.
+  void apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
+                 const KswKey& key) const;
+
+  BgvParams params_;
+  RnsContext ctx_;
+  mutable Xoshiro256 rng_;
+  RnsPoly s_ntt_;    // top level
+  RnsPoly s_sq_ntt_;
+  RnsPoly pk_a_;     // NTT
+  RnsPoly pk_b_;
+  KswKey rlk_;
+};
+
+/// Restrict an NTT-form polynomial to its first `level` RNS components.
+RnsPoly restrict_to_level(const RnsPoly& p, std::size_t level);
+
+}  // namespace poe::fhe

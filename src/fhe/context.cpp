@@ -1,0 +1,68 @@
+#include "fhe/context.hpp"
+
+#include "common/error.hpp"
+#include "modular/primes.hpp"
+
+namespace poe::fhe {
+
+RnsContext::RnsContext(std::size_t n, std::uint64_t t,
+                       std::vector<std::uint64_t> primes)
+    : n_(n), t_(t), t_mod_(t), primes_(std::move(primes)) {
+  POE_ENSURE(!primes_.empty(), "empty RNS basis");
+  POE_ENSURE(mod::is_prime(t_), "plaintext modulus must be prime");
+  for (std::uint64_t q : primes_) {
+    POE_ENSURE(mod::is_prime(q), "RNS modulus " << q << " is not prime");
+    POE_ENSURE(q % t_ != 0 && q != t_, "RNS modulus shares a factor with t");
+    mods_.emplace_back(q);
+    ntts_.push_back(std::make_unique<Ntt>(q, n));
+  }
+  for (std::size_t i = 0; i < primes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < primes_.size(); ++j) {
+      POE_ENSURE(primes_[i] != primes_[j], "duplicate RNS prime");
+    }
+  }
+
+  levels_.resize(primes_.size());
+  for (std::size_t lvl = 1; lvl <= primes_.size(); ++lvl) {
+    LevelData& d = levels_[lvl - 1];
+    d.num_primes = lvl;
+    d.q = UBig::product({primes_.begin(),
+                         primes_.begin() + static_cast<std::ptrdiff_t>(lvl)});
+    d.q_half = d.q;
+    d.q_half.shr1();
+    d.q_hat.resize(lvl);
+    d.q_hat_inv.resize(lvl);
+    d.q_tilde.assign(lvl, std::vector<std::uint64_t>(lvl, 0));
+    for (std::size_t j = 0; j < lvl; ++j) {
+      UBig hat = UBig::one();
+      for (std::size_t i = 0; i < lvl; ++i) {
+        if (i != j) hat.mul_u64(primes_[i]);
+      }
+      const std::uint64_t hat_mod_qj = hat.mod_u64(primes_[j]);
+      d.q_hat_inv[j] = mods_[j].inv(hat_mod_qj);
+      d.q_hat[j] = hat;
+      // q_tilde_j = q_hat_j * q_hat_inv_j (an integer < q); its RNS image is
+      // (1 at j, 0 elsewhere) but relin keygen needs it mod each q_i, which
+      // is exactly that idempotent pattern.
+      for (std::size_t i = 0; i < lvl; ++i) {
+        d.q_tilde[j][i] = (i == j) ? 1 : 0;
+      }
+    }
+    if (lvl >= 2) {
+      const std::uint64_t qlast = primes_[lvl - 1];
+      d.qlast_inv.resize(lvl - 1);
+      for (std::size_t i = 0; i + 1 < lvl; ++i) {
+        d.qlast_inv[i] = mods_[i].inv(qlast % primes_[i]);
+      }
+    }
+    d.t_inv_mod_qlast = mods_[lvl - 1].inv(t_ % primes_[lvl - 1]);
+  }
+}
+
+const LevelData& RnsContext::level(std::size_t num_active) const {
+  POE_ENSURE(num_active >= 1 && num_active <= levels_.size(),
+             "invalid level " << num_active);
+  return levels_[num_active - 1];
+}
+
+}  // namespace poe::fhe

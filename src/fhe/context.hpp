@@ -1,0 +1,61 @@
+// RNS context for the BGV substrate: the prime chain, per-prime NTTs, and
+// the CRT / modulus-switching precomputations for every level.
+//
+// A ciphertext at *level* L uses the first L primes of the chain
+// (q = q_0 * ... * q_{L-1}); modulus switching drops the last active prime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bignum.hpp"
+#include "fhe/ntt.hpp"
+#include "modular/modulus.hpp"
+
+namespace poe::fhe {
+
+/// Precomputations for one level (L = number of active primes).
+struct LevelData {
+  std::size_t num_primes = 0;
+  UBig q;       ///< product of active primes
+  UBig q_half;  ///< floor(q / 2), centering threshold
+  std::vector<UBig> q_hat;                ///< q / q_i
+  std::vector<std::uint64_t> q_hat_inv;   ///< (q/q_i)^{-1} mod q_i
+  /// q_tilde[j][i] = (q_hat[j] * q_hat_inv[j]) mod q_i — the CRT idempotent
+  /// used by relinearisation key generation.
+  std::vector<std::vector<std::uint64_t>> q_tilde;
+  /// Modulus switching from this level (dropping q_{L-1}):
+  std::vector<std::uint64_t> qlast_inv;  ///< q_{L-1}^{-1} mod q_i, i < L-1
+  std::uint64_t t_inv_mod_qlast = 0;     ///< t^{-1} mod q_{L-1}
+};
+
+class RnsContext {
+ public:
+  /// n: ring degree (power of two); t: plaintext modulus; primes: the RNS
+  /// chain, each ≡ 1 (mod 2n) and coprime to t.
+  RnsContext(std::size_t n, std::uint64_t t,
+             std::vector<std::uint64_t> primes);
+
+  std::size_t n() const { return n_; }
+  std::size_t num_primes() const { return primes_.size(); }
+  std::uint64_t prime(std::size_t i) const { return primes_[i]; }
+  const mod::Modulus& mod(std::size_t i) const { return mods_[i]; }
+  const Ntt& ntt(std::size_t i) const { return *ntts_[i]; }
+  std::uint64_t t() const { return t_; }
+  const mod::Modulus& t_mod() const { return t_mod_; }
+
+  /// Level data for L active primes (1 <= L <= num_primes).
+  const LevelData& level(std::size_t num_active) const;
+
+ private:
+  std::size_t n_;
+  std::uint64_t t_;
+  mod::Modulus t_mod_;
+  std::vector<std::uint64_t> primes_;
+  std::vector<mod::Modulus> mods_;
+  std::vector<std::unique_ptr<Ntt>> ntts_;
+  std::vector<LevelData> levels_;  // index L-1
+};
+
+}  // namespace poe::fhe

@@ -1,0 +1,30 @@
+#include "fhe/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace poe::fhe {
+
+BatchEncoder::BatchEncoder(std::size_t n, std::uint64_t t) : ntt_(t, n) {}
+
+Plaintext BatchEncoder::encode(
+    const std::vector<std::uint64_t>& values) const {
+  POE_ENSURE(values.size() <= ntt_.n(), "too many values to encode");
+  Plaintext pt;
+  pt.coeffs.assign(ntt_.n(), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    POE_ENSURE(values[i] < ntt_.modulus().value(), "value out of range");
+    pt.coeffs[i] = values[i];
+  }
+  // Slots are the evaluations; encoding is the inverse transform.
+  ntt_.inverse(pt.coeffs);
+  return pt;
+}
+
+std::vector<std::uint64_t> BatchEncoder::decode(const Plaintext& pt) const {
+  POE_ENSURE(pt.coeffs.size() == ntt_.n(), "plaintext size mismatch");
+  std::vector<std::uint64_t> slots = pt.coeffs;
+  ntt_.forward(slots);
+  return slots;
+}
+
+}  // namespace poe::fhe

@@ -1,0 +1,28 @@
+// Batching encoder: packs n integers mod t into the n CRT slots of
+// R_t = Z_t[X]/(X^n + 1), available because t = 65537 ≡ 1 (mod 2n) for
+// n <= 2^15. Slot-wise, homomorphic add/mul act componentwise (SIMD).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/bgv.hpp"
+#include "fhe/ntt.hpp"
+
+namespace poe::fhe {
+
+class BatchEncoder {
+ public:
+  BatchEncoder(std::size_t n, std::uint64_t t);
+
+  std::size_t slot_count() const { return ntt_.n(); }
+
+  /// values (mod t, up to n of them; the rest zero-filled) -> plaintext.
+  Plaintext encode(const std::vector<std::uint64_t>& values) const;
+  std::vector<std::uint64_t> decode(const Plaintext& pt) const;
+
+ private:
+  Ntt ntt_;
+};
+
+}  // namespace poe::fhe

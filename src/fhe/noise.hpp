@@ -1,0 +1,80 @@
+// Static noise-bound tracking for BGV ciphertexts.
+//
+// The server cannot measure noise (that needs the secret key); it must
+// *bound* it. NoiseEstimator mirrors every homomorphic operation with a
+// conservative bound in log2 — the invariant, checked by property tests, is
+// that the estimated budget is never larger than the true (secret-key
+// measured) budget. Circuit designers use it to place modulus switches
+// without oracle access.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "fhe/bgv.hpp"
+
+namespace poe::fhe {
+
+class NoiseEstimator {
+ public:
+  explicit NoiseEstimator(const BgvParams& params)
+      : params_(params),
+        log_n_(std::log2(static_cast<double>(params.n))),
+        log_t_(std::log2(static_cast<double>(params.t))) {}
+
+  /// Bound (bits) on a fresh encryption's invariant |c0 + c1 s|.
+  double fresh() const {
+    // t * (e0 + u*e_pk + s*e1) + m: eta=2 noise, ternary u/s.
+    return log_t_ + std::log2(3.0) + log_n_ + 2.0;
+  }
+
+  double add(double a, double b) const { return std::max(a, b) + 1.0; }
+
+  double add_scalar(double a) const { return std::max(a, log_t_) + 1.0; }
+
+  double mul_scalar(double a, std::uint64_t scalar) const {
+    const std::uint64_t t = params_.t;
+    const std::uint64_t mag = scalar > t / 2 ? t - scalar : scalar;
+    return a + std::log2(static_cast<double>(mag) + 1.0);
+  }
+
+  /// Multiply by an arbitrary plaintext polynomial (coefficients < t).
+  double mul_plain(double a) const { return a + log_t_ + log_n_; }
+
+  double multiply(double a, double b) const { return a + b + log_n_ + 1.0; }
+
+  /// Key-switching additive term (relinearisation or rotation).
+  double ksw_bound(std::size_t level) const {
+    const double digits = std::ceil(
+        static_cast<double>(params_.prime_bits) / params_.relin_digit_bits);
+    return log_t_ + params_.relin_digit_bits + log_n_ +
+           std::log2(static_cast<double>(level) * digits) + 3.0;
+  }
+
+  double relinearize(double a, std::size_t level) const {
+    return std::max(a, ksw_bound(level)) + 1.0;
+  }
+
+  double rotate(double a, std::size_t level) const {
+    return relinearize(a, level);
+  }
+
+  double mod_switch(double a) const {
+    const double floor = log_t_ + log_n_ + 2.0;
+    return std::max(a - params_.prime_bits, floor);
+  }
+
+  /// Budget (bits) left at `level` given a noise bound.
+  double budget(double noise_bits, std::size_t level) const {
+    return static_cast<double>(level) * params_.prime_bits - 1.0 -
+           noise_bits;
+  }
+
+ private:
+  BgvParams params_;
+  double log_n_;
+  double log_t_;
+};
+
+}  // namespace poe::fhe

@@ -1,0 +1,112 @@
+#include "fhe/ntt.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "modular/primes.hpp"
+
+namespace poe::fhe {
+
+namespace {
+std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    out = (out << 1) | ((x >> i) & 1);
+  }
+  return out;
+}
+
+std::uint64_t shoup_precompute(std::uint64_t w, std::uint64_t q) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(w) << 64) / q);
+}
+
+// x * w mod q with precomputed w' = floor(w 2^64 / q); requires q < 2^63.
+inline std::uint64_t mul_shoup(std::uint64_t x, std::uint64_t w,
+                               std::uint64_t w_shoup, std::uint64_t q) {
+  const std::uint64_t hi = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * w_shoup) >> 64);
+  std::uint64_t r = x * w - hi * q;
+  if (r >= q) r -= q;
+  return r;
+}
+}  // namespace
+
+Ntt::Ntt(std::uint64_t q, std::size_t n) : mod_(q), n_(n) {
+  POE_ENSURE(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two: " << n);
+  POE_ENSURE((q - 1) % (2 * n) == 0, "q-1 must be divisible by 2n");
+  log_n_ = ceil_log2(n);
+
+  const std::uint64_t psi = mod::root_of_unity(q, 2 * n);
+  const std::uint64_t psi_inv = mod_.inv(psi);
+  psi_.resize(n);
+  psi_inv_.resize(n);
+  psi_shoup_.resize(n);
+  psi_inv_shoup_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e = bit_reverse(i, log_n_);
+    psi_[i] = mod_.pow(psi, e);
+    psi_inv_[i] = mod_.pow(psi_inv, e);
+    psi_shoup_[i] = shoup_precompute(psi_[i], q);
+    psi_inv_shoup_[i] = shoup_precompute(psi_inv_[i], q);
+  }
+  n_inv_ = mod_.inv(n);
+  n_inv_shoup_ = shoup_precompute(n_inv_, q);
+}
+
+void Ntt::forward(std::span<std::uint64_t> a) const {
+  POE_ENSURE(a.size() == n_, "size mismatch");
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const std::uint64_t s = psi_[m + i];
+      const std::uint64_t s_shoup = psi_shoup_[m + i];
+      const std::uint64_t q = mod_.value();
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = a[j];
+        const std::uint64_t v = mul_shoup(a[j + t], s, s_shoup, q);
+        a[j] = mod_.add(u, v);
+        a[j + t] = mod_.sub(u, v);
+      }
+    }
+  }
+}
+
+void Ntt::inverse(std::span<std::uint64_t> a) const {
+  POE_ENSURE(a.size() == n_, "size mismatch");
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::uint64_t s = psi_inv_[h + i];
+      const std::uint64_t s_shoup = psi_inv_shoup_[h + i];
+      const std::uint64_t q = mod_.value();
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = a[j];
+        const std::uint64_t v = a[j + t];
+        a[j] = mod_.add(u, v);
+        a[j + t] = mul_shoup(mod_.sub(u, v), s, s_shoup, q);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  const std::uint64_t q = mod_.value();
+  for (auto& x : a) x = mul_shoup(x, n_inv_, n_inv_shoup_, q);
+}
+
+std::vector<std::uint64_t> Ntt::multiply(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) const {
+  POE_ENSURE(a.size() == n_ && b.size() == n_, "size mismatch");
+  std::vector<std::uint64_t> fa(a.begin(), a.end());
+  std::vector<std::uint64_t> fb(b.begin(), b.end());
+  forward(fa);
+  forward(fb);
+  for (std::size_t i = 0; i < n_; ++i) fa[i] = mod_.mul(fa[i], fb[i]);
+  inverse(fa);
+  return fa;
+}
+
+}  // namespace poe::fhe

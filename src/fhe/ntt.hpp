@@ -1,0 +1,47 @@
+// Negacyclic number-theoretic transform over Z_q[X]/(X^n + 1).
+//
+// Standard Longa–Naehrig formulation: the forward transform folds the
+// twisting by psi (a primitive 2n-th root of unity) into the butterflies, so
+// pointwise multiplication of two transformed polynomials corresponds to
+// multiplication modulo X^n + 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "modular/modulus.hpp"
+
+namespace poe::fhe {
+
+class Ntt {
+ public:
+  /// q must be prime with 2n | q-1; n a power of two.
+  Ntt(std::uint64_t q, std::size_t n);
+
+  void forward(std::span<std::uint64_t> a) const;
+  void inverse(std::span<std::uint64_t> a) const;
+
+  std::size_t n() const { return n_; }
+  const mod::Modulus& modulus() const { return mod_; }
+
+  /// Negacyclic convolution via NTT (test/diagnostic convenience).
+  std::vector<std::uint64_t> multiply(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b) const;
+
+ private:
+  mod::Modulus mod_;
+  std::size_t n_;
+  unsigned log_n_;
+  std::vector<std::uint64_t> psi_;      ///< psi^brv(i), bit-reversed order
+  std::vector<std::uint64_t> psi_inv_;  ///< psi^-brv(i)
+  // Shoup precomputation (floor(w * 2^64 / q) per twiddle): turns the
+  // butterfly's modular multiplication into one mulhi + one mullo + a
+  // conditional subtract — the standard software-NTT optimisation.
+  std::vector<std::uint64_t> psi_shoup_;
+  std::vector<std::uint64_t> psi_inv_shoup_;
+  std::uint64_t n_inv_;
+  std::uint64_t n_inv_shoup_;
+};
+
+}  // namespace poe::fhe

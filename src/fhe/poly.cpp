@@ -1,0 +1,183 @@
+#include "fhe/poly.hpp"
+
+#include "common/error.hpp"
+
+namespace poe::fhe {
+
+RnsPoly::RnsPoly(const RnsContext* ctx, std::size_t level, bool ntt_form)
+    : ctx_(ctx), level_(level), ntt_form_(ntt_form) {
+  POE_ENSURE(ctx != nullptr, "null context");
+  POE_ENSURE(level >= 1 && level <= ctx->num_primes(), "bad level " << level);
+  comps_.assign(level, std::vector<std::uint64_t>(ctx->n(), 0));
+}
+
+void RnsPoly::check_compatible(const RnsPoly& o) const {
+  POE_ENSURE(ctx_ == o.ctx_, "polynomials from different contexts");
+  POE_ENSURE(level_ == o.level_, "level mismatch: " << level_ << " vs "
+                                                    << o.level_);
+  POE_ENSURE(ntt_form_ == o.ntt_form_, "representation mismatch");
+}
+
+void RnsPoly::to_ntt() {
+  POE_ENSURE(!ntt_form_, "already in NTT form");
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).forward(comps_[i]);
+  ntt_form_ = true;
+}
+
+void RnsPoly::from_ntt() {
+  POE_ENSURE(ntt_form_, "already in coefficient form");
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).inverse(comps_[i]);
+  ntt_form_ = false;
+}
+
+RnsPoly& RnsPoly::add_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
+      comps_[i][j] = m.add(comps_[i][j], o.comps_[i][j]);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::sub_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
+      comps_[i][j] = m.sub(comps_[i][j], o.comps_[i][j]);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::negate_inplace() {
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    for (auto& x : comps_[i]) x = m.neg(x);
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::mul_inplace(const RnsPoly& o) {
+  check_compatible(o);
+  POE_ENSURE(ntt_form_, "pointwise multiply requires NTT form");
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
+      comps_[i][j] = m.mul(comps_[i][j], o.comps_[i][j]);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::mul_scalar_inplace(std::uint64_t scalar_mod_t) {
+  const std::uint64_t t = ctx_->t();
+  POE_ENSURE(scalar_mod_t < t, "scalar out of plaintext range");
+  // Centered lift keeps the noise growth proportional to |scalar|.
+  const bool negative = scalar_mod_t > t / 2;
+  const std::uint64_t magnitude = negative ? t - scalar_mod_t : scalar_mod_t;
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    const std::uint64_t s =
+        negative ? m.neg(magnitude % m.value()) : magnitude % m.value();
+    for (auto& x : comps_[i]) x = m.mul(x, s);
+  }
+  return *this;
+}
+
+RnsPoly RnsPoly::apply_automorphism(std::uint64_t g) const {
+  POE_ENSURE(!ntt_form_, "automorphism operates on coefficient form");
+  POE_ENSURE(g % 2 == 1, "Galois element must be odd");
+  const std::size_t n = ctx_->n();
+  RnsPoly out(ctx_, level_, false);
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const std::uint64_t j = (idx * g) % (2 * n);
+      if (j < n) {
+        out.comps_[i][j] = comps_[i][idx];
+      } else {
+        out.comps_[i][j - n] = m.neg(comps_[i][idx]);
+      }
+    }
+  }
+  return out;
+}
+
+void RnsPoly::drop_last_component() {
+  POE_ENSURE(level_ >= 2, "cannot drop below one prime");
+  comps_.pop_back();
+  --level_;
+}
+
+RnsPoly RnsPoly::from_plaintext(const RnsContext* ctx, std::size_t level,
+                                std::span<const std::uint64_t> coeffs_mod_t,
+                                bool to_ntt_form) {
+  POE_ENSURE(coeffs_mod_t.size() <= ctx->n(), "plaintext too long");
+  RnsPoly p(ctx, level, false);
+  const std::uint64_t t = ctx->t();
+  for (std::size_t j = 0; j < coeffs_mod_t.size(); ++j) {
+    const std::uint64_t c = coeffs_mod_t[j];
+    POE_ENSURE(c < t, "plaintext coefficient out of range");
+    const bool negative = c > t / 2;
+    const std::uint64_t magnitude = negative ? t - c : c;
+    for (std::size_t i = 0; i < level; ++i) {
+      const auto& m = ctx->mod(i);
+      p.comps_[i][j] = negative ? m.neg(magnitude) : magnitude;
+    }
+  }
+  if (to_ntt_form) p.to_ntt();
+  return p;
+}
+
+RnsPoly RnsPoly::sample_uniform(const RnsContext* ctx, std::size_t level,
+                                Xoshiro256& rng, bool ntt_form) {
+  RnsPoly p(ctx, level, ntt_form);
+  for (std::size_t i = 0; i < level; ++i) {
+    const std::uint64_t q = ctx->prime(i);
+    for (auto& x : p.comps_[i]) x = rng.below(q);
+  }
+  return p;
+}
+
+RnsPoly RnsPoly::from_signed_coeffs(const RnsContext* ctx, std::size_t level,
+                                    std::span<const std::int64_t> coeffs) {
+  POE_ENSURE(coeffs.size() == ctx->n(), "size mismatch");
+  RnsPoly p(ctx, level, false);
+  for (std::size_t i = 0; i < level; ++i) {
+    const auto& m = ctx->mod(i);
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      const std::int64_t c = coeffs[j];
+      p.comps_[i][j] = c >= 0 ? static_cast<std::uint64_t>(c) % m.value()
+                              : m.neg(static_cast<std::uint64_t>(-c) %
+                                      m.value());
+    }
+  }
+  return p;
+}
+
+RnsPoly RnsPoly::sample_ternary(const RnsContext* ctx, std::size_t level,
+                                Xoshiro256& rng) {
+  std::vector<std::int64_t> coeffs(ctx->n());
+  for (auto& c : coeffs) c = static_cast<std::int64_t>(rng.below(3)) - 1;
+  return from_signed_coeffs(ctx, level, coeffs);
+}
+
+RnsPoly RnsPoly::sample_noise(const RnsContext* ctx, std::size_t level,
+                              Xoshiro256& rng) {
+  // Centered binomial with eta = 2: sum of 2 bits minus sum of 2 bits,
+  // values in [-2, 2], variance 1.
+  std::vector<std::int64_t> coeffs(ctx->n());
+  for (auto& c : coeffs) {
+    const std::uint64_t bits = rng.next();
+    const int a = static_cast<int>(bits & 1) + static_cast<int>((bits >> 1) & 1);
+    const int b =
+        static_cast<int>((bits >> 2) & 1) + static_cast<int>((bits >> 3) & 1);
+    c = a - b;
+  }
+  return from_signed_coeffs(ctx, level, coeffs);
+}
+
+}  // namespace poe::fhe

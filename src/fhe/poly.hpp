@@ -1,0 +1,76 @@
+// Polynomials in RNS representation over R_q = Z_q[X]/(X^n + 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fhe/context.hpp"
+
+namespace poe::fhe {
+
+/// One element of R_q at a given level, stored per-prime. `ntt_form`
+/// distinguishes evaluation representation (pointwise multiplication) from
+/// coefficient representation.
+class RnsPoly {
+ public:
+  RnsPoly() = default;
+  RnsPoly(const RnsContext* ctx, std::size_t level, bool ntt_form);
+
+  const RnsContext* context() const { return ctx_; }
+  std::size_t level() const { return level_; }
+  bool is_ntt() const { return ntt_form_; }
+
+  std::span<std::uint64_t> rns(std::size_t i) { return comps_[i]; }
+  std::span<const std::uint64_t> rns(std::size_t i) const { return comps_[i]; }
+
+  void to_ntt();
+  void from_ntt();
+
+  RnsPoly& add_inplace(const RnsPoly& o);
+  RnsPoly& sub_inplace(const RnsPoly& o);
+  RnsPoly& negate_inplace();
+  /// Pointwise product; both operands must be in NTT form.
+  RnsPoly& mul_inplace(const RnsPoly& o);
+  /// Multiply by an integer scalar (given mod t as a centered lift).
+  RnsPoly& mul_scalar_inplace(std::uint64_t scalar_mod_t);
+
+  /// Drop the last RNS component (used by modulus switching after the
+  /// correction has been applied).
+  void drop_last_component();
+
+  /// Galois automorphism X -> X^g (g odd, coefficient form): coefficient i
+  /// moves to i*g mod 2n with a sign flip when it wraps past n.
+  RnsPoly apply_automorphism(std::uint64_t g) const;
+
+  /// m -> centered lift of (coeffs mod t) into every RNS component.
+  static RnsPoly from_plaintext(const RnsContext* ctx, std::size_t level,
+                                std::span<const std::uint64_t> coeffs_mod_t,
+                                bool to_ntt_form);
+
+  /// Uniform element of R_q (per-prime uniform == CRT uniform).
+  static RnsPoly sample_uniform(const RnsContext* ctx, std::size_t level,
+                                Xoshiro256& rng, bool ntt_form);
+  /// Ternary {-1, 0, 1} secret / encryption randomness.
+  static RnsPoly sample_ternary(const RnsContext* ctx, std::size_t level,
+                                Xoshiro256& rng);
+  /// Centered binomial eta=2 noise (sigma ~ 1; stands in for a discrete
+  /// Gaussian of comparable width).
+  static RnsPoly sample_noise(const RnsContext* ctx, std::size_t level,
+                              Xoshiro256& rng);
+
+  /// Lift a small signed polynomial (given per-coefficient) to RNS.
+  static RnsPoly from_signed_coeffs(const RnsContext* ctx, std::size_t level,
+                                    std::span<const std::int64_t> coeffs);
+
+ private:
+  void check_compatible(const RnsPoly& o) const;
+
+  const RnsContext* ctx_ = nullptr;
+  std::size_t level_ = 0;
+  bool ntt_form_ = false;
+  std::vector<std::vector<std::uint64_t>> comps_;
+};
+
+}  // namespace poe::fhe

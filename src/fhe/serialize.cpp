@@ -1,0 +1,119 @@
+#include "fhe/serialize.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe::fhe {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42475631;  // "BGV1"
+
+// Append `bits` low bits of `value` to the stream.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void write(std::uint64_t value, unsigned bits) {
+    for (unsigned b = 0; b < bits; ++b) {
+      if (bit_pos_ % 8 == 0) out_.push_back(0);
+      if ((value >> b) & 1) {
+        out_[bit_pos_ / 8] |= static_cast<std::uint8_t>(1u << (bit_pos_ % 8));
+      }
+      ++bit_pos_;
+    }
+  }
+
+  void align_byte() { bit_pos_ = (bit_pos_ + 7) & ~std::size_t{7}; }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  std::uint64_t read(unsigned bits) {
+    std::uint64_t value = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+      POE_ENSURE(bit_pos_ / 8 < in_.size(), "truncated ciphertext stream");
+      if ((in_[bit_pos_ / 8] >> (bit_pos_ % 8)) & 1) {
+        value |= std::uint64_t{1} << b;
+      }
+      ++bit_pos_;
+    }
+    return value;
+  }
+
+  void align_byte() { bit_pos_ = (bit_pos_ + 7) & ~std::size_t{7}; }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t ciphertext_wire_bytes(const RnsContext& ctx, std::size_t level,
+                                    std::size_t parts) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < level; ++i) {
+    bits += ceil_div(static_cast<std::uint64_t>(ctx.n()) *
+                         bit_width_u64(ctx.prime(i)),
+                     8) *
+            8;  // each component is byte-aligned
+  }
+  return 16 + parts * bits / 8;  // 16-byte header
+}
+
+std::vector<std::uint8_t> serialize_ciphertext(const RnsContext& ctx,
+                                               const Ciphertext& ct) {
+  POE_ENSURE(ct.size() >= 2 && ct.level >= 1, "malformed ciphertext");
+  std::vector<std::uint8_t> out;
+  BitWriter w(out);
+  w.write(kMagic, 32);
+  w.write(ctx.n(), 32);
+  w.write(ct.level, 32);
+  w.write(ct.size(), 32);
+  for (const auto& part : ct.parts) {
+    POE_ENSURE(part.is_ntt(), "serialisation expects NTT form");
+    for (std::size_t i = 0; i < ct.level; ++i) {
+      const unsigned bits = bit_width_u64(ctx.prime(i));
+      for (const std::uint64_t c : part.rns(i)) w.write(c, bits);
+      w.align_byte();
+    }
+  }
+  return out;
+}
+
+Ciphertext deserialize_ciphertext(const RnsContext& ctx,
+                                  std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  POE_ENSURE(r.read(32) == kMagic, "bad ciphertext magic");
+  POE_ENSURE(r.read(32) == ctx.n(), "ring size mismatch");
+  const std::size_t level = r.read(32);
+  POE_ENSURE(level >= 1 && level <= ctx.num_primes(), "bad level");
+  const std::size_t parts = r.read(32);
+  POE_ENSURE(parts >= 2 && parts <= 3, "bad part count");
+
+  Ciphertext ct;
+  ct.level = level;
+  for (std::size_t p = 0; p < parts; ++p) {
+    RnsPoly poly(&ctx, level, /*ntt_form=*/true);
+    for (std::size_t i = 0; i < level; ++i) {
+      const unsigned bits = bit_width_u64(ctx.prime(i));
+      auto comp = poly.rns(i);
+      for (auto& c : comp) {
+        c = r.read(bits);
+        POE_ENSURE(c < ctx.prime(i), "coefficient out of range");
+      }
+      r.align_byte();
+    }
+    ct.parts.push_back(std::move(poly));
+  }
+  return ct;
+}
+
+}  // namespace poe::fhe

@@ -1,0 +1,26 @@
+// Wire format for BGV ciphertexts: a small header followed by every RNS
+// component bit-packed at its prime's width. Used by the HHE protocol's
+// communication accounting (the key-upload and result-download sizes in the
+// Fig.-1 workflow are real serialised bytes, not estimates).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhe/bgv.hpp"
+
+namespace poe::fhe {
+
+/// Exact wire size of a ciphertext at the given level/part count.
+std::uint64_t ciphertext_wire_bytes(const RnsContext& ctx, std::size_t level,
+                                    std::size_t parts);
+
+std::vector<std::uint8_t> serialize_ciphertext(const RnsContext& ctx,
+                                               const Ciphertext& ct);
+
+/// Inverse of serialize_ciphertext; validates the header against `ctx`.
+Ciphertext deserialize_ciphertext(const RnsContext& ctx,
+                                  std::span<const std::uint8_t> bytes);
+
+}  // namespace poe::fhe

@@ -1,0 +1,235 @@
+#include "hhe/batched_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace poe::hhe {
+
+namespace {
+using fhe::Ciphertext;
+using u64 = std::uint64_t;
+
+// Tile a 2t-element vector periodically along the columns of both rows.
+std::vector<u64> tile_state(const fhe::SlotLayout& layout,
+                            std::span<const u64> state) {
+  const std::size_t s = state.size();
+  const std::size_t cols = layout.cols();
+  POE_ENSURE(cols % s == 0, "state size must divide the column count");
+  std::vector<u64> logical(2 * cols);
+  for (std::size_t row = 0; row < 2; ++row) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      logical[row * cols + col] = state[col % s];
+    }
+  }
+  return logical;
+}
+
+}  // namespace
+
+fhe::Ciphertext encrypt_key_batched(const HheConfig& config,
+                                    const fhe::Bgv& bgv,
+                                    const fhe::BatchEncoder& encoder,
+                                    const fhe::SlotLayout& layout,
+                                    std::span<const u64> key) {
+  POE_ENSURE(key.size() == config.pasta.key_size(), "wrong key size");
+  return bgv.encrypt(encoder.encode(layout.to_slots(tile_state(layout, key))));
+}
+
+BatchedHheServer::BatchedHheServer(const HheConfig& config,
+                                   const fhe::Bgv& bgv,
+                                   fhe::Ciphertext encrypted_key)
+    : config_(config),
+      bgv_(bgv),
+      encoder_(config.bgv.n, config.bgv.t),
+      layout_(config.bgv.n, config.bgv.t),
+      key_ct_(std::move(encrypted_key)) {
+  const std::size_t s = config_.pasta.state_size();
+  POE_ENSURE(layout_.cols() % s == 0,
+             "ring too small: 2t must divide n/2 (2t=" << s
+                                                       << ", n=" << config.bgv.n
+                                                       << ")");
+  // Baby-step/giant-step split of the 2t diagonals.
+  baby_ = static_cast<std::size_t>(std::lround(std::sqrt(double(s))));
+  while (s % baby_ != 0) ++baby_;
+  giant_ = s / baby_;
+
+  std::vector<long> steps;
+  for (std::size_t b = 1; b < baby_; ++b) steps.push_back(static_cast<long>(b));
+  for (std::size_t g = 1; g < giant_; ++g) {
+    steps.push_back(static_cast<long>(g * baby_));
+  }
+  steps.push_back(static_cast<long>(config_.pasta.t));  // Mix half swap
+  steps.push_back(static_cast<long>(s - 1));            // Feistel shift
+  rotation_keys_ = bgv_.make_rotation_keys(steps);
+}
+
+fhe::Plaintext BatchedHheServer::tiled_plain(std::span<const u64> values) const {
+  return encoder_.encode(layout_.to_slots(tile_state(layout_, values)));
+}
+
+fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
+                                                    ServerReport* report) const {
+  const auto& params = config_.pasta;
+  const std::size_t t = params.t;
+  const std::size_t s = 2 * t;
+  const mod::Modulus pm(params.p);
+  const auto rnd = pasta::derive_block_randomness(params, nonce, counter);
+
+  ServerReport local;
+  ServerReport& rep = report != nullptr ? *report : local;
+  rep = ServerReport{};
+
+  Ciphertext state = key_ct_;
+
+  // Affine layer: y = diag(M_L, M_R) x + (rc_l || rc_r), BSGS diagonals.
+  auto affine = [&](const pasta::AffineLayerData& d) {
+    const auto mat_l = pasta::sequential_matrix(pm, d.alpha_l);
+    const auto mat_r = pasta::sequential_matrix(pm, d.alpha_r);
+    // Block-matrix entry (i, j) of diag(M_L, M_R).
+    auto entry = [&](std::size_t i, std::size_t j) -> u64 {
+      if (i < t && j < t) return mat_l.at(i, j);
+      if (i >= t && j >= t) return mat_r.at(i - t, j - t);
+      return 0;
+    };
+
+    // Baby rotations of the state.
+    std::vector<Ciphertext> rotated(baby_);
+    rotated[0] = state;
+    for (std::size_t b = 1; b < baby_; ++b) {
+      rotated[b] = state;
+      bgv_.rotate_columns_inplace(rotated[b], static_cast<long>(b),
+                                  rotation_keys_);
+    }
+
+    Ciphertext acc;
+    bool acc_init = false;
+    for (std::size_t g = 0; g < giant_; ++g) {
+      Ciphertext inner;
+      bool inner_init = false;
+      for (std::size_t b = 0; b < baby_; ++b) {
+        const std::size_t k = g * baby_ + b;
+        // Diagonal d_k[i] = entry(i, (i + k) mod s), pre-rotated by -g*baby
+        // (u ⊙ rot_r(z) == rot_r(rot_{-r}(u) ⊙ z)) so it can be applied
+        // before the giant rotation.
+        std::vector<u64> diag(s);
+        for (std::size_t i = 0; i < s; ++i) {
+          const std::size_t ii = (i + s - (g * baby_) % s) % s;
+          diag[i] = entry(ii, (ii + k) % s);
+        }
+        Ciphertext term = rotated[b];
+        bgv_.mul_plain_inplace(term, tiled_plain(diag));
+        rep.scalar_multiplications += s;
+        if (!inner_init) {
+          inner = std::move(term);
+          inner_init = true;
+        } else {
+          bgv_.add_inplace(inner, term);
+        }
+      }
+      if (g != 0) {
+        bgv_.rotate_columns_inplace(inner, static_cast<long>(g * baby_),
+                                    rotation_keys_);
+      }
+      if (!acc_init) {
+        acc = std::move(inner);
+        acc_init = true;
+      } else {
+        bgv_.add_inplace(acc, inner);
+      }
+    }
+
+    // Round constants.
+    std::vector<u64> rc(s);
+    std::copy(d.rc_l.begin(), d.rc_l.end(), rc.begin());
+    std::copy(d.rc_r.begin(), d.rc_r.end(), rc.begin() + static_cast<long>(t));
+    bgv_.add_plain_inplace(acc, tiled_plain(rc));
+    state = std::move(acc);
+  };
+
+  auto mix = [&] {
+    // new = 2*state + rotate_by_t(state)  ==  (2L+R || L+2R).
+    Ciphertext swapped = state;
+    bgv_.rotate_columns_inplace(swapped, static_cast<long>(t),
+                                rotation_keys_);
+    bgv_.mul_scalar_inplace(state, 2);
+    bgv_.add_inplace(state, swapped);
+  };
+
+  // Dense-diagonal plaintext multiplications inflate the noise by
+  // ~||pt|| * n per affine layer on top of the squaring, so each ct-ct
+  // multiplication must shed THREE primes to clamp the noise back to the
+  // floor (the coefficient-wise server only needs two).
+  auto square_reduced = [&](const Ciphertext& x) {
+    Ciphertext sq = bgv_.multiply_relin(x, x);
+    bgv_.mod_switch_inplace(sq);
+    bgv_.mod_switch_inplace(sq);
+    ++rep.ct_ct_multiplications;
+    return sq;
+  };
+
+  auto feistel = [&] {
+    Ciphertext sq = square_reduced(state);
+    bgv_.rotate_columns_inplace(sq, static_cast<long>(s - 1), rotation_keys_);
+    // Mask out the wrap positions 0 (head of L) and t (head of R).
+    std::vector<u64> mask(s, 1);
+    mask[0] = 0;
+    mask[t] = 0;
+    bgv_.mul_plain_inplace(sq, tiled_plain(mask));
+    bgv_.mod_switch_to(state, sq.level);
+    bgv_.add_inplace(state, sq);
+  };
+
+  auto cube = [&] {
+    Ciphertext sq = square_reduced(state);
+    bgv_.mod_switch_to(state, sq.level);
+    state = bgv_.multiply_relin(sq, state);
+    bgv_.mod_switch_inplace(state);
+    bgv_.mod_switch_inplace(state);
+    ++rep.ct_ct_multiplications;
+  };
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    affine(rnd.layers[round]);
+    mix();
+    if (round == params.rounds - 1) {
+      cube();
+    } else {
+      feistel();
+    }
+  }
+  affine(rnd.layers.back());
+  mix();
+
+  rep.final_level = state.level;
+  rep.min_noise_budget_bits = bgv_.noise_budget_bits(state);
+  return state;
+}
+
+fhe::Ciphertext BatchedHheServer::transcipher_block(
+    std::span<const u64> symmetric_ct, u64 nonce, u64 counter,
+    ServerReport* report) const {
+  const std::size_t t = config_.pasta.t;
+  POE_ENSURE(!symmetric_ct.empty() && symmetric_ct.size() <= t,
+             "block must have 1.." << t << " elements");
+  Ciphertext ks = keystream_circuit(nonce, counter, report);
+  bgv_.negate_inplace(ks);
+  // Add the symmetric ciphertext at logical positions 0..len-1 (every tile
+  // sees the same values; only the first tile is read back).
+  std::vector<u64> c(2 * t, 0);
+  std::copy(symmetric_ct.begin(), symmetric_ct.end(), c.begin());
+  bgv_.add_plain_inplace(ks, tiled_plain(c));
+  return ks;
+}
+
+std::vector<std::uint64_t> BatchedHheServer::decode_block(
+    const HheConfig& config, const fhe::Bgv& bgv, const fhe::Ciphertext& ct,
+    std::size_t len) {
+  fhe::BatchEncoder encoder(config.bgv.n, config.bgv.t);
+  fhe::SlotLayout layout(config.bgv.n, config.bgv.t);
+  const auto logical = layout.from_slots(encoder.decode(bgv.decrypt(ct)));
+  return {logical.begin(), logical.begin() + static_cast<long>(len)};
+}
+
+}  // namespace poe::hhe

@@ -1,0 +1,245 @@
+#include "hhe/protocol.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace poe::hhe {
+
+namespace {
+using fhe::Ciphertext;
+using u64 = std::uint64_t;
+}  // namespace
+
+HheConfig HheConfig::demo() {
+  HheConfig cfg;
+  cfg.pasta = pasta::pasta4();  // t = 32, 4 rounds, p = 65537
+  cfg.bgv = fhe::BgvParams{.n = 2048,
+                           .t = cfg.pasta.p,
+                           .num_primes = 12,
+                           .prime_bits = 45,
+                           .relin_digit_bits = 23,
+                           .seed = 11};
+  return cfg;
+}
+
+HheConfig HheConfig::test() {
+  HheConfig cfg;
+  cfg.pasta = pasta::PastaParams{
+      .t = 8, .rounds = 4, .p = 65537, .name = "PASTA-mini"};
+  cfg.bgv = fhe::BgvParams{.n = 1024,
+                           .t = cfg.pasta.p,
+                           .num_primes = 12,
+                           .prime_bits = 40,
+                           .relin_digit_bits = 20,
+                           .seed = 11};
+  return cfg;
+}
+
+// The batched server multiplies by *dense* encoded diagonals and masks, so
+// each round inflates the noise by ~||pt|| * n (about 2^27..2^33) on top of
+// the squaring. The two modulus switches per S-box must clamp that growth
+// back to the floor, which needs wider primes than the coefficient-wise
+// evaluation: 2 x 55 bits >= the ~100-bit per-round growth.
+HheConfig HheConfig::batched_demo() {
+  HheConfig cfg = demo();
+  cfg.bgv.num_primes = 18;
+  cfg.bgv.prime_bits = 55;
+  cfg.bgv.relin_digit_bits = 28;
+  return cfg;
+}
+
+HheConfig HheConfig::batched_test() {
+  HheConfig cfg = test();
+  cfg.bgv.num_primes = 18;
+  cfg.bgv.prime_bits = 55;
+  cfg.bgv.relin_digit_bits = 28;
+  return cfg;
+}
+
+HheClient::HheClient(const HheConfig& config, const fhe::Bgv& bgv,
+                     std::vector<u64> pasta_key)
+    : config_(config), bgv_(bgv), cipher_(config.pasta, std::move(pasta_key)) {
+  POE_ENSURE(config.bgv.t == config.pasta.p,
+             "BGV plaintext modulus must equal the PASTA prime");
+}
+
+std::vector<Ciphertext> HheClient::encrypt_key() const {
+  std::vector<Ciphertext> out;
+  out.reserve(cipher_.key().size());
+  for (const u64 k : cipher_.key()) {
+    fhe::Plaintext pt;
+    pt.coeffs.assign(1, k);  // constant polynomial
+    out.push_back(bgv_.encrypt(pt));
+  }
+  return out;
+}
+
+std::vector<u64> HheClient::encrypt(std::span<const u64> msg,
+                                    u64 nonce) const {
+  return cipher_.encrypt(msg, nonce);
+}
+
+std::vector<u64> HheClient::decrypt_result(
+    const std::vector<Ciphertext>& cts) const {
+  std::vector<u64> out;
+  out.reserve(cts.size());
+  for (const auto& ct : cts) {
+    const auto pt = bgv_.decrypt(ct);
+    out.push_back(pt.coeffs.empty() ? 0 : pt.coeffs[0]);
+  }
+  return out;
+}
+
+HheServer::HheServer(const HheConfig& config, const fhe::Bgv& bgv,
+                     std::vector<Ciphertext> encrypted_key)
+    : config_(config), bgv_(bgv), key_cts_(std::move(encrypted_key)) {
+  POE_ENSURE(key_cts_.size() == config_.pasta.key_size(),
+             "encrypted key must have " << config_.pasta.key_size()
+                                        << " ciphertexts");
+}
+
+std::vector<Ciphertext> HheServer::keystream_circuit(
+    u64 nonce, u64 counter, ServerReport* report) const {
+  const auto& params = config_.pasta;
+  const std::size_t t = params.t;
+  const mod::Modulus pm(params.p);
+  const auto rnd = pasta::derive_block_randomness(params, nonce, counter);
+
+  ServerReport local;
+  ServerReport& rep = report != nullptr ? *report : local;
+  rep = ServerReport{};
+
+  std::vector<Ciphertext> left(key_cts_.begin(),
+                               key_cts_.begin() + static_cast<long>(t));
+  std::vector<Ciphertext> right(key_cts_.begin() + static_cast<long>(t),
+                                key_cts_.end());
+
+  // y_i = sum_j M_ij x_j + rc_i; rows are independent, so they are
+  // evaluated in parallel (the Bgv evaluator's const methods only read
+  // shared key material).
+  auto affine_half = [&](std::vector<Ciphertext>& x,
+                         const std::vector<u64>& alpha,
+                         const std::vector<u64>& rc) {
+    const auto mat = pasta::sequential_matrix(pm, alpha);
+    std::vector<Ciphertext> out(t);
+    parallel_for(t, [&](std::size_t i) {
+      Ciphertext acc = x[0];
+      bgv_.mul_scalar_inplace(acc, mat.at(i, 0));
+      for (std::size_t j = 1; j < t; ++j) {
+        Ciphertext term = x[j];
+        bgv_.mul_scalar_inplace(term, mat.at(i, j));
+        bgv_.add_inplace(acc, term);
+      }
+      bgv_.add_scalar_inplace(acc, rc[i]);
+      out[i] = std::move(acc);
+    });
+    rep.scalar_multiplications += t * t;
+    x = std::move(out);
+  };
+
+  auto mix = [&] {
+    for (std::size_t i = 0; i < t; ++i) {
+      // (l, r) <- (2l + r, l + 2r) == (l + s, r + s) with s = l + r.
+      Ciphertext sum = left[i];
+      bgv_.add_inplace(sum, right[i]);
+      bgv_.add_inplace(left[i], sum);
+      bgv_.add_inplace(right[i], sum);
+    }
+  };
+
+  // Square with a fixed 2-level schedule: multiply_relin drops one prime;
+  // one more switch returns the noise to the floor.
+  // NOTE: square_reduced runs inside parallel_for; the report counters are
+  // updated by the caller afterwards to avoid data races.
+  auto square_reduced = [&](const Ciphertext& x) {
+    Ciphertext sq = bgv_.multiply_relin(x, x);
+    bgv_.mod_switch_inplace(sq);
+    return sq;
+  };
+
+  auto feistel = [&](std::vector<Ciphertext>& x) {
+    std::vector<Ciphertext> sq(t - 1);
+    parallel_for(t - 1, [&](std::size_t j) { sq[j] = square_reduced(x[j]); });
+    rep.ct_ct_multiplications += t - 1;
+    const std::size_t level = sq.front().level;
+    for (std::size_t j = t; j-- > 1;) {
+      bgv_.mod_switch_to(x[j], level);
+      bgv_.add_inplace(x[j], sq[j - 1]);
+    }
+    bgv_.mod_switch_to(x[0], level);
+  };
+
+  auto cube = [&](std::vector<Ciphertext>& x) {
+    parallel_for(t, [&](std::size_t j) {
+      Ciphertext sq = square_reduced(x[j]);
+      bgv_.mod_switch_to(x[j], sq.level);
+      x[j] = bgv_.multiply_relin(sq, x[j]);
+      bgv_.mod_switch_inplace(x[j]);
+    });
+    rep.ct_ct_multiplications += 2 * t;  // square + final multiplication
+  };
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    const auto& d = rnd.layers[round];
+    affine_half(left, d.alpha_l, d.rc_l);
+    affine_half(right, d.alpha_r, d.rc_r);
+    mix();
+    if (round == params.rounds - 1) {
+      cube(left);
+      cube(right);
+    } else {
+      feistel(left);
+      feistel(right);
+    }
+  }
+  const auto& fin = rnd.layers.back();
+  affine_half(left, fin.alpha_l, fin.rc_l);
+  affine_half(right, fin.alpha_r, fin.rc_r);
+  mix();
+
+  rep.final_level = left.front().level;
+  rep.min_noise_budget_bits = 1e9;
+  for (const auto& ct : left) {
+    rep.min_noise_budget_bits =
+        std::min(rep.min_noise_budget_bits, bgv_.noise_budget_bits(ct));
+  }
+  return left;  // truncation layer
+}
+
+std::vector<Ciphertext> HheServer::transcipher_block(
+    std::span<const u64> symmetric_ct, u64 nonce, u64 counter,
+    ServerReport* report) const {
+  const std::size_t t = config_.pasta.t;
+  POE_ENSURE(symmetric_ct.size() <= t && !symmetric_ct.empty(),
+             "block must have 1.." << t << " elements");
+  auto ks = keystream_circuit(nonce, counter, report);
+  std::vector<Ciphertext> out;
+  out.reserve(symmetric_ct.size());
+  for (std::size_t i = 0; i < symmetric_ct.size(); ++i) {
+    // enc(m_i) = c_i - KS_i.
+    Ciphertext m = std::move(ks[i]);
+    bgv_.negate_inplace(m);
+    bgv_.add_scalar_inplace(m, symmetric_ct[i]);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Ciphertext> HheServer::transcipher(
+    std::span<const u64> symmetric_ct, u64 nonce, ServerReport* report) const {
+  const std::size_t t = config_.pasta.t;
+  std::vector<Ciphertext> out;
+  out.reserve(symmetric_ct.size());
+  for (std::size_t block = 0; block * t < symmetric_ct.size(); ++block) {
+    const std::size_t begin = block * t;
+    const std::size_t len = std::min(t, symmetric_ct.size() - begin);
+    auto cts = transcipher_block(symmetric_ct.subspan(begin, len), nonce,
+                                 block, report);
+    for (auto& ct : cts) out.push_back(std::move(ct));
+  }
+  return out;
+}
+
+}  // namespace poe::hhe

@@ -1,0 +1,209 @@
+#include "hw/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "modular/modulus.hpp"
+
+namespace poe::hw {
+
+namespace {
+using pasta::Block;
+using u64 = std::uint64_t;
+}  // namespace
+
+AcceleratorSim::AcceleratorSim(const pasta::PastaParams& params,
+                               XofTimingConfig xof_cfg,
+                               ComputeTimingConfig compute_cfg)
+    : params_(params), xof_cfg_(xof_cfg), compute_cfg_(compute_cfg) {
+  POE_ENSURE(params_.t >= 2 && params_.rounds >= 1, "degenerate parameters");
+}
+
+BlockResult AcceleratorSim::run_block(const std::vector<u64>& key, u64 nonce,
+                                      u64 counter, const FaultInjection* fault,
+                                      ScheduleTrace* trace) const {
+  POE_ENSURE(key.size() == params_.key_size(),
+             "key must have " << params_.key_size() << " elements");
+  const mod::Modulus mod(params_.p);
+  const std::size_t t = params_.t;
+  const u64 mat_latency =
+      compute_cfg_.matmul_pipeline_fill + t + ceil_log2(t);
+
+  XofSamplerUnit xof(params_, nonce, counter, xof_cfg_);
+  CycleStats stats;
+
+  // Functional state.
+  Block left(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(t));
+  Block right(key.begin() + static_cast<std::ptrdiff_t>(t), key.end());
+
+  // Unit availability (cycle at which the unit can accept new work).
+  u64 mat_engine_free = 0;  // MatGen MAC array + MatMul multipliers/tree
+  u64 add_unit_free = 0;    // t-wide modular adder array
+  u64 state_ready = 0;      // both state halves registered
+
+  // DataGen ping-pong: release cycle of each of the two vector buffers.
+  u64 buffer_release[2] = {0, 0};
+  std::size_t vec_index = 0;
+
+  // Fill the next t-element vector; returns (data, ready_cycle).
+  auto fill_vector = [&](bool allow_zero) -> std::pair<Block, u64> {
+    const std::size_t index = vec_index;
+    const std::size_t buf = vec_index++ % 2;
+    // Back-pressure: the buffer must have been drained by its consumer.
+    xof.stall_until(buffer_release[buf]);
+    Block v(t);
+    u64 first_cycle = 0, last_cycle = 0;
+    for (auto& coeff : v) {
+      const auto c = xof.next(allow_zero);
+      if (first_cycle == 0) first_cycle = c.cycle;
+      coeff = c.value;
+      last_cycle = c.cycle;
+    }
+    if (trace != nullptr) {
+      trace->add(Unit::kXof, first_cycle, last_cycle + 1,
+                 "V" + std::to_string(index));
+    }
+    return {std::move(v), last_cycle + 1};  // +1: vector register stage
+  };
+  auto set_release = [&](std::size_t vectors_ago, u64 cycle) {
+    buffer_release[(vec_index - vectors_ago) % 2] = cycle;
+  };
+
+  u64 final_mix_end = 0;
+  for (std::size_t layer = 0; layer < params_.affine_layers(); ++layer) {
+    // --- Matrix halves through the shared MatGen/MatMul engine.
+    const auto [alpha_l, ready_al] = fill_vector(/*allow_zero=*/false);
+    u64 start_ml = std::max({ready_al, mat_engine_free, state_ready});
+    stats.compute_wait_cycles +=
+        ready_al > std::max(mat_engine_free, state_ready)
+            ? ready_al - std::max(mat_engine_free, state_ready)
+            : 0;
+    const u64 end_ml = start_ml + mat_latency;
+    mat_engine_free = end_ml;
+    stats.mat_engine_busy += mat_latency;
+    set_release(1, end_ml);
+    if (trace != nullptr) {
+      trace->add(Unit::kMatEngine, start_ml, end_ml,
+                 "A" + std::to_string(layer) + " mat L");
+    }
+
+    const auto [alpha_r, ready_ar] = fill_vector(false);
+    const u64 start_mr = std::max({ready_ar, mat_engine_free, state_ready});
+    const u64 end_mr = start_mr + mat_latency;
+    mat_engine_free = end_mr;
+    stats.mat_engine_busy += mat_latency;
+    set_release(1, end_mr);
+    if (trace != nullptr) {
+      trace->add(Unit::kMatEngine, start_mr, end_mr,
+                 "A" + std::to_string(layer) + " mat R");
+    }
+
+    // --- Round constants through the adder array.
+    const auto [rc_l, ready_rcl] = fill_vector(/*allow_zero=*/true);
+    const u64 end_addl =
+        std::max({end_ml, ready_rcl, add_unit_free}) + compute_cfg_.vecadd_latency;
+    add_unit_free = end_addl;
+    stats.add_unit_busy += compute_cfg_.vecadd_latency;
+    set_release(1, end_addl);
+    if (trace != nullptr) {
+      trace->add(Unit::kVecAdd, end_addl - compute_cfg_.vecadd_latency,
+                 end_addl, "A" + std::to_string(layer) + " rc L");
+    }
+
+    const auto [rc_r, ready_rcr] = fill_vector(true);
+    const u64 end_addr =
+        std::max({end_mr, ready_rcr, add_unit_free}) + compute_cfg_.vecadd_latency;
+    add_unit_free = end_addr;
+    stats.add_unit_busy += compute_cfg_.vecadd_latency;
+    set_release(1, end_addr);
+    if (trace != nullptr) {
+      trace->add(Unit::kVecAdd, end_addr - compute_cfg_.vecadd_latency,
+                 end_addr, "A" + std::to_string(layer) + " rc R");
+    }
+
+    // Functional affine on both halves.
+    left = pasta::affine(mod, alpha_l, rc_l, left);
+    right = pasta::affine(mod, alpha_r, rc_r, right);
+    if (fault != nullptr && fault->affine_layer == layer) {
+      auto& half = fault->left_half ? left : right;
+      POE_ENSURE(fault->element < half.size(), "fault element out of range");
+      half[fault->element] =
+          mod.add(half[fault->element], fault->delta % params_.p);
+    }
+
+    const bool last_layer = layer == params_.affine_layers() - 1;
+    const u64 mix_start = std::max(end_addr, add_unit_free);
+    if (last_layer) {
+      // Final Mix + truncated output streaming: t cycles (§IV-B).
+      pasta::mix(mod, left, right);
+      final_mix_end = mix_start + t;
+      stats.add_unit_busy += t;
+      if (trace != nullptr) {
+        trace->add(Unit::kMixSbox, mix_start, final_mix_end, "final mix");
+      }
+      break;
+    }
+
+    const u64 mix_end = mix_start + compute_cfg_.mix_latency;
+    add_unit_free = mix_end;
+    stats.add_unit_busy += compute_cfg_.mix_latency;
+    pasta::mix(mod, left, right);
+    if (trace != nullptr) {
+      trace->add(Unit::kMixSbox, mix_start, mix_end,
+                 "mix " + std::to_string(layer));
+    }
+
+    // S-box shares the MatMul multipliers and the adder array, so the next
+    // layer's matrix work must wait for it.
+    const bool cube = layer == params_.rounds - 1;
+    const unsigned sbox_latency = cube ? compute_cfg_.sbox_cube_latency
+                                       : compute_cfg_.sbox_feistel_latency;
+    const u64 sbox_end = std::max(mix_end, mat_engine_free) + sbox_latency;
+    mat_engine_free = std::max(mat_engine_free, sbox_end);
+    add_unit_free = std::max(add_unit_free, sbox_end);
+    stats.mul_unit_sbox_busy += sbox_latency;
+    if (trace != nullptr) {
+      trace->add(Unit::kMixSbox, sbox_end - sbox_latency, sbox_end,
+                 (cube ? "cube " : "feistel ") + std::to_string(layer));
+    }
+    if (cube) {
+      pasta::sbox_cube(mod, left);
+      pasta::sbox_cube(mod, right);
+    } else {
+      pasta::sbox_feistel(mod, left);
+      pasta::sbox_feistel(mod, right);
+    }
+    state_ready = sbox_end;
+  }
+
+  stats.total_cycles = final_mix_end;
+  stats.xof_last_word_cycle = xof.current_cycle();
+  stats.permutations = xof.permutations();
+  stats.words_drawn = xof.words_drawn();
+  stats.words_rejected = xof.words_rejected();
+  stats.xof_stall_cycles = xof.stall_cycles();
+  return BlockResult{std::move(left), stats};
+}
+
+AcceleratorSim::EncryptResult AcceleratorSim::encrypt(
+    const std::vector<u64>& key, std::span<const u64> msg, u64 nonce) const {
+  const mod::Modulus mod(params_.p);
+  EncryptResult out;
+  out.ciphertext.resize(msg.size());
+  const std::size_t t = params_.t;
+  for (std::size_t block = 0; block * t < msg.size(); ++block) {
+    BlockResult res = run_block(key, nonce, block);
+    const std::size_t begin = block * t;
+    const std::size_t end = std::min(msg.size(), begin + t);
+    for (std::size_t i = begin; i < end; ++i) {
+      POE_ENSURE(msg[i] < params_.p, "message element out of range");
+      out.ciphertext[i] = mod.add(msg[i], res.keystream[i - begin]);
+    }
+    out.total_cycles += res.stats.total_cycles;
+    out.per_block.push_back(res.stats);
+  }
+  return out;
+}
+
+}  // namespace poe::hw

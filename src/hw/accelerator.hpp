@@ -1,0 +1,105 @@
+// Cycle-accurate model of the PASTA cryptoprocessor (paper Fig. 6).
+//
+// Data path per affine layer (schedule of Fig. 3):
+//
+//   XOF/sampler ──► DataGen (ping-pong) ──► V_4i   = M_L first row ─► MatGen+MatMul (L)
+//                                           V_4i+1 = M_R first row ─► MatGen+MatMul (R)
+//                                           V_4i+2 = RC_L          ─► VecAdd (L)
+//                                           V_4i+3 = RC_R          ─► VecAdd (R)
+//   then Mix and S-box on the shared adder/multiplier arrays.
+//
+// MatGen streams matrix rows from (alpha, previous row) — only two rows are
+// ever stored — while MatMul dot-products each row with the state through a
+// pipelined adder tree; the combined latency is 6 + t + log2(t) cycles per
+// matrix. Mid-round VecAdd/Mix/S-box hide behind the XOF generation of the
+// next vectors; the final Mix costs t cycles of output streaming (§IV-B).
+//
+// The model is functional *and* timed: coefficients come from the real
+// SHAKE128 stream, so the produced keystream is bit-identical to the
+// reference software cipher and cycle counts vary with nonce/counter exactly
+// as the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/trace.hpp"
+#include "hw/xof_unit.hpp"
+#include "pasta/cipher.hpp"
+#include "pasta/params.hpp"
+
+namespace poe::hw {
+
+/// Fixed micro-architecture latencies (beyond the XOF timing config).
+struct ComputeTimingConfig {
+  unsigned matmul_pipeline_fill = 6;  ///< MAC/mat-mul pipeline overhead
+  unsigned vecadd_latency = 3;        ///< t parallel adders, pipelined
+  unsigned mix_latency = 6;           ///< 3 chained t-wide additions
+  unsigned sbox_feistel_latency = 4;  ///< 1 mul + 1 add, t-wide
+  unsigned sbox_cube_latency = 6;     ///< 2 muls, t-wide
+};
+
+struct CycleStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t xof_last_word_cycle = 0;
+  std::uint64_t permutations = 0;
+  std::uint64_t words_drawn = 0;
+  std::uint64_t words_rejected = 0;
+  std::uint64_t xof_stall_cycles = 0;   ///< DataGen back-pressure
+  std::uint64_t mat_engine_busy = 0;    ///< cycles MatGen/MatMul occupied
+  std::uint64_t add_unit_busy = 0;
+  std::uint64_t mul_unit_sbox_busy = 0;
+  std::uint64_t compute_wait_cycles = 0;  ///< compute idle, waiting on XOF
+};
+
+struct BlockResult {
+  pasta::Block keystream;  ///< t elements, bit-identical to software PASTA
+  CycleStats stats;
+};
+
+/// A single transient fault injected into the datapath (the attack surface
+/// of SASTA [30]: one fault in the keystream computation leaks key
+/// information through the faulty ciphertext). Used by the countermeasure
+/// study and failure-injection tests.
+struct FaultInjection {
+  std::size_t affine_layer = 0;  ///< inject after this affine layer
+  bool left_half = true;
+  std::size_t element = 0;       ///< state element to corrupt
+  std::uint64_t delta = 1;       ///< additive error mod p (non-zero)
+};
+
+/// One PASTA keystream-block engine instance (variant + prime + timing).
+class AcceleratorSim {
+ public:
+  explicit AcceleratorSim(const pasta::PastaParams& params,
+                          XofTimingConfig xof_cfg = {},
+                          ComputeTimingConfig compute_cfg = {});
+
+  /// Run the permutation for one block and report keystream + cycle stats.
+  /// `fault`, if given, corrupts one datapath value mid-computation;
+  /// `trace`, if given, records the unit-level schedule (Fig. 3).
+  BlockResult run_block(const std::vector<std::uint64_t>& key,
+                        std::uint64_t nonce, std::uint64_t counter,
+                        const FaultInjection* fault = nullptr,
+                        ScheduleTrace* trace = nullptr) const;
+
+  /// Encrypt a full message (block-serial, as the peripheral operates);
+  /// returns ciphertext and the cycle total across blocks.
+  struct EncryptResult {
+    std::vector<std::uint64_t> ciphertext;
+    std::uint64_t total_cycles = 0;
+    std::vector<CycleStats> per_block;
+  };
+  EncryptResult encrypt(const std::vector<std::uint64_t>& key,
+                        std::span<const std::uint64_t> msg,
+                        std::uint64_t nonce) const;
+
+  const pasta::PastaParams& params() const { return params_; }
+
+ private:
+  pasta::PastaParams params_;
+  XofTimingConfig xof_cfg_;
+  ComputeTimingConfig compute_cfg_;
+};
+
+}  // namespace poe::hw

@@ -1,0 +1,199 @@
+#include "hw/area_model.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe::hw {
+
+namespace {
+
+// Paper Table I (Artix-7 @75 MHz) — the calibration anchors.
+const std::vector<Table1Row> kTable1 = {
+    {"PASTA-3", 128, 17, 65468, 36275, 256},
+    {"PASTA-4", 32, 17, 23736, 11132, 64},
+    {"PASTA-4", 32, 33, 42330, 20783, 256},
+    {"PASTA-4", 32, 54, 67324, 32711, 576},
+};
+
+// Solve the 3x3 system M*x = y (Cramer's rule; well-conditioned here).
+void solve3(const double m[3][3], const double y[3], double x[3]) {
+  auto det3 = [](const double a[3][3]) {
+    return a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+           a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+           a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  };
+  const double d = det3(m);
+  POE_ENSURE(std::abs(d) > 1e-12, "singular calibration system");
+  for (int col = 0; col < 3; ++col) {
+    double mc[3][3];
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) mc[i][j] = j == col ? y[i] : m[i][j];
+    x[col] = det3(mc) / d;
+  }
+}
+
+// Fit a*w^2 + b*w + c through three (w, value) points.
+void fit_quadratic(const double w[3], const double v[3], double out[3]) {
+  const double m[3][3] = {{w[0] * w[0], w[0], 1},
+                          {w[1] * w[1], w[1], 1},
+                          {w[2] * w[2], w[2], 1}};
+  solve3(m, v, out);
+}
+
+double eval_quad(const double q[3], double w) {
+  return q[0] * w * w + q[1] * w + q[2];
+}
+
+}  // namespace
+
+const std::vector<Table1Row>& paper_table1() { return kTable1; }
+
+std::uint64_t AreaModel::dsp_per_multiplier(unsigned omega) {
+  // An omega x omega product on DSP48 blocks (18-bit native operands).
+  const std::uint64_t n = ceil_div(omega, 18);
+  return n * n;
+}
+
+AreaModel::AreaModel() {
+  const auto& t1 = kTable1;
+  // Intercept (SHAKE128 core + control) from the two omega=17 rows:
+  // lut(t) = fixed + t * var(17).
+  const double var17_lut =
+      static_cast<double>(t1[0].lut - t1[1].lut) /
+      static_cast<double>(t1[0].t - t1[1].t);
+  lut_fixed_ = static_cast<double>(t1[1].lut) - 32.0 * var17_lut;
+  const double var17_ff =
+      static_cast<double>(t1[0].ff - t1[1].ff) /
+      static_cast<double>(t1[0].t - t1[1].t);
+  ff_fixed_ = static_cast<double>(t1[1].ff) - 32.0 * var17_ff;
+
+  // Omega dependence of the per-element cost from the three PASTA-4 rows.
+  const double w[3] = {17, 33, 54};
+  const double lut_v[3] = {
+      var17_lut,
+      (static_cast<double>(t1[2].lut) - lut_fixed_) / 32.0,
+      (static_cast<double>(t1[3].lut) - lut_fixed_) / 32.0,
+  };
+  fit_quadratic(w, lut_v, lut_quad_);
+  const double ff_v[3] = {
+      var17_ff,
+      (static_cast<double>(t1[2].ff) - ff_fixed_) / 32.0,
+      (static_cast<double>(t1[3].ff) - ff_fixed_) / 32.0,
+  };
+  fit_quadratic(w, ff_v, ff_quad_);
+
+  // ASIC 28nm: 0.24 mm^2 at (t=32, omega=17); x2.1 and x4.3 growth at
+  // omega = 33 / 54 (§IV-A ②). Fixed fraction taken from the LUT model.
+  const double fixed_fraction = lut_fixed_ / static_cast<double>(t1[1].lut);
+  asic_fixed_28_ = 0.24 * fixed_fraction;
+  asic_var_28_ = 0.24 - asic_fixed_28_;
+  const double rho_v[3] = {
+      1.0,
+      (0.24 * 2.1 - asic_fixed_28_) / asic_var_28_,
+      (0.24 * 4.3 - asic_fixed_28_) / asic_var_28_,
+  };
+  fit_quadratic(w, rho_v, asic_rho_quad_);
+
+  // "The maximum power consumed by the design is 1.2 W" — anchor the power
+  // density to the largest configuration (PASTA-3, omega=54) at 28nm/1GHz.
+  const double max_area =
+      asic_fixed_28_ + asic_var_28_ * eval_quad(asic_rho_quad_, 54) *
+                           (128.0 / 32.0);
+  power_density_w_per_mm2_ = 1.2 / max_area;
+}
+
+double AreaModel::lut_variable(unsigned omega) const {
+  return eval_quad(lut_quad_, omega);
+}
+double AreaModel::ff_variable(unsigned omega) const {
+  return eval_quad(ff_quad_, omega);
+}
+double AreaModel::asic_rho(unsigned omega) const {
+  return eval_quad(asic_rho_quad_, omega);
+}
+
+FpgaResources AreaModel::fpga(const pasta::PastaParams& params) const {
+  POE_ENSURE(params.prime_bits() >= 17 && params.prime_bits() <= 60,
+             "model calibrated for 17-60 bit primes");
+  const double t = static_cast<double>(params.t);
+  const unsigned omega = params.prime_bits();
+  FpgaResources r;
+  r.lut = static_cast<std::uint64_t>(
+      std::llround(lut_fixed_ + t * lut_variable(omega)));
+  r.ff = static_cast<std::uint64_t>(
+      std::llround(ff_fixed_ + t * ff_variable(omega)));
+  r.dsp = 2 * params.t * dsp_per_multiplier(omega);
+  r.bram = 0;  // row streaming removes all matrix storage (§III-C)
+  return r;
+}
+
+double AreaModel::asic_mm2(const pasta::PastaParams& params,
+                           unsigned node_nm) const {
+  const double area28 =
+      asic_fixed_28_ + asic_var_28_ * asic_rho(params.prime_bits()) *
+                           (static_cast<double>(params.t) / 32.0);
+  switch (node_nm) {
+    case 28:
+      return area28;
+    case 7:
+      // Paper: 0.24 mm^2 -> 0.03 mm^2, a uniform 8x shrink.
+      return area28 * (0.03 / 0.24);
+    default:
+      throw Error("ASIC model supports 28nm and 7nm, got " +
+                  std::to_string(node_nm));
+  }
+}
+
+double AreaModel::asic_power_w(const pasta::PastaParams& params,
+                               unsigned node_nm) const {
+  // First-order: dynamic power tracks switched capacitance ~ area at fixed
+  // frequency and comparable voltage.
+  return power_density_w_per_mm2_ * asic_mm2(params, 28) *
+         (node_nm == 7 ? 0.5 : 1.0);
+}
+
+std::vector<ModuleShare> AreaModel::breakdown(
+    const pasta::PastaParams& params, const std::string& platform) const {
+  POE_ENSURE(platform == "fpga" || platform == "asic",
+             "platform must be 'fpga' or 'asic'");
+  // Structural weights of the t-dependent area: two multiplier arrays
+  // dominate; MatGen additionally carries the MAC adders and the two stored
+  // rows, MatMul the pipelined adder tree. On FPGA the multiplier cores map
+  // to DSP blocks, so their *LUT* share is smaller; on ASIC they are
+  // synthesised gates and weigh more (this is why the paper's two pies
+  // differ).
+  double kMatGen, kMatMul, kModAdd, kDataGen, kReduction;
+  double fixed, variable;
+  if (platform == "fpga") {
+    kMatGen = 0.38;
+    kMatMul = 0.27;
+    kModAdd = 0.13;
+    kDataGen = 0.12;
+    kReduction = 0.10;
+    const auto r = fpga(params);
+    fixed = lut_fixed_;
+    variable = static_cast<double>(r.lut) - fixed;
+  } else {
+    kMatGen = 0.44;
+    kMatMul = 0.32;
+    kModAdd = 0.08;
+    kDataGen = 0.06;
+    kReduction = 0.10;
+    fixed = asic_fixed_28_;
+    variable = asic_mm2(params, 28) - fixed;
+  }
+  const double total = fixed + variable;
+  std::vector<ModuleShare> out;
+  out.push_back({"MatGen (MAC array)", variable * kMatGen / total});
+  out.push_back({"MatMul (mul array + adder tree)", variable * kMatMul / total});
+  out.push_back({"ModAdd (VecAdd/Mix/S-box)", variable * kModAdd / total});
+  out.push_back({"DataGen (sampler + ping-pong)", variable * kDataGen / total});
+  out.push_back({"ModRed (add-shift reduction)", variable * kReduction / total});
+  out.push_back({"SHAKE128 core", fixed * 0.85 / total});
+  out.push_back({"Control/Rem.", fixed * 0.15 / total});
+  return out;
+}
+
+}  // namespace poe::hw

@@ -1,0 +1,77 @@
+// Side-channel / fault-analysis countermeasures for the cryptoprocessor —
+// the paper's second future-work direction (§VI), motivated by the SASTA
+// single-fault attack on HHE schemes [30].
+//
+// Three standard hardware countermeasures are modelled on top of the cycle
+// and area models, plus a fault-detection harness that exercises them
+// against injected transient faults:
+//
+//  * temporal redundancy  — compute every block twice on the same datapath
+//    and compare: ~2x cycles, tiny comparator area, detects transients.
+//  * spatial redundancy   — duplicate the datapath and compare: ~2x the
+//    variable area, one comparator, no cycle cost, detects transients and
+//    single-unit permanent faults.
+//  * arithmetic masking   — 2-share Boolean-free masking of the
+//    key-dependent path (SCA hardening): doubles the shared multiplier /
+//    adder arrays and adds cross-share products in the S-box; no detection,
+//    protects against first-order power analysis.
+//
+// The same countermeasures applied to a PKE client accelerator scale from
+// its much larger baseline — the comparison the paper proposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "hw/area_model.hpp"
+
+namespace poe::hw {
+
+enum class Countermeasure {
+  kNone,
+  kTemporalRedundancy,
+  kSpatialRedundancy,
+  kMasking,
+};
+
+std::string to_string(Countermeasure cm);
+
+/// First-order cost factors of a countermeasure.
+struct CountermeasureCost {
+  double cycle_factor = 1.0;     ///< block latency multiplier
+  double var_area_factor = 1.0;  ///< multiplier on the t-dependent area
+  double fixed_area_factor = 1.0;  ///< multiplier on SHAKE/control area
+  bool detects_transient_faults = false;
+  bool first_order_sca_protected = false;
+};
+
+CountermeasureCost countermeasure_cost(Countermeasure cm);
+
+/// Protected-block cycle count.
+std::uint64_t protected_cycles(std::uint64_t base_cycles, Countermeasure cm);
+
+/// Protected FPGA resources (variable/fixed split taken from the area
+/// model's calibration).
+FpgaResources protected_fpga(const AreaModel& model,
+                             const pasta::PastaParams& params,
+                             Countermeasure cm);
+
+/// Outcome of running one block under a detection countermeasure with an
+/// optional transient fault in the first execution.
+struct DetectionResult {
+  bool fault_injected = false;
+  bool detected = false;
+  std::uint64_t cycles = 0;               ///< total incl. redundant pass
+  pasta::Block keystream;                 ///< from the clean pass
+};
+
+/// Execute one block with temporal redundancy: run twice (fault, if any,
+/// hits only the first pass — transient), compare, and report detection.
+DetectionResult run_with_temporal_redundancy(
+    const AcceleratorSim& sim, const std::vector<std::uint64_t>& key,
+    std::uint64_t nonce, std::uint64_t counter,
+    const FaultInjection* fault = nullptr);
+
+}  // namespace poe::hw

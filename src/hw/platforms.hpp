@@ -1,0 +1,28 @@
+// Evaluation platforms of the paper (§IV-A): clock targets used to convert
+// the accelerator's cycle counts into wall-clock latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace poe::hw {
+
+struct Platform {
+  std::string name;
+  double freq_hz;
+
+  double cycles_to_us(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / freq_hz * 1e6;
+  }
+};
+
+/// Artix-7 AC701 target (§IV-A ①).
+inline Platform fpga_artix7() { return {"Artix-7 @75MHz", 75e6}; }
+/// TSMC 28nm / ASAP7 7nm synthesis target (§IV-A ②).
+inline Platform asic_1ghz() { return {"ASIC @1GHz", 1e9}; }
+/// RISC-V SoC on 130nm/65nm (§IV-A ③).
+inline Platform riscv_soc_100mhz() { return {"RISC-V SoC @100MHz", 100e6}; }
+/// Intel Xeon E5-2699 v4 used by the PASTA paper's CPU numbers (§IV-C).
+inline Platform cpu_xeon() { return {"Xeon E5-2699v4 @2.2GHz", 2.2e9}; }
+
+}  // namespace poe::hw

@@ -1,0 +1,105 @@
+#include "hw/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace poe::hw {
+
+const char* unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kXof: return "xof";
+    case Unit::kMatEngine: return "mat_engine";
+    case Unit::kVecAdd: return "vec_add";
+    case Unit::kMixSbox: return "mix_sbox";
+  }
+  throw Error("unknown unit");
+}
+
+void ScheduleTrace::add(Unit unit, std::uint64_t start, std::uint64_t end,
+                        std::string label) {
+  POE_ENSURE(end >= start, "event ends before it starts");
+  events_.push_back(TraceEvent{unit, start, end, std::move(label)});
+}
+
+std::uint64_t ScheduleTrace::busy_cycles(Unit unit) const {
+  std::uint64_t sum = 0;
+  for (const auto& e : events_) {
+    if (e.unit == unit) sum += e.end - e.start;
+  }
+  return sum;
+}
+
+double ScheduleTrace::utilisation(Unit unit,
+                                  std::uint64_t total_cycles) const {
+  if (total_cycles == 0) return 0;
+  return static_cast<double>(busy_cycles(unit)) /
+         static_cast<double>(total_cycles);
+}
+
+void ScheduleTrace::print_timeline(std::ostream& os,
+                                   std::uint64_t total_cycles,
+                                   unsigned width) const {
+  POE_ENSURE(width >= 10, "timeline too narrow");
+  const double scale =
+      static_cast<double>(total_cycles) / static_cast<double>(width);
+  for (Unit unit : {Unit::kXof, Unit::kMatEngine, Unit::kVecAdd,
+                    Unit::kMixSbox}) {
+    std::string row(width, '.');
+    for (const auto& e : events_) {
+      if (e.unit != unit) continue;
+      const auto from = static_cast<std::size_t>(
+          std::min<double>(width - 1, static_cast<double>(e.start) / scale));
+      const auto to = static_cast<std::size_t>(
+          std::min<double>(width - 1, static_cast<double>(e.end) / scale));
+      for (std::size_t i = from; i <= to; ++i) row[i] = '#';
+    }
+    os << unit_name(unit);
+    os << std::string(12 - std::string(unit_name(unit)).size(), ' ');
+    os << '|' << row << "|\n";
+  }
+  os << "             0" << std::string(width - 8, ' ') << total_cycles
+     << " cc\n";
+}
+
+void ScheduleTrace::write_vcd(std::ostream& os,
+                              std::uint64_t total_cycles) const {
+  os << "$date today $end\n$version poe ScheduleTrace $end\n"
+     << "$timescale 1ns $end\n$scope module pasta_accel $end\n";
+  const Unit units[] = {Unit::kXof, Unit::kMatEngine, Unit::kVecAdd,
+                        Unit::kMixSbox};
+  const char ids[] = {'!', '"', '#', '$'};
+  for (int i = 0; i < 4; ++i) {
+    os << "$var wire 1 " << ids[i] << ' ' << unit_name(units[i])
+       << "_busy $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Build per-cycle transition lists.
+  std::map<std::uint64_t, std::vector<std::pair<char, int>>> changes;
+  for (const auto& e : events_) {
+    int idx = 0;
+    while (units[idx] != e.unit) ++idx;
+    changes[e.start].push_back({ids[idx], 1});
+    changes[e.end].push_back({ids[idx], -1});
+  }
+  os << "#0\n";
+  for (int i = 0; i < 4; ++i) os << "b0 " << ids[i] << '\n';
+  int busy[4] = {0, 0, 0, 0};
+  for (const auto& [cycle, deltas] : changes) {
+    os << '#' << cycle << '\n';
+    for (const auto& [id, delta] : deltas) {
+      int idx = 0;
+      while (ids[idx] != id) ++idx;
+      const int before = busy[idx] > 0 ? 1 : 0;
+      busy[idx] += delta;
+      const int after = busy[idx] > 0 ? 1 : 0;
+      if (before != after) os << 'b' << after << ' ' << id << '\n';
+    }
+  }
+  os << '#' << total_cycles << '\n';
+}
+
+}  // namespace poe::hw

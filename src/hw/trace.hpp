@@ -1,0 +1,55 @@
+// Schedule tracing for the accelerator model: records when each hardware
+// unit is busy and with what, and renders the result either as a text
+// timeline (the Fig.-3 schedule, reconstructed from a real run) or as a VCD
+// waveform viewable in GTKWave — the artefact an RTL engineer would expect
+// next to the cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poe::hw {
+
+enum class Unit {
+  kXof,       ///< SHAKE128 squeeze + rejection sampling
+  kMatEngine, ///< MatGen MAC array + MatMul multipliers/tree
+  kVecAdd,    ///< t-wide modular adder array (RC add)
+  kMixSbox,   ///< Mix and S-box passes on the shared units
+};
+
+const char* unit_name(Unit unit);
+
+struct TraceEvent {
+  Unit unit;
+  std::uint64_t start = 0;  ///< first busy cycle
+  std::uint64_t end = 0;    ///< first idle cycle after the op
+  std::string label;        ///< e.g. "L0 matmul L"
+};
+
+/// Collects events during AcceleratorSim::run_block.
+class ScheduleTrace {
+ public:
+  void add(Unit unit, std::uint64_t start, std::uint64_t end,
+           std::string label);
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Busy cycles per unit.
+  std::uint64_t busy_cycles(Unit unit) const;
+  /// Utilisation of a unit over [0, total_cycles).
+  double utilisation(Unit unit, std::uint64_t total_cycles) const;
+
+  /// ASCII timeline (one row per unit, one column per `cycles_per_char`).
+  void print_timeline(std::ostream& os, std::uint64_t total_cycles,
+                      unsigned width = 100) const;
+
+  /// Value-change-dump with one 1-bit busy signal per unit plus an ASCII
+  /// label register; loads in GTKWave.
+  void write_vcd(std::ostream& os, std::uint64_t total_cycles) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace poe::hw

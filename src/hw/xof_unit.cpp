@@ -1,0 +1,58 @@
+#include "hw/xof_unit.hpp"
+
+#include "common/bits.hpp"
+
+namespace poe::hw {
+
+XofSamplerUnit::XofSamplerUnit(const pasta::PastaParams& params,
+                               std::uint64_t nonce, std::uint64_t counter,
+                               XofTimingConfig cfg)
+    : params_(params),
+      cfg_(cfg),
+      xof_(keccak::Shake::shake128()),
+      mask_(params.sample_mask()) {
+  std::uint8_t seed[16];
+  store_be64(seed, nonce);
+  store_be64(seed + 8, counter);
+  xof_.absorb(seed);
+  // Absorbing the seed and the first permutation cannot be hidden.
+  clock_ = cfg_.absorb_cycles + cfg_.permutation_cycles;
+}
+
+std::uint64_t XofSamplerUnit::next_word_cycle() {
+  if (word_in_batch_ == cfg_.words_per_batch) {
+    // Batch boundary.
+    word_in_batch_ = 0;
+    if (cfg_.mode == KeccakMode::kOverlapped) {
+      // Next buffer's permutation ran during the previous 21+5 window
+      // (24 <= 26), so only the handover gap is visible.
+      clock_ += cfg_.inter_batch_gap;
+    } else {
+      // Naive: the permutation serialises with the squeeze.
+      clock_ += cfg_.permutation_cycles;
+    }
+  }
+  ++word_in_batch_;
+  return ++clock_;
+}
+
+XofSamplerUnit::Coefficient XofSamplerUnit::next(bool allow_zero) {
+  for (;;) {
+    const std::uint64_t cycle = next_word_cycle();
+    const std::uint64_t word = xof_.squeeze_u64() & mask_;
+    ++words_drawn_;
+    if (word < params_.p && (allow_zero || word != 0)) {
+      return Coefficient{word, cycle};
+    }
+    ++words_rejected_;
+  }
+}
+
+void XofSamplerUnit::stall_until(std::uint64_t cycle) {
+  if (cycle > clock_) {
+    stall_cycles_ += cycle - clock_;
+    clock_ = cycle;
+  }
+}
+
+}  // namespace poe::hw

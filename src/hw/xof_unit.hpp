@@ -1,0 +1,77 @@
+// Cycle-accurate model of the XOF + rejection-sampling front end (§III-A).
+//
+// The SHAKE128 unit follows the high-performance design of [14] (KaLi): two
+// 1600-bit state buffers in ping-pong so the 24-cycle Keccak-f permutation
+// runs in parallel with the squeeze. One 64-bit word is squeezed per cycle;
+// a squeeze batch is the full rate (1344 bits = 21 words) and consecutive
+// batches are separated by 5 cycles of handover. The naive (single-buffer)
+// mode — used for the §IV-B ablation — serialises the 24-cycle permutation
+// with the 21-cycle squeeze.
+//
+// The rejection sampler consumes one word per cycle and forwards accepted
+// coefficients in the same cycle (mask to ceil(log2 p) bits, accept if < p,
+// and non-zero where required). The model is functional: words come from the
+// real SHAKE128, so accepted coefficients — and therefore cycle counts —
+// depend on the nonce/counter exactly as on the real hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "keccak/shake.hpp"
+#include "pasta/params.hpp"
+
+namespace poe::hw {
+
+enum class KeccakMode {
+  kOverlapped,  ///< double-buffered: permutation hidden behind squeeze (+5cc)
+  kNaive,       ///< single buffer: 24cc permutation then 21cc squeeze
+};
+
+struct XofTimingConfig {
+  KeccakMode mode = KeccakMode::kOverlapped;
+  unsigned absorb_cycles = 2;       ///< nonce + counter, one 64-bit word each
+  unsigned permutation_cycles = 24; ///< Keccak-f[1600] rounds
+  unsigned words_per_batch = 21;    ///< SHAKE128 rate 1344 bits / 64
+  unsigned inter_batch_gap = 5;     ///< handover between squeezes ([14])
+};
+
+/// Timed stream of accepted field elements.
+class XofSamplerUnit {
+ public:
+  XofSamplerUnit(const pasta::PastaParams& params, std::uint64_t nonce,
+                 std::uint64_t counter, XofTimingConfig cfg = {});
+
+  struct Coefficient {
+    std::uint64_t value = 0;
+    std::uint64_t cycle = 0;  ///< cycle at which the coefficient is registered
+  };
+
+  /// Produce the next accepted coefficient and the cycle it becomes valid.
+  Coefficient next(bool allow_zero);
+
+  /// Stall the front end until `cycle` (downstream back-pressure: both
+  /// DataGen buffers occupied). Subsequent words appear after the stall.
+  void stall_until(std::uint64_t cycle);
+
+  std::uint64_t words_drawn() const { return words_drawn_; }
+  std::uint64_t words_rejected() const { return words_rejected_; }
+  std::uint64_t permutations() const { return xof_.permutation_count(); }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+  /// Cycle at which the most recent word was produced.
+  std::uint64_t current_cycle() const { return clock_; }
+
+ private:
+  std::uint64_t next_word_cycle();
+
+  pasta::PastaParams params_;
+  XofTimingConfig cfg_;
+  keccak::Shake xof_;
+  std::uint64_t mask_;
+  std::uint64_t clock_ = 0;          ///< cycle of the last emitted word
+  unsigned word_in_batch_ = 0;       ///< position within the 21-word batch
+  std::uint64_t words_drawn_ = 0;
+  std::uint64_t words_rejected_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace poe::hw

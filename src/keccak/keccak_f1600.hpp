@@ -1,0 +1,21 @@
+// Keccak-f[1600] permutation (FIPS 202). The 1600-bit state is 25 lanes of
+// 64 bits, indexed state[x + 5*y].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace poe::keccak {
+
+inline constexpr int kNumRounds = 24;
+
+using State = std::array<std::uint64_t, 25>;
+
+/// Apply all 24 rounds of Keccak-f[1600] in place.
+void f1600(State& state);
+
+/// Apply a single round (round index in [0, 24)). Exposed so the hardware
+/// model can step the permutation cycle by cycle.
+void f1600_round(State& state, int round);
+
+}  // namespace poe::keccak

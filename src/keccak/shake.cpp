@@ -1,0 +1,92 @@
+#include "keccak/shake.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe::keccak {
+
+Shake::Shake(std::size_t rate_bytes) : rate_(rate_bytes) {
+  POE_ENSURE(rate_bytes > 0 && rate_bytes < 200 && rate_bytes % 8 == 0,
+             "invalid sponge rate " << rate_bytes);
+}
+
+void Shake::permute() {
+  f1600(state_);
+  ++permutation_count_;
+}
+
+void Shake::absorb(std::span<const std::uint8_t> data) {
+  POE_ENSURE(!squeezing_, "absorb after squeeze is not allowed");
+  for (std::uint8_t byte : data) {
+    state_[offset_ / 8] ^= static_cast<std::uint64_t>(byte)
+                           << (8 * (offset_ % 8));
+    if (++offset_ == rate_) {
+      permute();
+      offset_ = 0;
+    }
+  }
+}
+
+void Shake::pad_and_switch_to_squeeze() {
+  // Domain separation byte for SHAKE (0x1F) and final bit of pad10*1.
+  state_[offset_ / 8] ^= 0x1Full << (8 * (offset_ % 8));
+  state_[(rate_ - 1) / 8] ^= 0x80ull << (8 * ((rate_ - 1) % 8));
+  permute();
+  offset_ = 0;
+  squeezing_ = true;
+}
+
+void Shake::squeeze(std::span<std::uint8_t> out) {
+  if (!squeezing_) pad_and_switch_to_squeeze();
+  for (auto& byte : out) {
+    if (offset_ == rate_) {
+      permute();
+      offset_ = 0;
+    }
+    byte = static_cast<std::uint8_t>(state_[offset_ / 8] >>
+                                     (8 * (offset_ % 8)));
+    ++offset_;
+  }
+}
+
+std::uint64_t Shake::squeeze_u64() {
+  std::uint8_t bytes[8];
+  squeeze(bytes);
+  return load_le64(bytes);
+}
+
+std::vector<std::uint8_t> shake128(std::span<const std::uint8_t> input,
+                                   std::size_t out_len) {
+  Shake xof = Shake::shake128();
+  xof.absorb(input);
+  std::vector<std::uint8_t> out(out_len);
+  xof.squeeze(out);
+  return out;
+}
+
+std::array<std::uint8_t, 32> sha3_256(std::span<const std::uint8_t> input) {
+  // SHA3-256: rate 136 bytes, domain separation 0x06 (vs SHAKE's 0x1F).
+  State state{};
+  std::size_t offset = 0;
+  const std::size_t rate = 136;
+  auto absorb_byte = [&](std::uint8_t byte) {
+    state[offset / 8] ^= static_cast<std::uint64_t>(byte)
+                         << (8 * (offset % 8));
+    if (++offset == rate) {
+      f1600(state);
+      offset = 0;
+    }
+  };
+  for (std::uint8_t b : input) absorb_byte(b);
+  state[offset / 8] ^= 0x06ull << (8 * (offset % 8));
+  state[(rate - 1) / 8] ^= 0x80ull << (8 * ((rate - 1) % 8));
+  f1600(state);
+
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(state[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+}  // namespace poe::keccak

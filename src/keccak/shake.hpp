@@ -1,0 +1,58 @@
+// SHAKE128/SHAKE256 extendable-output functions (FIPS 202) built on
+// Keccak-f[1600]. Supports incremental absorb and incremental squeeze, plus
+// 64-bit-word squeezing as consumed by the PASTA rejection sampler.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "keccak/keccak_f1600.hpp"
+
+namespace poe::keccak {
+
+/// Sponge-based XOF. Construct, absorb any number of times, then squeeze any
+/// number of times. Absorbing after the first squeeze is a usage error.
+class Shake {
+ public:
+  /// rate_bytes: 168 for SHAKE128, 136 for SHAKE256.
+  explicit Shake(std::size_t rate_bytes);
+
+  static Shake shake128() { return Shake(168); }
+  static Shake shake256() { return Shake(136); }
+
+  void absorb(std::span<const std::uint8_t> data);
+  void squeeze(std::span<std::uint8_t> out);
+
+  /// Squeeze the next 8 output bytes as a little-endian 64-bit word.
+  std::uint64_t squeeze_u64();
+
+  /// Number of Keccak-f permutations executed so far (used to cross-check the
+  /// hardware cycle model against the reference software).
+  std::uint64_t permutation_count() const { return permutation_count_; }
+
+  std::size_t rate_bytes() const { return rate_; }
+
+ private:
+  void pad_and_switch_to_squeeze();
+  void permute();
+
+  State state_{};
+  std::size_t rate_;
+  std::size_t offset_ = 0;  // byte offset within the current rate block
+  bool squeezing_ = false;
+  std::uint64_t permutation_count_ = 0;
+};
+
+/// One-shot convenience: SHAKE128(input) -> out.size() bytes.
+std::vector<std::uint8_t> shake128(std::span<const std::uint8_t> input,
+                                   std::size_t out_len);
+
+/// SHA3-256 (fixed-output sponge, domain byte 0x06). Included so the Keccak
+/// core is a complete FIPS 202 implementation; the accelerator itself only
+/// uses SHAKE128.
+std::array<std::uint8_t, 32> sha3_256(std::span<const std::uint8_t> input);
+
+}  // namespace poe::keccak

@@ -1,0 +1,97 @@
+// Modular arithmetic over a runtime prime p < 2^62.
+//
+// PASTA works over prime fields F_p with p between 17 and 60 bits; the paper
+// exploits the Mersenne/Fermat structure of the chosen primes (e.g.
+// p = 2^16 + 1 = 65537) for add-shift reduction in hardware. In software we
+// use 128-bit products; `fermat_reduce` mirrors the hardware's add-shift unit
+// and is cross-checked against the generic path in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace poe::mod {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// A runtime modulus with the handful of operations the library needs.
+/// Cheap to copy; all members are immutable after construction.
+class Modulus {
+ public:
+  explicit Modulus(u64 p) : p_(p) {
+    POE_ENSURE(p >= 2 && p < (1ull << 62), "modulus out of range: " << p);
+  }
+
+  u64 value() const { return p_; }
+
+  u64 reduce(u64 x) const { return x % p_; }
+  u64 reduce128(u128 x) const { return static_cast<u64>(x % p_); }
+
+  u64 add(u64 a, u64 b) const {
+    u64 s = a + b;
+    if (s >= p_ || s < a) s -= p_;
+    return s;
+  }
+
+  u64 sub(u64 a, u64 b) const { return a >= b ? a - b : a + p_ - b; }
+
+  u64 neg(u64 a) const { return a == 0 ? 0 : p_ - a; }
+
+  u64 mul(u64 a, u64 b) const {
+    return static_cast<u64>(static_cast<u128>(a) * b % p_);
+  }
+
+  /// a*b + c mod p (the hardware MAC primitive).
+  u64 mac(u64 a, u64 b, u64 c) const {
+    return static_cast<u64>((static_cast<u128>(a) * b + c) % p_);
+  }
+
+  u64 pow(u64 base, u64 exp) const {
+    u64 acc = 1;
+    u64 cur = base % p_;
+    while (exp != 0) {
+      if (exp & 1) acc = mul(acc, cur);
+      cur = mul(cur, cur);
+      exp >>= 1;
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse (requires p prime and a != 0 mod p).
+  u64 inv(u64 a) const {
+    POE_ENSURE(a % p_ != 0, "inverse of zero mod " << p_);
+    return pow(a, p_ - 2);
+  }
+
+  bool operator==(const Modulus& o) const { return p_ == o.p_; }
+
+ private:
+  u64 p_;
+};
+
+/// Add-shift reduction for Fermat-structured primes p = 2^k + 1, mirroring
+/// the hardware reduction unit the paper uses for its Mersenne-structured
+/// moduli. Input x < p^2; returns x mod p.
+///
+/// Decompose x = hi * 2^k + lo with lo < 2^k; since 2^k = -1 (mod p),
+/// x = lo - hi (mod p). hi < p, so one conditional add fixes the range; the
+/// result of (lo - hi) needs a second fold because hi can itself be >= 2^k
+/// only when x is close to p^2 — handled by iterating once more.
+inline u64 fermat_reduce(u128 x, unsigned k, u64 p) {
+  POE_DCHECK(p == (1ull << k) + 1, "p must be 2^k + 1");
+  const u128 mask = (static_cast<u128>(1) << k) - 1;
+  // Fold twice: after the first pass the value fits in ~k+2 bits, after the
+  // second it is below 2p; a conditional subtract finishes the job.
+  for (int pass = 0; pass < 2; ++pass) {
+    const u64 lo = static_cast<u64>(x & mask);
+    const u64 hi = static_cast<u64>((x >> k) % p);
+    x = lo >= hi ? lo - hi : lo + p - hi;
+  }
+  u64 r = static_cast<u64>(x);
+  if (r >= p) r -= p;
+  return r;
+}
+
+}  // namespace poe::mod

@@ -1,0 +1,136 @@
+#include "modular/primes.hpp"
+
+#include "common/error.hpp"
+#include "modular/modulus.hpp"
+
+namespace poe::mod {
+
+namespace {
+
+u64 mulmod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>(static_cast<u128>(a) * b % m);
+}
+
+u64 powmod(u64 base, u64 exp, u64 m) {
+  u64 acc = 1 % m;
+  base %= m;
+  while (exp) {
+    if (exp & 1) acc = mulmod(acc, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return acc;
+}
+
+bool miller_rabin_witness(u64 n, u64 a, u64 d, unsigned r) {
+  u64 x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite witness found
+}
+
+}  // namespace
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  u64 d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is deterministic for all n < 2^64 (Sinclair, 2011).
+  for (u64 a : {2ull, 325ull, 9375ull, 28178ull, 450775ull, 9780504ull,
+                1795265022ull}) {
+    if (a % n == 0) continue;
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+u64 previous_congruent_prime(u64 upper, u64 factor) {
+  POE_ENSURE(factor >= 1, "factor must be positive");
+  u64 candidate = upper - ((upper - 1) % factor);  // largest c <= upper, c ≡ 1
+  while (candidate > factor) {
+    if (is_prime(candidate)) return candidate;
+    candidate -= factor;
+  }
+  throw Error("no prime ≡ 1 (mod " + std::to_string(factor) + ") below " +
+              std::to_string(upper));
+}
+
+namespace {
+std::vector<u64> prime_chain_with_step(std::size_t count, unsigned bit_size,
+                                       u64 step) {
+  POE_ENSURE(bit_size >= 20 && bit_size <= 61, "bit_size out of range");
+  std::vector<u64> out;
+  u64 upper = (1ull << bit_size) - 1;
+  while (out.size() < count) {
+    u64 p = previous_congruent_prime(upper, step);
+    out.push_back(p);
+    upper = p - 1;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<u64> ntt_prime_chain(std::size_t count, unsigned bit_size,
+                                 std::size_t n) {
+  return prime_chain_with_step(count, bit_size, 2 * static_cast<u64>(n));
+}
+
+std::vector<u64> bgv_prime_chain(std::size_t count, unsigned bit_size,
+                                 std::size_t n, u64 t) {
+  // t is an odd prime and 2n a power of two, so lcm(2n, t) = 2n * t.
+  POE_ENSURE(t % 2 == 1, "t must be odd");
+  const u64 step = 2 * static_cast<u64>(n) * t;
+  POE_ENSURE(step < (1ull << (bit_size - 1)),
+             "bit_size too small for step " << step);
+  return prime_chain_with_step(count, bit_size, step);
+}
+
+u64 primitive_root(u64 p) {
+  POE_ENSURE(is_prime(p), p << " is not prime");
+  // Factor p-1 by trial division (fine for the sizes we use at setup time).
+  u64 phi = p - 1;
+  std::vector<u64> factors;
+  u64 m = phi;
+  for (u64 f = 2; f * f <= m; ++f) {
+    if (m % f == 0) {
+      factors.push_back(f);
+      while (m % f == 0) m /= f;
+    }
+  }
+  if (m > 1) factors.push_back(m);
+  for (u64 g = 2; g < p; ++g) {
+    bool ok = true;
+    for (u64 f : factors) {
+      if (powmod(g, phi / f, p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw Error("no primitive root found for " + std::to_string(p));
+}
+
+u64 root_of_unity(u64 p, u64 order) {
+  POE_ENSURE((p - 1) % order == 0,
+             "order " << order << " does not divide p-1 for p=" << p);
+  u64 g = primitive_root(p);
+  u64 w = powmod(g, (p - 1) / order, p);
+  POE_ENSURE(powmod(w, order, p) == 1, "root order check failed");
+  POE_ENSURE(powmod(w, order / 2, p) == p - 1, "root is not primitive");
+  return w;
+}
+
+}  // namespace poe::mod

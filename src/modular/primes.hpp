@@ -1,0 +1,41 @@
+// Primality testing and prime search.
+//
+// PASTA instantiations use Mersenne/Fermat-structured primes between 17 and
+// 60 bits; the BGV substrate needs NTT-friendly primes q ≡ 1 (mod 2N). Both
+// are found/validated here with a deterministic Miller-Rabin for 64-bit
+// inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace poe::mod {
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Largest prime p <= upper with p ≡ 1 (mod factor). Throws if none exists
+/// above lower_bound.
+std::uint64_t previous_congruent_prime(std::uint64_t upper,
+                                       std::uint64_t factor);
+
+/// A chain of `count` distinct primes just below `upper`, each ≡ 1 (mod 2N),
+/// suitable as an RNS basis for negacyclic NTT of size N.
+std::vector<std::uint64_t> ntt_prime_chain(std::size_t count,
+                                           unsigned bit_size, std::size_t n);
+
+/// NTT-friendly primes that are additionally ≡ 1 (mod t). BGV modulus
+/// switching divides ciphertexts by the dropped prime, which scales the
+/// plaintext by q_last^{-1} mod t — choosing q_i ≡ 1 (mod t) makes that
+/// scaling the identity.
+std::vector<std::uint64_t> bgv_prime_chain(std::size_t count,
+                                           unsigned bit_size, std::size_t n,
+                                           std::uint64_t t);
+
+/// Smallest primitive root modulo prime p (for NTT twiddle generation).
+std::uint64_t primitive_root(std::uint64_t p);
+
+/// A primitive 2n-th root of unity modulo prime p (requires 2n | p-1).
+std::uint64_t root_of_unity(std::uint64_t p, std::uint64_t order);
+
+}  // namespace poe::mod

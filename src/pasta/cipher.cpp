@@ -1,0 +1,157 @@
+#include "pasta/cipher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace poe::pasta {
+
+Block affine(const mod::Modulus& mod, const std::vector<std::uint64_t>& alpha,
+             const std::vector<std::uint64_t>& rc, const Block& x) {
+  const std::size_t t = x.size();
+  POE_ENSURE(alpha.size() == t && rc.size() == t, "affine size mismatch");
+  RowStream rows(mod, alpha);
+  Block y(t);
+  for (std::size_t r = 0; r < t; ++r) {
+    const auto& row = rows.next_row();
+    mod::u128 acc = rc[r];
+    for (std::size_t c = 0; c < t; ++c) {
+      acc += static_cast<mod::u128>(row[c]) * x[c];
+      if ((c & 3) == 3) acc %= mod.value();
+    }
+    y[r] = mod.reduce128(acc);
+  }
+  return y;
+}
+
+void mix(const mod::Modulus& mod, Block& l, Block& r) {
+  POE_ENSURE(l.size() == r.size(), "mix size mismatch");
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const std::uint64_t sum = mod.add(l[i], r[i]);
+    l[i] = mod.add(l[i], sum);
+    r[i] = mod.add(r[i], sum);
+  }
+}
+
+void sbox_feistel(const mod::Modulus& mod, Block& x) {
+  for (std::size_t j = x.size(); j-- > 1;) {
+    x[j] = mod.add(x[j], mod.mul(x[j - 1], x[j - 1]));
+  }
+}
+
+void sbox_cube(const mod::Modulus& mod, Block& x) {
+  for (auto& v : x) {
+    v = mod.mul(mod.mul(v, v), v);
+  }
+}
+
+BlockRandomness derive_block_randomness(const PastaParams& params,
+                                        std::uint64_t nonce,
+                                        std::uint64_t counter) {
+  FieldSampler sampler(params, nonce, counter);
+  BlockRandomness out;
+  out.layers.reserve(params.affine_layers());
+  for (std::size_t layer = 0; layer < params.affine_layers(); ++layer) {
+    AffineLayerData d;
+    d.alpha_l = sampler.next_vector(/*allow_zero=*/false);
+    d.alpha_r = sampler.next_vector(/*allow_zero=*/false);
+    d.rc_l = sampler.next_vector(/*allow_zero=*/true);
+    d.rc_r = sampler.next_vector(/*allow_zero=*/true);
+    out.layers.push_back(std::move(d));
+  }
+  out.stats = sampler.stats();
+  return out;
+}
+
+PastaCipher::PastaCipher(const PastaParams& params,
+                         std::vector<std::uint64_t> key)
+    : params_(params), mod_(params.p), key_(std::move(key)) {
+  POE_ENSURE(key_.size() == params_.key_size(),
+             params_.name << " key must have " << params_.key_size()
+                          << " elements, got " << key_.size());
+  POE_ENSURE(std::all_of(key_.begin(), key_.end(),
+                         [&](std::uint64_t k) { return k < params_.p; }),
+             "key element out of field range");
+}
+
+std::vector<std::uint64_t> PastaCipher::random_key(const PastaParams& params,
+                                                   Xoshiro256& rng) {
+  std::vector<std::uint64_t> key(params.key_size());
+  for (auto& k : key) k = rng.below(params.p);
+  return key;
+}
+
+Block PastaCipher::keystream(std::uint64_t nonce, std::uint64_t counter,
+                             SamplerStats* stats) const {
+  FieldSampler sampler(params_, nonce, counter);
+  const std::size_t t = params_.t;
+
+  Block left(key_.begin(), key_.begin() + static_cast<std::ptrdiff_t>(t));
+  Block right(key_.begin() + static_cast<std::ptrdiff_t>(t), key_.end());
+
+  auto affine_layer = [&](Block& l, Block& r) {
+    const auto alpha_l = sampler.next_vector(false);
+    const auto alpha_r = sampler.next_vector(false);
+    const auto rc_l = sampler.next_vector(true);
+    const auto rc_r = sampler.next_vector(true);
+    l = affine(mod_, alpha_l, rc_l, l);
+    r = affine(mod_, alpha_r, rc_r, r);
+  };
+
+  for (std::size_t round = 0; round < params_.rounds; ++round) {
+    affine_layer(left, right);
+    mix(mod_, left, right);
+    if (round == params_.rounds - 1) {
+      sbox_cube(mod_, left);
+      sbox_cube(mod_, right);
+    } else {
+      sbox_feistel(mod_, left);
+      sbox_feistel(mod_, right);
+    }
+  }
+  // Final affine layer + Mix, then truncate to the left half.
+  affine_layer(left, right);
+  mix(mod_, left, right);
+
+  if (stats != nullptr) *stats = sampler.stats();
+  return left;
+}
+
+std::vector<std::uint64_t> PastaCipher::add_keystream(
+    std::span<const std::uint64_t> in, std::uint64_t nonce,
+    bool subtract) const {
+  POE_ENSURE(std::all_of(in.begin(), in.end(),
+                         [&](std::uint64_t v) { return v < params_.p; }),
+             "message/ciphertext element out of field range");
+  std::vector<std::uint64_t> out(in.size());
+  const std::size_t t = params_.t;
+  for (std::size_t block = 0; block * t < in.size(); ++block) {
+    const Block ks = keystream(nonce, block);
+    const std::size_t begin = block * t;
+    const std::size_t end = std::min(in.size(), begin + t);
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = subtract ? mod_.sub(in[i], ks[i - begin])
+                        : mod_.add(in[i], ks[i - begin]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PastaCipher::encrypt(
+    std::span<const std::uint64_t> msg, std::uint64_t nonce) const {
+  return add_keystream(msg, nonce, /*subtract=*/false);
+}
+
+std::vector<std::uint64_t> PastaCipher::decrypt(
+    std::span<const std::uint64_t> ct, std::uint64_t nonce) const {
+  return add_keystream(ct, nonce, /*subtract=*/true);
+}
+
+std::uint64_t ciphertext_bytes(const PastaParams& params,
+                               std::size_t num_elements) {
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(num_elements) * params.prime_bits();
+  return ceil_div(bits, 8);
+}
+
+}  // namespace poe::pasta

@@ -1,0 +1,108 @@
+// The PASTA stream cipher (reference software implementation).
+//
+// Keystream block generation (paper Fig. 2 / §II-B):
+//   state (X_L, X_R) <- key halves
+//   for r in 0..R-1:  affine both halves -> Mix -> S-box (Feistel; cube in
+//                     the last round)
+//   final affine -> Mix -> truncate to X_L
+//   ciphertext = message + keystream  (mod p)
+//
+// All randomness (matrix first rows, round constants) comes from SHAKE128
+// seeded with nonce‖block-counter and is *public*; only the key is secret.
+// XOF consumption order per affine layer follows the paper's Fig. 3:
+// M_L first row, M_R first row, RC_L, RC_R (matrix rows sampled without
+// zeros, round constants with zeros allowed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "modular/modulus.hpp"
+#include "pasta/matrix.hpp"
+#include "pasta/params.hpp"
+#include "pasta/sampler.hpp"
+
+namespace poe::pasta {
+
+using Block = std::vector<std::uint64_t>;
+
+// --- Layer primitives (shared with the hardware model and the HHE server's
+// --- homomorphic circuit; operating on one t-element state half).
+
+/// y = M(alpha) * x + rc, streaming matrix rows (O(t) memory).
+Block affine(const mod::Modulus& mod, const std::vector<std::uint64_t>& alpha,
+             const std::vector<std::uint64_t>& rc, const Block& x);
+
+/// (l, r) <- (2l + r, l + 2r).
+void mix(const mod::Modulus& mod, Block& l, Block& r);
+
+/// Feistel S-box: x[j] += x[j-1]^2 (x[0] unchanged).
+void sbox_feistel(const mod::Modulus& mod, Block& x);
+
+/// Cube S-box: x[j] = x[j]^3.
+void sbox_cube(const mod::Modulus& mod, Block& x);
+
+// --- Public per-block data (known to client and server).
+
+/// Randomness of one affine layer: matrix first rows and round constants.
+struct AffineLayerData {
+  std::vector<std::uint64_t> alpha_l, alpha_r;  ///< matrix first rows
+  std::vector<std::uint64_t> rc_l, rc_r;        ///< round constants
+};
+
+/// All public randomness of one keystream block.
+struct BlockRandomness {
+  std::vector<AffineLayerData> layers;  ///< rounds + 1 entries
+  SamplerStats stats;
+};
+
+/// Derive the public randomness for block `counter` under `nonce` — used by
+/// the HHE server to build the homomorphic decryption circuit.
+BlockRandomness derive_block_randomness(const PastaParams& params,
+                                        std::uint64_t nonce,
+                                        std::uint64_t counter);
+
+// --- The cipher.
+
+class PastaCipher {
+ public:
+  /// key must contain 2t elements of [0, p).
+  PastaCipher(const PastaParams& params, std::vector<std::uint64_t> key);
+
+  /// Uniform random key for tests/examples (not XOF-derived).
+  static std::vector<std::uint64_t> random_key(const PastaParams& params,
+                                               Xoshiro256& rng);
+
+  /// Generate one t-element keystream block; optionally report XOF stats.
+  Block keystream(std::uint64_t nonce, std::uint64_t counter,
+                  SamplerStats* stats = nullptr) const;
+
+  /// Encrypt/decrypt a message of arbitrary length (elements of [0, p));
+  /// block i uses counter = i.
+  std::vector<std::uint64_t> encrypt(std::span<const std::uint64_t> msg,
+                                     std::uint64_t nonce) const;
+  std::vector<std::uint64_t> decrypt(std::span<const std::uint64_t> ct,
+                                     std::uint64_t nonce) const;
+
+  const PastaParams& params() const { return params_; }
+  const std::vector<std::uint64_t>& key() const { return key_; }
+  const mod::Modulus& modulus() const { return mod_; }
+
+ private:
+  std::vector<std::uint64_t> add_keystream(std::span<const std::uint64_t> in,
+                                           std::uint64_t nonce,
+                                           bool subtract) const;
+
+  PastaParams params_;
+  mod::Modulus mod_;
+  std::vector<std::uint64_t> key_;
+};
+
+/// Ciphertext size in bytes when serialised at ceil(log2 p) bits per element
+/// (the communication model of §V).
+std::uint64_t ciphertext_bytes(const PastaParams& params,
+                               std::size_t num_elements);
+
+}  // namespace poe::pasta

@@ -1,0 +1,82 @@
+#include "pasta/matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace poe::pasta {
+
+RowStream::RowStream(const mod::Modulus& mod, std::vector<std::uint64_t> alpha)
+    : mod_(mod), alpha_(std::move(alpha)), row_(alpha_) {
+  POE_ENSURE(!alpha_.empty(), "empty matrix row");
+}
+
+const std::vector<std::uint64_t>& RowStream::next_row() {
+  if (first_) {
+    first_ = false;
+    return row_;  // row 0 is alpha itself
+  }
+  const std::size_t t = alpha_.size();
+  const std::uint64_t last = row_[t - 1];
+  std::uint64_t prev = row_[0];
+  row_[0] = mod_.mul(last, alpha_[0]);
+  for (std::size_t j = 1; j < t; ++j) {
+    std::uint64_t cur = row_[j];
+    row_[j] = mod_.mac(last, alpha_[j], prev);
+    prev = cur;
+  }
+  return row_;
+}
+
+Matrix sequential_matrix(const mod::Modulus& mod,
+                         const std::vector<std::uint64_t>& alpha) {
+  const std::size_t t = alpha.size();
+  Matrix m(t, t);
+  RowStream stream(mod, alpha);
+  for (std::size_t r = 0; r < t; ++r) {
+    const auto& row = stream.next_row();
+    for (std::size_t c = 0; c < t; ++c) m.at(r, c) = row[c];
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> mat_vec(const mod::Modulus& mod, const Matrix& m,
+                                   const std::vector<std::uint64_t>& x) {
+  POE_ENSURE(m.cols == x.size(), "matrix/vector size mismatch");
+  std::vector<std::uint64_t> y(m.rows, 0);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    mod::u128 acc = 0;
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      acc += static_cast<mod::u128>(m.at(r, c)) * x[c];
+      // Partial reduction every few terms keeps the accumulator in range:
+      // with p < 2^62, 4 products fit comfortably in 128 bits.
+      if ((c & 3) == 3) acc %= mod.value();
+    }
+    y[r] = mod.reduce128(acc);
+  }
+  return y;
+}
+
+bool is_invertible(const mod::Modulus& mod, Matrix m) {
+  POE_ENSURE(m.rows == m.cols, "invertibility needs a square matrix");
+  const std::size_t n = m.rows;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && m.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(m.at(pivot, c), m.at(col, c));
+    }
+    const std::uint64_t inv = mod.inv(m.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (m.at(r, col) == 0) continue;
+      const std::uint64_t factor = mod.mul(m.at(r, col), inv);
+      for (std::size_t c = col; c < n; ++c) {
+        m.at(r, c) = mod.sub(m.at(r, c), mod.mul(factor, m.at(col, c)));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace poe::pasta

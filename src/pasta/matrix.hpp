@@ -1,0 +1,66 @@
+// Invertible matrices for the PASTA affine layer.
+//
+// Following the PHOTON/LED sequential construction (paper eq. (1)): the
+// matrix is defined by its first row α; every subsequent row is the previous
+// row multiplied by the companion matrix of α:
+//
+//   next[0]   = prev[t-1] * α[0]
+//   next[j]   = prev[j-1] + prev[t-1] * α[j]      (j >= 1)
+//
+// The hardware never materialises the matrix — it streams rows straight into
+// the matrix-vector product, storing only (α, current row). RowStream mirrors
+// that; Matrix is the materialised form used by tests and the HHE server.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "modular/modulus.hpp"
+
+namespace poe::pasta {
+
+/// Dense row-major matrix over F_p.
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint64_t> data;
+
+  Matrix() = default;
+  Matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0) {}
+
+  std::uint64_t& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  std::uint64_t at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+};
+
+/// Streams the rows of the sequential invertible matrix generated from first
+/// row alpha, using O(t) state — exactly what the hardware MatGen unit keeps.
+class RowStream {
+ public:
+  RowStream(const mod::Modulus& mod, std::vector<std::uint64_t> alpha);
+
+  /// Row 0 is alpha itself; each call returns the next row.
+  const std::vector<std::uint64_t>& next_row();
+
+  std::size_t t() const { return alpha_.size(); }
+
+ private:
+  mod::Modulus mod_;
+  std::vector<std::uint64_t> alpha_;
+  std::vector<std::uint64_t> row_;
+  bool first_ = true;
+};
+
+/// Materialise the full t x t sequential matrix from its first row.
+Matrix sequential_matrix(const mod::Modulus& mod,
+                         const std::vector<std::uint64_t>& alpha);
+
+/// y = M * x over F_p.
+std::vector<std::uint64_t> mat_vec(const mod::Modulus& mod, const Matrix& m,
+                                   const std::vector<std::uint64_t>& x);
+
+/// Rank test by Gaussian elimination (test/diagnostic utility).
+bool is_invertible(const mod::Modulus& mod, Matrix m);
+
+}  // namespace poe::pasta

@@ -1,0 +1,40 @@
+#include "pasta/params.hpp"
+
+#include "common/error.hpp"
+#include "modular/primes.hpp"
+
+namespace poe::pasta {
+
+std::uint64_t pasta_prime(unsigned omega_bits) {
+  switch (omega_bits) {
+    case 17:
+      return kPrime17;
+    case 33:
+      // PASTA reference 33-bit modulus (≡ 1 mod 2^17).
+      return 8088322049ull;
+    case 60:
+      // PASTA reference 60-bit modulus (≡ 1 mod 2^19).
+      return 1096486890805657601ull;
+    case 54: {
+      // The paper additionally places a 54-bit configuration (Table I); the
+      // exact prime is not stated, so pick the largest 54-bit prime
+      // ≡ 1 (mod 2^17) deterministically.
+      static const std::uint64_t p =
+          mod::previous_congruent_prime((1ull << 54) - 1, 1ull << 17);
+      return p;
+    }
+    default:
+      throw Error("unsupported PASTA prime width: " +
+                  std::to_string(omega_bits));
+  }
+}
+
+PastaParams pasta3(std::uint64_t p) {
+  return PastaParams{.t = 128, .rounds = 3, .p = p, .name = "PASTA-3"};
+}
+
+PastaParams pasta4(std::uint64_t p) {
+  return PastaParams{.t = 32, .rounds = 4, .p = p, .name = "PASTA-4"};
+}
+
+}  // namespace poe::pasta

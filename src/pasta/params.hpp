@@ -1,0 +1,58 @@
+// PASTA instantiation parameters.
+//
+// PASTA-3: t = 128 (state 2t = 256), 3 S-box rounds, 4 affine layers.
+// PASTA-4: t =  32 (state 2t =  64), 4 S-box rounds, 5 affine layers.
+// The field prime p can be 17–60 bits; the paper evaluates Mersenne/Fermat
+// structured primes (ω = 17, 33, 54 bits on FPGA; 17/33/54 on ASIC).
+//
+// Note (§II-B of the paper vs its own §I-A/Table II): the paper's background
+// section once states "for PASTA-3, 2t = 128"; the PASTA specification and
+// the rest of the paper use t = 128. We follow t = 128.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace poe::pasta {
+
+struct PastaParams {
+  std::size_t t = 0;        ///< block size (elements per keystream block)
+  std::size_t rounds = 0;   ///< number of S-box rounds (3 or 4)
+  std::uint64_t p = 0;      ///< field prime
+  std::string name;
+
+  std::size_t state_size() const { return 2 * t; }
+  std::size_t key_size() const { return 2 * t; }
+  std::size_t affine_layers() const { return rounds + 1; }
+  /// Field elements drawn from the XOF per block:
+  /// affine_layers * (2 matrix rows + 2 round constants) * t.
+  std::size_t xof_elements_per_block() const {
+    return affine_layers() * 4 * t;
+  }
+  unsigned prime_bits() const { return bit_width_u64(p); }
+  /// Rejection-sampling mask (2^ceil(log2 p) - 1), as in the PASTA reference.
+  std::uint64_t sample_mask() const {
+    return (std::uint64_t{1} << ceil_log2(p)) - 1;
+  }
+  /// Expected XOF words needed per accepted field element.
+  double expected_words_per_element() const {
+    return static_cast<double>(sample_mask() + 1) / static_cast<double>(p);
+  }
+};
+
+/// Field primes evaluated in the paper (ω = bit width). The 17-bit prime is
+/// the Fermat prime 2^16+1 used for headline numbers; 33/60-bit values are
+/// the PASTA reference moduli; the 54-bit one is found deterministically.
+/// All are ≡ 1 (mod 2^17), keeping them NTT/batching-friendly for BGV.
+std::uint64_t pasta_prime(unsigned omega_bits);
+
+inline constexpr std::uint64_t kPrime17 = 65537;  // 2^16 + 1
+
+/// PASTA-3 with t = 128, 3 rounds over prime p.
+PastaParams pasta3(std::uint64_t p = kPrime17);
+/// PASTA-4 with t = 32, 4 rounds over prime p.
+PastaParams pasta4(std::uint64_t p = kPrime17);
+
+}  // namespace poe::pasta

@@ -1,0 +1,39 @@
+#include "pasta/sampler.hpp"
+
+#include "common/bits.hpp"
+
+namespace poe::pasta {
+
+FieldSampler::FieldSampler(const PastaParams& params, std::uint64_t nonce,
+                           std::uint64_t counter)
+    : params_(params),
+      xof_(keccak::Shake::shake128()),
+      mask_(params.sample_mask()) {
+  std::uint8_t seed[16];
+  store_be64(seed, nonce);
+  store_be64(seed + 8, counter);
+  xof_.absorb(seed);
+}
+
+std::uint64_t FieldSampler::next(bool allow_zero) {
+  for (;;) {
+    std::uint64_t word = xof_.squeeze_u64() & mask_;
+    ++stats_.words_drawn;
+    if (word < params_.p && (allow_zero || word != 0)) return word;
+    ++stats_.words_rejected;
+  }
+}
+
+std::vector<std::uint64_t> FieldSampler::next_vector(bool allow_zero) {
+  std::vector<std::uint64_t> out(params_.t);
+  for (auto& x : out) x = next(allow_zero);
+  return out;
+}
+
+SamplerStats FieldSampler::stats() const {
+  SamplerStats s = stats_;
+  s.permutations = xof_.permutation_count();
+  return s;
+}
+
+}  // namespace poe::pasta

@@ -1,0 +1,44 @@
+// XOF-driven rejection sampler producing uniform field elements, exactly as
+// the PASTA reference: SHAKE128 seeded with nonce‖counter (big-endian),
+// 64-bit words masked to ceil(log2 p) bits, rejected if >= p (or zero where
+// zeros are disallowed, e.g. matrix first rows).
+//
+// The sampler records consumption statistics so the hardware cycle model's
+// XOF schedule can be cross-checked against software (§IV-B of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "keccak/shake.hpp"
+#include "pasta/params.hpp"
+
+namespace poe::pasta {
+
+struct SamplerStats {
+  std::uint64_t words_drawn = 0;     ///< 64-bit XOF words consumed
+  std::uint64_t words_rejected = 0;  ///< words discarded by rejection
+  std::uint64_t permutations = 0;    ///< Keccak-f executions
+};
+
+class FieldSampler {
+ public:
+  FieldSampler(const PastaParams& params, std::uint64_t nonce,
+               std::uint64_t counter);
+
+  /// Next uniform element of [0, p) (or [1, p) when allow_zero is false).
+  std::uint64_t next(bool allow_zero);
+
+  /// Next t-element vector.
+  std::vector<std::uint64_t> next_vector(bool allow_zero);
+
+  SamplerStats stats() const;
+
+ private:
+  PastaParams params_;
+  keccak::Shake xof_;
+  std::uint64_t mask_;
+  SamplerStats stats_;
+};
+
+}  // namespace poe::pasta

@@ -1,0 +1,45 @@
+#include "pasta/serialize.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace poe::pasta {
+
+std::vector<std::uint8_t> pack_elements(
+    const PastaParams& params, std::span<const std::uint64_t> elems) {
+  const unsigned bits = params.prime_bits();
+  std::vector<std::uint8_t> out(
+      ceil_div(static_cast<std::uint64_t>(elems.size()) * bits, 8), 0);
+  std::size_t bit_pos = 0;
+  for (const std::uint64_t e : elems) {
+    POE_ENSURE(e < params.p, "element out of field range");
+    for (unsigned b = 0; b < bits; ++b) {
+      if ((e >> b) & 1) {
+        out[bit_pos / 8] |= static_cast<std::uint8_t>(1u << (bit_pos % 8));
+      }
+      ++bit_pos;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> unpack_elements(
+    const PastaParams& params, std::span<const std::uint8_t> bytes,
+    std::size_t count) {
+  const unsigned bits = params.prime_bits();
+  POE_ENSURE(bytes.size() * 8 >= count * bits, "byte buffer too short");
+  std::vector<std::uint64_t> out(count, 0);
+  std::size_t bit_pos = 0;
+  for (auto& e : out) {
+    for (unsigned b = 0; b < bits; ++b) {
+      if ((bytes[bit_pos / 8] >> (bit_pos % 8)) & 1) {
+        e |= std::uint64_t{1} << b;
+      }
+      ++bit_pos;
+    }
+    POE_ENSURE(e < params.p, "decoded element out of field range");
+  }
+  return out;
+}
+
+}  // namespace poe::pasta

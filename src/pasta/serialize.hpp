@@ -1,0 +1,27 @@
+// Bit-packed wire format for PASTA ciphertexts and keys.
+//
+// The paper's communication numbers (§V: "132 Bytes (2^5 · 33 bits)")
+// assume elements are packed at exactly ceil(log2 p) bits each; this module
+// implements that format so `ciphertext_bytes` is not just a model but the
+// size of real serialised bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pasta/params.hpp"
+
+namespace poe::pasta {
+
+/// Pack field elements at omega = ceil(log2 p) bits each, little-endian bit
+/// order, zero-padded to a byte boundary.
+std::vector<std::uint8_t> pack_elements(const PastaParams& params,
+                                        std::span<const std::uint64_t> elems);
+
+/// Inverse of pack_elements; `count` elements are read.
+std::vector<std::uint64_t> unpack_elements(const PastaParams& params,
+                                           std::span<const std::uint8_t> bytes,
+                                           std::size_t count);
+
+}  // namespace poe::pasta

@@ -1,0 +1,245 @@
+#include "riscv/assembler.hpp"
+
+namespace poe::rv {
+
+namespace {
+
+constexpr u32 r(Reg reg) { return static_cast<u32>(reg); }
+
+u32 encode_r(u32 funct7, Reg rs2, Reg rs1, u32 funct3, Reg rd, u32 op) {
+  return (funct7 << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (funct3 << 12) |
+         (r(rd) << 7) | op;
+}
+
+u32 encode_i(std::int32_t imm, Reg rs1, u32 funct3, Reg rd, u32 op) {
+  POE_ENSURE(imm >= -2048 && imm <= 2047, "I-immediate out of range: " << imm);
+  return (static_cast<u32>(imm & 0xfff) << 20) | (r(rs1) << 15) |
+         (funct3 << 12) | (r(rd) << 7) | op;
+}
+
+u32 encode_s(std::int32_t imm, Reg rs2, Reg rs1, u32 funct3, u32 op) {
+  POE_ENSURE(imm >= -2048 && imm <= 2047, "S-immediate out of range: " << imm);
+  const u32 u = static_cast<u32>(imm & 0xfff);
+  return ((u >> 5) << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (funct3 << 12) |
+         ((u & 0x1f) << 7) | op;
+}
+
+u32 encode_b(std::int32_t offset, Reg rs1, Reg rs2, u32 funct3) {
+  POE_ENSURE(offset >= -4096 && offset <= 4094 && (offset & 1) == 0,
+             "branch offset out of range: " << offset);
+  const u32 u = static_cast<u32>(offset);
+  u32 insn = 0x63;
+  insn |= funct3 << 12;
+  insn |= r(rs1) << 15;
+  insn |= r(rs2) << 20;
+  insn |= ((u >> 11) & 1) << 7;
+  insn |= ((u >> 1) & 0xf) << 8;
+  insn |= ((u >> 5) & 0x3f) << 25;
+  insn |= ((u >> 12) & 1) << 31;
+  return insn;
+}
+
+u32 encode_j(std::int32_t offset, Reg rd) {
+  POE_ENSURE(offset >= -(1 << 20) && offset < (1 << 20) && (offset & 1) == 0,
+             "jump offset out of range: " << offset);
+  const u32 u = static_cast<u32>(offset);
+  u32 insn = 0x6f;
+  insn |= r(rd) << 7;
+  insn |= ((u >> 12) & 0xff) << 12;
+  insn |= ((u >> 11) & 1) << 20;
+  insn |= ((u >> 1) & 0x3ff) << 21;
+  insn |= ((u >> 20) & 1) << 31;
+  return insn;
+}
+
+}  // namespace
+
+Program::Label Program::make_label() {
+  label_offsets_.push_back(-1);
+  return Label{label_offsets_.size() - 1};
+}
+
+void Program::bind(Label label) {
+  POE_ENSURE(label.id < label_offsets_.size(), "unknown label");
+  POE_ENSURE(label_offsets_[label.id] == -1, "label bound twice");
+  label_offsets_[label.id] = static_cast<std::int64_t>(here());
+}
+
+void Program::lui(Reg rd, u32 imm20) {
+  emit((imm20 << 12) | (r(rd) << 7) | 0x37);
+}
+void Program::auipc(Reg rd, u32 imm20) {
+  emit((imm20 << 12) | (r(rd) << 7) | 0x17);
+}
+
+void Program::jal(Reg rd, Label target) {
+  fixups_.push_back({words_.size(), target.id, Fixup::Kind::kJal});
+  emit((r(rd) << 7) | 0x6f);  // offset patched later
+}
+
+void Program::jalr(Reg rd, Reg rs1, std::int32_t offset) {
+  emit(encode_i(offset, rs1, 0, rd, 0x67));
+}
+
+void Program::emit_branch(u32 funct3, Reg rs1, Reg rs2, Label target) {
+  fixups_.push_back({words_.size(), target.id, Fixup::Kind::kBranch});
+  emit(encode_b(0, rs1, rs2, funct3));
+}
+
+void Program::beq(Reg a, Reg b, Label l) { emit_branch(0, a, b, l); }
+void Program::bne(Reg a, Reg b, Label l) { emit_branch(1, a, b, l); }
+void Program::blt(Reg a, Reg b, Label l) { emit_branch(4, a, b, l); }
+void Program::bge(Reg a, Reg b, Label l) { emit_branch(5, a, b, l); }
+void Program::bltu(Reg a, Reg b, Label l) { emit_branch(6, a, b, l); }
+void Program::bgeu(Reg a, Reg b, Label l) { emit_branch(7, a, b, l); }
+
+void Program::lb(Reg rd, Reg rs1, std::int32_t off) {
+  emit(encode_i(off, rs1, 0, rd, 0x03));
+}
+void Program::lh(Reg rd, Reg rs1, std::int32_t off) {
+  emit(encode_i(off, rs1, 1, rd, 0x03));
+}
+void Program::lw(Reg rd, Reg rs1, std::int32_t off) {
+  emit(encode_i(off, rs1, 2, rd, 0x03));
+}
+void Program::lbu(Reg rd, Reg rs1, std::int32_t off) {
+  emit(encode_i(off, rs1, 4, rd, 0x03));
+}
+void Program::lhu(Reg rd, Reg rs1, std::int32_t off) {
+  emit(encode_i(off, rs1, 5, rd, 0x03));
+}
+void Program::sb(Reg rs2, Reg rs1, std::int32_t off) {
+  emit(encode_s(off, rs2, rs1, 0, 0x23));
+}
+void Program::sh(Reg rs2, Reg rs1, std::int32_t off) {
+  emit(encode_s(off, rs2, rs1, 1, 0x23));
+}
+void Program::sw(Reg rs2, Reg rs1, std::int32_t off) {
+  emit(encode_s(off, rs2, rs1, 2, 0x23));
+}
+
+void Program::addi(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 0, rd, 0x13));
+}
+void Program::slti(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 2, rd, 0x13));
+}
+void Program::sltiu(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 3, rd, 0x13));
+}
+void Program::xori(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 4, rd, 0x13));
+}
+void Program::ori(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 6, rd, 0x13));
+}
+void Program::andi(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(encode_i(imm, rs1, 7, rd, 0x13));
+}
+void Program::slli(Reg rd, Reg rs1, unsigned shamt) {
+  POE_ENSURE(shamt < 32, "shift amount");
+  emit(encode_i(static_cast<std::int32_t>(shamt), rs1, 1, rd, 0x13));
+}
+void Program::srli(Reg rd, Reg rs1, unsigned shamt) {
+  POE_ENSURE(shamt < 32, "shift amount");
+  emit(encode_i(static_cast<std::int32_t>(shamt), rs1, 5, rd, 0x13));
+}
+void Program::srai(Reg rd, Reg rs1, unsigned shamt) {
+  POE_ENSURE(shamt < 32, "shift amount");
+  emit(encode_i(static_cast<std::int32_t>(shamt | 0x400), rs1, 5, rd, 0x13));
+}
+
+void Program::add(Reg rd, Reg a, Reg b) { emit(encode_r(0, b, a, 0, rd, 0x33)); }
+void Program::sub(Reg rd, Reg a, Reg b) {
+  emit(encode_r(0x20, b, a, 0, rd, 0x33));
+}
+void Program::sll(Reg rd, Reg a, Reg b) { emit(encode_r(0, b, a, 1, rd, 0x33)); }
+void Program::slt(Reg rd, Reg a, Reg b) { emit(encode_r(0, b, a, 2, rd, 0x33)); }
+void Program::sltu(Reg rd, Reg a, Reg b) {
+  emit(encode_r(0, b, a, 3, rd, 0x33));
+}
+void Program::xor_(Reg rd, Reg a, Reg b) {
+  emit(encode_r(0, b, a, 4, rd, 0x33));
+}
+void Program::srl(Reg rd, Reg a, Reg b) { emit(encode_r(0, b, a, 5, rd, 0x33)); }
+void Program::sra(Reg rd, Reg a, Reg b) {
+  emit(encode_r(0x20, b, a, 5, rd, 0x33));
+}
+void Program::or_(Reg rd, Reg a, Reg b) { emit(encode_r(0, b, a, 6, rd, 0x33)); }
+void Program::and_(Reg rd, Reg a, Reg b) {
+  emit(encode_r(0, b, a, 7, rd, 0x33));
+}
+
+void Program::ecall() { emit(0x73); }
+void Program::ebreak() { emit(0x00100073); }
+
+void Program::mul(Reg rd, Reg a, Reg b) { emit(encode_r(1, b, a, 0, rd, 0x33)); }
+void Program::mulh(Reg rd, Reg a, Reg b) {
+  emit(encode_r(1, b, a, 1, rd, 0x33));
+}
+void Program::mulhsu(Reg rd, Reg a, Reg b) {
+  emit(encode_r(1, b, a, 2, rd, 0x33));
+}
+void Program::mulhu(Reg rd, Reg a, Reg b) {
+  emit(encode_r(1, b, a, 3, rd, 0x33));
+}
+void Program::div(Reg rd, Reg a, Reg b) { emit(encode_r(1, b, a, 4, rd, 0x33)); }
+void Program::divu(Reg rd, Reg a, Reg b) {
+  emit(encode_r(1, b, a, 5, rd, 0x33));
+}
+void Program::rem(Reg rd, Reg a, Reg b) { emit(encode_r(1, b, a, 6, rd, 0x33)); }
+void Program::remu(Reg rd, Reg a, Reg b) {
+  emit(encode_r(1, b, a, 7, rd, 0x33));
+}
+
+void Program::csrr_cycle(Reg rd) {
+  // csrrs rd, cycle, x0
+  emit((0xC00u << 20) | (0u << 15) | (2u << 12) | (r(rd) << 7) | 0x73);
+}
+void Program::csrr_cycleh(Reg rd) {
+  emit((0xC80u << 20) | (0u << 15) | (2u << 12) | (r(rd) << 7) | 0x73);
+}
+
+void Program::li(Reg rd, u32 value) {
+  const std::int32_t sv = static_cast<std::int32_t>(value);
+  if (sv >= -2048 && sv <= 2047) {
+    addi(rd, Reg::x0, sv);
+    return;
+  }
+  // lui loads the upper 20 bits; addi's sign extension requires rounding the
+  // upper part when bit 11 is set.
+  u32 upper = value >> 12;
+  const std::int32_t lower = static_cast<std::int32_t>(value << 20) >> 20;
+  if (lower < 0) upper = (upper + 1) & 0xfffff;
+  lui(rd, upper);
+  if (lower != 0) addi(rd, rd, lower);
+}
+
+std::vector<u32> Program::assemble() {
+  for (const auto& fix : fixups_) {
+    POE_ENSURE(label_offsets_[fix.label_id] >= 0, "unbound label used");
+    const std::int64_t target = label_offsets_[fix.label_id];
+    const std::int64_t source = static_cast<std::int64_t>(fix.word_index) * 4;
+    const std::int32_t offset = static_cast<std::int32_t>(target - source);
+    u32& word = words_[fix.word_index];
+    if (fix.kind == Fixup::Kind::kJal) {
+      const Reg rd = static_cast<Reg>((word >> 7) & 0x1f);
+      word = encode_j(offset, rd);
+    } else {
+      const u32 funct3 = (word >> 12) & 7;
+      const Reg rs1 = static_cast<Reg>((word >> 15) & 0x1f);
+      const Reg rs2 = static_cast<Reg>((word >> 20) & 0x1f);
+      word = encode_b(offset, rs1, rs2, funct3);
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+void Program::load(Ram& ram, u32 base, const std::vector<u32>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ram.store_word(base + static_cast<u32>(i) * 4, words[i]);
+  }
+}
+
+}  // namespace poe::rv

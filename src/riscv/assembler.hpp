@@ -1,0 +1,124 @@
+// Builder-style RV32IM assembler used to author SoC driver programs in C++
+// (no text parsing): emit instructions through typed methods, use labels for
+// control flow, then assemble() to resolve fixups.
+//
+//   Program p;
+//   auto loop = p.make_label();
+//   p.li(Reg::t0, 10);
+//   p.bind(loop);
+//   p.addi(Reg::t0, Reg::t0, -1);
+//   p.bne(Reg::t0, Reg::x0, loop);
+//   p.ecall();
+//   std::vector<u32> words = p.assemble();
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/bus.hpp"
+
+namespace poe::rv {
+
+/// ABI register names.
+enum class Reg : unsigned {
+  x0 = 0, ra, sp, gp, tp, t0, t1, t2, s0, s1,
+  a0, a1, a2, a3, a4, a5, a6, a7,
+  s2, s3, s4, s5, s6, s7, s8, s9, s10, s11,
+  t3, t4, t5, t6,
+};
+
+class Program {
+ public:
+  struct Label {
+    std::size_t id;
+  };
+
+  Label make_label();
+  /// Bind a label to the current position.
+  void bind(Label label);
+
+  /// Current byte offset from program start.
+  u32 here() const { return static_cast<u32>(words_.size() * 4); }
+
+  // RV32I
+  void lui(Reg rd, u32 imm20);
+  void auipc(Reg rd, u32 imm20);
+  void jal(Reg rd, Label target);
+  void jalr(Reg rd, Reg rs1, std::int32_t offset);
+  void beq(Reg rs1, Reg rs2, Label target);
+  void bne(Reg rs1, Reg rs2, Label target);
+  void blt(Reg rs1, Reg rs2, Label target);
+  void bge(Reg rs1, Reg rs2, Label target);
+  void bltu(Reg rs1, Reg rs2, Label target);
+  void bgeu(Reg rs1, Reg rs2, Label target);
+  void lb(Reg rd, Reg rs1, std::int32_t offset);
+  void lh(Reg rd, Reg rs1, std::int32_t offset);
+  void lw(Reg rd, Reg rs1, std::int32_t offset);
+  void lbu(Reg rd, Reg rs1, std::int32_t offset);
+  void lhu(Reg rd, Reg rs1, std::int32_t offset);
+  void sb(Reg rs2, Reg rs1, std::int32_t offset);
+  void sh(Reg rs2, Reg rs1, std::int32_t offset);
+  void sw(Reg rs2, Reg rs1, std::int32_t offset);
+  void addi(Reg rd, Reg rs1, std::int32_t imm);
+  void slti(Reg rd, Reg rs1, std::int32_t imm);
+  void sltiu(Reg rd, Reg rs1, std::int32_t imm);
+  void xori(Reg rd, Reg rs1, std::int32_t imm);
+  void ori(Reg rd, Reg rs1, std::int32_t imm);
+  void andi(Reg rd, Reg rs1, std::int32_t imm);
+  void slli(Reg rd, Reg rs1, unsigned shamt);
+  void srli(Reg rd, Reg rs1, unsigned shamt);
+  void srai(Reg rd, Reg rs1, unsigned shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void ecall();
+  void ebreak();
+
+  // M extension
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+
+  // Zicsr reads (counter CSRs only)
+  void csrr_cycle(Reg rd);
+  void csrr_cycleh(Reg rd);
+
+  // Pseudo-instructions
+  void li(Reg rd, u32 value);       ///< lui+addi (or addi alone)
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void nop() { addi(Reg::x0, Reg::x0, 0); }
+  void j(Label target) { jal(Reg::x0, target); }
+
+  /// Resolve all label fixups and return the instruction words.
+  std::vector<u32> assemble();
+
+  /// Load assembled words into RAM at byte offset `base`.
+  static void load(Ram& ram, u32 base, const std::vector<u32>& words);
+
+ private:
+  void emit(u32 word) { words_.push_back(word); }
+  void emit_branch(u32 funct3, Reg rs1, Reg rs2, Label target);
+
+  std::vector<u32> words_;
+  std::vector<std::int64_t> label_offsets_;  // -1 = unbound
+  struct Fixup {
+    std::size_t word_index;
+    std::size_t label_id;
+    enum class Kind { kBranch, kJal } kind;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace poe::rv

@@ -1,0 +1,104 @@
+#include "riscv/bus.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace poe::rv {
+
+u32 Ram::read32(u32 offset, u64 /*now*/) { return load_word(offset); }
+
+void Ram::write32(u32 offset, u32 value, u64 /*now*/) {
+  store_word(offset, value);
+}
+
+u8 Ram::read8(u32 offset) const {
+  POE_ENSURE(offset < mem_.size(), "RAM read out of range: " << offset);
+  return mem_[offset];
+}
+
+void Ram::write8(u32 offset, u8 value) {
+  POE_ENSURE(offset < mem_.size(), "RAM write out of range: " << offset);
+  mem_[offset] = value;
+}
+
+u32 Ram::load_word(u32 offset) const {
+  POE_ENSURE(offset + 3 < mem_.size(), "RAM word read out of range: " << offset);
+  return static_cast<u32>(mem_[offset]) |
+         (static_cast<u32>(mem_[offset + 1]) << 8) |
+         (static_cast<u32>(mem_[offset + 2]) << 16) |
+         (static_cast<u32>(mem_[offset + 3]) << 24);
+}
+
+void Ram::store_word(u32 offset, u32 value) {
+  POE_ENSURE(offset + 3 < mem_.size(),
+             "RAM word write out of range: " << offset);
+  mem_[offset] = static_cast<u8>(value);
+  mem_[offset + 1] = static_cast<u8>(value >> 8);
+  mem_[offset + 2] = static_cast<u8>(value >> 16);
+  mem_[offset + 3] = static_cast<u8>(value >> 24);
+}
+
+void Bus::map(u32 base, u32 size, BusDevice* device) {
+  POE_ENSURE(device != nullptr, "null device");
+  for (const auto& w : windows_) {
+    const bool overlap = base < w.base + w.size && w.base < base + size;
+    POE_ENSURE(!overlap, "bus window overlap at 0x" << std::hex << base);
+  }
+  windows_.push_back(Window{base, size, device});
+}
+
+const Bus::Window& Bus::resolve(u32 addr) const {
+  for (const auto& w : windows_) {
+    if (addr >= w.base && addr - w.base < w.size) return w;
+  }
+  throw Error("bus access to unmapped address 0x" +
+              [](u32 a) {
+                char buf[16];
+                std::snprintf(buf, sizeof buf, "%08x", a);
+                return std::string(buf);
+              }(addr));
+}
+
+u32 Bus::read32(u32 addr, u64 now) {
+  const auto& w = resolve(addr);
+  return w.device->read32(addr - w.base, now);
+}
+
+void Bus::write32(u32 addr, u32 value, u64 now) {
+  const auto& w = resolve(addr);
+  w.device->write32(addr - w.base, value, now);
+}
+
+u8 Bus::read8(u32 addr, u64 now) {
+  const u32 word = read32(addr & ~3u, now);
+  return static_cast<u8>(word >> (8 * (addr & 3u)));
+}
+
+void Bus::write8(u32 addr, u8 value, u64 now) {
+  const u32 aligned = addr & ~3u;
+  u32 word = read32(aligned, now);
+  const unsigned shift = 8 * (addr & 3u);
+  word = (word & ~(0xFFu << shift)) | (static_cast<u32>(value) << shift);
+  write32(aligned, word, now);
+}
+
+u32 Bus::read16(u32 addr, u64 now) {
+  POE_ENSURE((addr & 1u) == 0, "misaligned halfword read");
+  const u32 word = read32(addr & ~3u, now);
+  return (word >> (8 * (addr & 3u))) & 0xFFFFu;
+}
+
+void Bus::write16(u32 addr, u32 value, u64 now) {
+  POE_ENSURE((addr & 1u) == 0, "misaligned halfword write");
+  const u32 aligned = addr & ~3u;
+  u32 word = read32(aligned, now);
+  const unsigned shift = 8 * (addr & 3u);
+  word = (word & ~(0xFFFFu << shift)) | ((value & 0xFFFFu) << shift);
+  write32(aligned, word, now);
+}
+
+unsigned Bus::access_latency(u32 addr) const {
+  return resolve(addr).device->access_latency();
+}
+
+}  // namespace poe::rv

@@ -1,0 +1,79 @@
+// Memory bus for the RISC-V SoC model.
+//
+// A single shared data bus connects the Ibex-class core to RAM and to the
+// PASTA peripheral's slave interface (the paper's "single bus" that
+// serialises key/nonce writes, start signals and ciphertext readout). The
+// peripheral additionally owns a private master port into RAM (paper §IV-A
+// ③) which is modelled directly in the peripheral.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace poe::rv {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// A device mapped on the bus. `now` is the current core cycle, letting
+/// devices with internal timing (the PASTA peripheral) answer status queries.
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+  virtual u32 read32(u32 offset, u64 now) = 0;
+  virtual void write32(u32 offset, u32 value, u64 now) = 0;
+  /// Extra bus wait-states for an access to this device.
+  virtual unsigned access_latency() const { return 1; }
+};
+
+/// Simple little-endian RAM.
+class Ram : public BusDevice {
+ public:
+  explicit Ram(std::size_t size_bytes) : mem_(size_bytes, 0) {}
+
+  u32 read32(u32 offset, u64 now) override;
+  void write32(u32 offset, u32 value, u64 now) override;
+
+  u8 read8(u32 offset) const;
+  void write8(u32 offset, u8 value);
+
+  /// Direct (non-bus) accessors for loaders and the peripheral master port.
+  u32 load_word(u32 offset) const;
+  void store_word(u32 offset, u32 value);
+
+  std::size_t size() const { return mem_.size(); }
+
+ private:
+  std::vector<u8> mem_;
+};
+
+/// Address-decoded bus with device windows.
+class Bus {
+ public:
+  void map(u32 base, u32 size, BusDevice* device);
+
+  u32 read32(u32 addr, u64 now);
+  void write32(u32 addr, u32 value, u64 now);
+  u8 read8(u32 addr, u64 now);
+  void write8(u32 addr, u8 value, u64 now);
+  u32 read16(u32 addr, u64 now);
+  void write16(u32 addr, u32 value, u64 now);
+
+  /// Wait-states of the device behind addr.
+  unsigned access_latency(u32 addr) const;
+
+ private:
+  struct Window {
+    u32 base;
+    u32 size;
+    BusDevice* device;
+  };
+  const Window& resolve(u32 addr) const;
+  std::vector<Window> windows_;
+};
+
+}  // namespace poe::rv

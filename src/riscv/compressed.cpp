@@ -1,0 +1,213 @@
+#include "riscv/compressed.hpp"
+
+#include "common/error.hpp"
+
+namespace poe::rv {
+
+namespace {
+
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+
+constexpr u32 bits(u16 x, int hi, int lo) {
+  return (static_cast<u32>(x) >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+// 32-bit encoders (mirroring the assembler's, local to keep this
+// self-contained).
+u32 enc_i(std::int32_t imm, u32 rs1, u32 funct3, u32 rd, u32 op) {
+  return (static_cast<u32>(imm & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | op;
+}
+u32 enc_r(u32 funct7, u32 rs2, u32 rs1, u32 funct3, u32 rd, u32 op) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | op;
+}
+u32 enc_s(std::int32_t imm, u32 rs2, u32 rs1, u32 funct3) {
+  const u32 u = static_cast<u32>(imm & 0xfff);
+  return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         ((u & 0x1f) << 7) | 0x23;
+}
+u32 enc_b(std::int32_t offset, u32 rs1, u32 rs2, u32 funct3) {
+  const u32 u = static_cast<u32>(offset);
+  u32 insn = 0x63;
+  insn |= funct3 << 12;
+  insn |= rs1 << 15;
+  insn |= rs2 << 20;
+  insn |= ((u >> 11) & 1) << 7;
+  insn |= ((u >> 1) & 0xf) << 8;
+  insn |= ((u >> 5) & 0x3f) << 25;
+  insn |= ((u >> 12) & 1) << 31;
+  return insn;
+}
+u32 enc_j(std::int32_t offset, u32 rd) {
+  const u32 u = static_cast<u32>(offset);
+  u32 insn = 0x6f;
+  insn |= rd << 7;
+  insn |= ((u >> 12) & 0xff) << 12;
+  insn |= ((u >> 11) & 1) << 20;
+  insn |= ((u >> 1) & 0x3ff) << 21;
+  insn |= ((u >> 20) & 1) << 31;
+  return insn;
+}
+
+std::int32_t sign_extend(u32 value, unsigned bits_count) {
+  const u32 shift = 32 - bits_count;
+  return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+}  // namespace
+
+std::uint32_t expand_compressed(u16 insn) {
+  POE_ENSURE(insn != 0, "illegal compressed instruction 0x0000");
+  const u32 op = insn & 3;
+  const u32 funct3 = bits(insn, 15, 13);
+  const u32 rd = bits(insn, 11, 7);
+  const u32 rs2 = bits(insn, 6, 2);
+  const u32 rdp = 8 + bits(insn, 9, 7);   // rd'/rs1'
+  const u32 rs2p = 8 + bits(insn, 4, 2);  // rs2'
+
+  switch (op) {
+    case 0:  // quadrant 0
+      switch (funct3) {
+        case 0b000: {  // c.addi4spn
+          const u32 imm = (bits(insn, 10, 7) << 6) | (bits(insn, 12, 11) << 4) |
+                          (bits(insn, 5, 5) << 3) | (bits(insn, 6, 6) << 2);
+          POE_ENSURE(imm != 0, "reserved c.addi4spn with zero immediate");
+          return enc_i(static_cast<std::int32_t>(imm), 2, 0, rs2p, 0x13);
+        }
+        case 0b010: {  // c.lw
+          const u32 imm = (bits(insn, 5, 5) << 6) | (bits(insn, 12, 10) << 3) |
+                          (bits(insn, 6, 6) << 2);
+          return enc_i(static_cast<std::int32_t>(imm), rdp, 2, rs2p, 0x03);
+        }
+        case 0b110: {  // c.sw
+          const u32 imm = (bits(insn, 5, 5) << 6) | (bits(insn, 12, 10) << 3) |
+                          (bits(insn, 6, 6) << 2);
+          return enc_s(static_cast<std::int32_t>(imm), rs2p, rdp, 2);
+        }
+        default:
+          throw Error("unsupported compressed instruction (quadrant 0)");
+      }
+    case 1:  // quadrant 1
+      switch (funct3) {
+        case 0b000: {  // c.nop / c.addi
+          const std::int32_t imm =
+              sign_extend((bits(insn, 12, 12) << 5) | rs2, 6);
+          return enc_i(imm, rd, 0, rd, 0x13);
+        }
+        case 0b001: {  // c.jal (RV32)
+          const u32 raw = (bits(insn, 12, 12) << 11) |
+                          (bits(insn, 8, 8) << 10) | (bits(insn, 10, 9) << 8) |
+                          (bits(insn, 6, 6) << 7) | (bits(insn, 7, 7) << 6) |
+                          (bits(insn, 2, 2) << 5) | (bits(insn, 11, 11) << 4) |
+                          (bits(insn, 5, 3) << 1);
+          return enc_j(sign_extend(raw, 12), 1);
+        }
+        case 0b010: {  // c.li
+          const std::int32_t imm =
+              sign_extend((bits(insn, 12, 12) << 5) | rs2, 6);
+          return enc_i(imm, 0, 0, rd, 0x13);
+        }
+        case 0b011: {
+          if (rd == 2) {  // c.addi16sp
+            const u32 raw = (bits(insn, 12, 12) << 9) |
+                            (bits(insn, 4, 3) << 7) | (bits(insn, 5, 5) << 6) |
+                            (bits(insn, 2, 2) << 5) | (bits(insn, 6, 6) << 4);
+            const std::int32_t imm = sign_extend(raw, 10);
+            POE_ENSURE(imm != 0, "reserved c.addi16sp with zero immediate");
+            return enc_i(imm, 2, 0, 2, 0x13);
+          }
+          // c.lui
+          const std::int32_t imm =
+              sign_extend((bits(insn, 12, 12) << 5) | rs2, 6);
+          POE_ENSURE(imm != 0, "reserved c.lui with zero immediate");
+          return (static_cast<u32>(imm & 0xfffff) << 12) | (rd << 7) | 0x37;
+        }
+        case 0b100: {  // misc-alu on rd'
+          const u32 funct2 = bits(insn, 11, 10);
+          const u32 shamt = (bits(insn, 12, 12) << 5) | rs2;
+          switch (funct2) {
+            case 0b00:  // c.srli
+              POE_ENSURE(shamt < 32, "RV32 shift amount");
+              return enc_i(static_cast<std::int32_t>(shamt), rdp, 5, rdp,
+                           0x13);
+            case 0b01:  // c.srai
+              POE_ENSURE(shamt < 32, "RV32 shift amount");
+              return enc_i(static_cast<std::int32_t>(shamt | 0x400), rdp, 5,
+                           rdp, 0x13);
+            case 0b10:  // c.andi
+              return enc_i(sign_extend((bits(insn, 12, 12) << 5) | rs2, 6),
+                           rdp, 7, rdp, 0x13);
+            case 0b11: {
+              POE_ENSURE(bits(insn, 12, 12) == 0,
+                         "reserved compressed ALU encoding");
+              switch (bits(insn, 6, 5)) {
+                case 0b00: return enc_r(0x20, rs2p, rdp, 0, rdp, 0x33);  // sub
+                case 0b01: return enc_r(0, rs2p, rdp, 4, rdp, 0x33);     // xor
+                case 0b10: return enc_r(0, rs2p, rdp, 6, rdp, 0x33);     // or
+                case 0b11: return enc_r(0, rs2p, rdp, 7, rdp, 0x33);     // and
+              }
+              break;
+            }
+          }
+          throw Error("unsupported compressed ALU instruction");
+        }
+        case 0b101: {  // c.j
+          const u32 raw = (bits(insn, 12, 12) << 11) |
+                          (bits(insn, 8, 8) << 10) | (bits(insn, 10, 9) << 8) |
+                          (bits(insn, 6, 6) << 7) | (bits(insn, 7, 7) << 6) |
+                          (bits(insn, 2, 2) << 5) | (bits(insn, 11, 11) << 4) |
+                          (bits(insn, 5, 3) << 1);
+          return enc_j(sign_extend(raw, 12), 0);
+        }
+        case 0b110:    // c.beqz
+        case 0b111: {  // c.bnez
+          const u32 raw = (bits(insn, 12, 12) << 8) | (bits(insn, 6, 5) << 6) |
+                          (bits(insn, 2, 2) << 5) | (bits(insn, 11, 10) << 3) |
+                          (bits(insn, 4, 3) << 1);
+          const std::int32_t off = sign_extend(raw, 9);
+          return enc_b(off, rdp, 0, funct3 == 0b110 ? 0 : 1);
+        }
+        default:
+          throw Error("unsupported compressed instruction (quadrant 1)");
+      }
+    case 2:  // quadrant 2
+      switch (funct3) {
+        case 0b000: {  // c.slli
+          const u32 shamt = (bits(insn, 12, 12) << 5) | rs2;
+          POE_ENSURE(shamt < 32, "RV32 shift amount");
+          return enc_i(static_cast<std::int32_t>(shamt), rd, 1, rd, 0x13);
+        }
+        case 0b010: {  // c.lwsp
+          POE_ENSURE(rd != 0, "reserved c.lwsp rd=0");
+          const u32 imm = (bits(insn, 3, 2) << 6) | (bits(insn, 12, 12) << 5) |
+                          (bits(insn, 6, 4) << 2);
+          return enc_i(static_cast<std::int32_t>(imm), 2, 2, rd, 0x03);
+        }
+        case 0b100: {
+          const bool bit12 = bits(insn, 12, 12) != 0;
+          if (!bit12) {
+            if (rs2 == 0) {  // c.jr
+              POE_ENSURE(rd != 0, "reserved c.jr rs1=0");
+              return enc_i(0, rd, 0, 0, 0x67);
+            }
+            return enc_r(0, rs2, 0, 0, rd, 0x33);  // c.mv
+          }
+          if (rd == 0 && rs2 == 0) return 0x00100073;  // c.ebreak
+          if (rs2 == 0) return enc_i(0, rd, 0, 1, 0x67);  // c.jalr
+          return enc_r(0, rs2, rd, 0, rd, 0x33);          // c.add
+        }
+        case 0b110: {  // c.swsp
+          const u32 imm = (bits(insn, 8, 7) << 6) | (bits(insn, 12, 9) << 2);
+          return enc_s(static_cast<std::int32_t>(imm), rs2, 2, 2);
+        }
+        default:
+          throw Error("unsupported compressed instruction (quadrant 2)");
+      }
+    default:
+      throw Error("not a compressed instruction");
+  }
+}
+
+}  // namespace poe::rv

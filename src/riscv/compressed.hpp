@@ -1,0 +1,19 @@
+// RV32C compressed-instruction expansion (Ibex executes RV32IMC; the ISS
+// supports it by expanding each 16-bit instruction to its 32-bit
+// equivalent before execution — the standard decoder-frontend approach).
+#pragma once
+
+#include <cstdint>
+
+namespace poe::rv {
+
+/// True if the low two bits mark a compressed (16-bit) encoding.
+constexpr bool is_compressed(std::uint32_t word) { return (word & 3) != 3; }
+
+/// Expand a 16-bit RV32C instruction to the equivalent 32-bit RV32I/M
+/// encoding. Throws poe::Error for reserved/illegal encodings. Note that
+/// link registers written by expanded C.JAL/C.JALR must still record pc+2 —
+/// the CPU passes the instruction length separately.
+std::uint32_t expand_compressed(std::uint16_t insn);
+
+}  // namespace poe::rv

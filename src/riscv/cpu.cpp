@@ -1,0 +1,316 @@
+#include "riscv/cpu.hpp"
+
+#include "riscv/compressed.hpp"
+
+namespace poe::rv {
+
+namespace {
+
+// Instruction field extractors.
+constexpr u32 opcode(u32 i) { return i & 0x7f; }
+constexpr u32 rd(u32 i) { return (i >> 7) & 0x1f; }
+constexpr u32 funct3(u32 i) { return (i >> 12) & 0x7; }
+constexpr u32 rs1(u32 i) { return (i >> 15) & 0x1f; }
+constexpr u32 rs2(u32 i) { return (i >> 20) & 0x1f; }
+constexpr u32 funct7(u32 i) { return i >> 25; }
+
+constexpr std::int32_t imm_i(u32 i) {
+  return static_cast<std::int32_t>(i) >> 20;
+}
+constexpr std::int32_t imm_s(u32 i) {
+  return (static_cast<std::int32_t>(i & 0xfe000000u) >> 20) |
+         static_cast<std::int32_t>((i >> 7) & 0x1f);
+}
+constexpr std::int32_t imm_b(u32 i) {
+  std::int32_t imm = 0;
+  imm |= static_cast<std::int32_t>((i >> 31) & 1) << 12;
+  imm |= static_cast<std::int32_t>((i >> 7) & 1) << 11;
+  imm |= static_cast<std::int32_t>((i >> 25) & 0x3f) << 5;
+  imm |= static_cast<std::int32_t>((i >> 8) & 0xf) << 1;
+  return (imm << 19) >> 19;  // sign-extend from bit 12
+}
+constexpr std::int32_t imm_u(u32 i) {
+  return static_cast<std::int32_t>(i & 0xfffff000u);
+}
+constexpr std::int32_t imm_j(u32 i) {
+  std::int32_t imm = 0;
+  imm |= static_cast<std::int32_t>((i >> 31) & 1) << 20;
+  imm |= static_cast<std::int32_t>((i >> 12) & 0xff) << 12;
+  imm |= static_cast<std::int32_t>((i >> 20) & 1) << 11;
+  imm |= static_cast<std::int32_t>((i >> 21) & 0x3ff) << 1;
+  return (imm << 11) >> 11;  // sign-extend from bit 20
+}
+
+constexpr u32 kCsrCycle = 0xC00, kCsrCycleH = 0xC80;
+constexpr u32 kCsrMcycle = 0xB00, kCsrMcycleH = 0xB80;
+constexpr u32 kCsrInstret = 0xC02, kCsrInstretH = 0xC82;
+
+}  // namespace
+
+Cpu::Cpu(Bus& bus, u32 reset_pc, CpuTiming timing)
+    : bus_(bus), timing_(timing), pc_(reset_pc) {}
+
+void Cpu::write_rd(u32 insn, u32 value) { set_reg(rd(insn), value); }
+
+bool Cpu::step() {
+  POE_ENSURE((pc_ & 1u) == 0, "misaligned instruction fetch at 0x"
+                                  << std::hex << pc_);
+  const u32 low = bus_.read16(pc_, cycles_);
+  u32 insn;
+  unsigned length;
+  if ((low & 3u) == 3u) {
+    insn = low | (bus_.read16(pc_ + 2, cycles_) << 16);
+    length = 4;
+  } else {
+    insn = expand_compressed(static_cast<std::uint16_t>(low));
+    length = 2;
+  }
+  cycles_ += timing_.base;
+  exec(insn, length);
+  ++instret_;
+  return !stopped_;
+}
+
+StopReason Cpu::run(u64 max_instructions) {
+  stopped_ = false;
+  stop_reason_ = StopReason::kMaxInstructions;
+  for (u64 i = 0; i < max_instructions; ++i) {
+    if (!step()) break;
+  }
+  return stop_reason_;
+}
+
+void Cpu::exec(u32 insn, unsigned length) {
+  const u32 op = opcode(insn);
+  u32 next_pc = pc_ + length;
+
+  switch (op) {
+    case 0x37:  // LUI
+      write_rd(insn, static_cast<u32>(imm_u(insn)));
+      break;
+    case 0x17:  // AUIPC
+      write_rd(insn, pc_ + static_cast<u32>(imm_u(insn)));
+      break;
+    case 0x6f:  // JAL
+      write_rd(insn, pc_ + length);
+      next_pc = pc_ + static_cast<u32>(imm_j(insn));
+      cycles_ += timing_.jump_penalty;
+      break;
+    case 0x67: {  // JALR
+      const u32 target =
+          (regs_[rs1(insn)] + static_cast<u32>(imm_i(insn))) & ~1u;
+      write_rd(insn, pc_ + length);
+      next_pc = target;
+      cycles_ += timing_.taken_branch_penalty;
+      break;
+    }
+    case 0x63: {  // branches
+      const u32 a = regs_[rs1(insn)], b = regs_[rs2(insn)];
+      bool taken = false;
+      switch (funct3(insn)) {
+        case 0: taken = a == b; break;                                // BEQ
+        case 1: taken = a != b; break;                                // BNE
+        case 4: taken = static_cast<std::int32_t>(a) <
+                        static_cast<std::int32_t>(b); break;          // BLT
+        case 5: taken = static_cast<std::int32_t>(a) >=
+                        static_cast<std::int32_t>(b); break;          // BGE
+        case 6: taken = a < b; break;                                 // BLTU
+        case 7: taken = a >= b; break;                                // BGEU
+        default: throw Error("illegal branch funct3");
+      }
+      if (taken) {
+        next_pc = pc_ + static_cast<u32>(imm_b(insn));
+        cycles_ += timing_.taken_branch_penalty;
+      }
+      break;
+    }
+    case 0x03: {  // loads
+      const u32 addr = regs_[rs1(insn)] + static_cast<u32>(imm_i(insn));
+      cycles_ += bus_.access_latency(addr);
+      u32 value = 0;
+      switch (funct3(insn)) {
+        case 0:  // LB
+          value = static_cast<u32>(
+              static_cast<std::int32_t>(static_cast<std::int8_t>(
+                  bus_.read8(addr, cycles_))));
+          break;
+        case 1:  // LH
+          value = static_cast<u32>(static_cast<std::int32_t>(
+              static_cast<std::int16_t>(bus_.read16(addr, cycles_))));
+          break;
+        case 2:  // LW
+          POE_ENSURE((addr & 3u) == 0, "misaligned LW");
+          value = bus_.read32(addr, cycles_);
+          break;
+        case 4: value = bus_.read8(addr, cycles_); break;   // LBU
+        case 5: value = bus_.read16(addr, cycles_); break;  // LHU
+        default: throw Error("illegal load funct3");
+      }
+      write_rd(insn, value);
+      break;
+    }
+    case 0x23: {  // stores
+      const u32 addr = regs_[rs1(insn)] + static_cast<u32>(imm_s(insn));
+      cycles_ += bus_.access_latency(addr);
+      const u32 value = regs_[rs2(insn)];
+      switch (funct3(insn)) {
+        case 0: bus_.write8(addr, static_cast<u8>(value), cycles_); break;
+        case 1: bus_.write16(addr, value, cycles_); break;
+        case 2:
+          POE_ENSURE((addr & 3u) == 0, "misaligned SW");
+          bus_.write32(addr, value, cycles_);
+          break;
+        default: throw Error("illegal store funct3");
+      }
+      break;
+    }
+    case 0x13: {  // OP-IMM
+      const u32 a = regs_[rs1(insn)];
+      const std::int32_t imm = imm_i(insn);
+      const u32 shamt = static_cast<u32>(imm) & 0x1f;
+      u32 value = 0;
+      switch (funct3(insn)) {
+        case 0: value = a + static_cast<u32>(imm); break;  // ADDI
+        case 2: value = static_cast<std::int32_t>(a) < imm ? 1 : 0; break;
+        case 3: value = a < static_cast<u32>(imm) ? 1 : 0; break;
+        case 4: value = a ^ static_cast<u32>(imm); break;
+        case 6: value = a | static_cast<u32>(imm); break;
+        case 7: value = a & static_cast<u32>(imm); break;
+        case 1:  // SLLI
+          POE_ENSURE(funct7(insn) == 0, "illegal SLLI");
+          value = a << shamt;
+          break;
+        case 5:  // SRLI / SRAI
+          if (funct7(insn) == 0x20) {
+            value = static_cast<u32>(static_cast<std::int32_t>(a) >>
+                                     static_cast<int>(shamt));
+          } else {
+            POE_ENSURE(funct7(insn) == 0, "illegal SRLI");
+            value = a >> shamt;
+          }
+          break;
+        default: throw Error("illegal OP-IMM funct3");
+      }
+      write_rd(insn, value);
+      break;
+    }
+    case 0x33: {  // OP
+      const u32 a = regs_[rs1(insn)], b = regs_[rs2(insn)];
+      u32 value = 0;
+      if (funct7(insn) == 1) {  // M extension
+        const std::int64_t sa = static_cast<std::int32_t>(a);
+        const std::int64_t sb = static_cast<std::int32_t>(b);
+        switch (funct3(insn)) {
+          case 0: value = a * b; cycles_ += timing_.mul_extra; break;  // MUL
+          case 1:  // MULH
+            value = static_cast<u32>(static_cast<std::uint64_t>(sa * sb) >> 32);
+            cycles_ += timing_.mul_extra;
+            break;
+          case 2:  // MULHSU
+            value = static_cast<u32>(
+                static_cast<std::uint64_t>(sa * static_cast<std::int64_t>(b)) >>
+                32);
+            cycles_ += timing_.mul_extra;
+            break;
+          case 3:  // MULHU
+            value = static_cast<u32>(
+                (static_cast<std::uint64_t>(a) * b) >> 32);
+            cycles_ += timing_.mul_extra;
+            break;
+          case 4:  // DIV
+            cycles_ += timing_.div_extra;
+            if (b == 0) {
+              value = 0xFFFFFFFFu;
+            } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+              value = 0x80000000u;  // overflow
+            } else {
+              value = static_cast<u32>(static_cast<std::int32_t>(a) /
+                                       static_cast<std::int32_t>(b));
+            }
+            break;
+          case 5:  // DIVU
+            cycles_ += timing_.div_extra;
+            value = b == 0 ? 0xFFFFFFFFu : a / b;
+            break;
+          case 6:  // REM
+            cycles_ += timing_.div_extra;
+            if (b == 0) {
+              value = a;
+            } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+              value = 0;
+            } else {
+              value = static_cast<u32>(static_cast<std::int32_t>(a) %
+                                       static_cast<std::int32_t>(b));
+            }
+            break;
+          case 7:  // REMU
+            cycles_ += timing_.div_extra;
+            value = b == 0 ? a : a % b;
+            break;
+          default: throw Error("illegal M funct3");
+        }
+      } else {
+        switch (funct3(insn)) {
+          case 0:
+            value = funct7(insn) == 0x20 ? a - b : a + b;  // SUB / ADD
+            break;
+          case 1: value = a << (b & 0x1f); break;  // SLL
+          case 2:
+            value = static_cast<std::int32_t>(a) <
+                            static_cast<std::int32_t>(b)
+                        ? 1
+                        : 0;
+            break;  // SLT
+          case 3: value = a < b ? 1 : 0; break;  // SLTU
+          case 4: value = a ^ b; break;
+          case 5:  // SRL / SRA
+            value = funct7(insn) == 0x20
+                        ? static_cast<u32>(static_cast<std::int32_t>(a) >>
+                                           static_cast<int>(b & 0x1f))
+                        : a >> (b & 0x1f);
+            break;
+          case 6: value = a | b; break;
+          case 7: value = a & b; break;
+          default: throw Error("illegal OP funct3");
+        }
+      }
+      write_rd(insn, value);
+      break;
+    }
+    case 0x0f:  // FENCE — no-op in this model
+      break;
+    case 0x73: {  // SYSTEM
+      if (funct3(insn) == 0) {
+        stopped_ = true;
+        stop_reason_ =
+            imm_i(insn) == 1 ? StopReason::kEbreak : StopReason::kEcall;
+        break;
+      }
+      // Zicsr: cycle/instret counters are the only CSRs the model exposes.
+      const u32 csr = static_cast<u32>(imm_i(insn)) & 0xfff;
+      u32 value = 0;
+      switch (csr) {
+        case kCsrCycle:
+        case kCsrMcycle: value = static_cast<u32>(cycles_); break;
+        case kCsrCycleH:
+        case kCsrMcycleH: value = static_cast<u32>(cycles_ >> 32); break;
+        case kCsrInstret: value = static_cast<u32>(instret_); break;
+        case kCsrInstretH: value = static_cast<u32>(instret_ >> 32); break;
+        default: throw Error("unsupported CSR " + std::to_string(csr));
+      }
+      // Only pure reads are legal on the counter CSRs: CSRRS/CSRRC with
+      // rs1 = x0. CSRRW always writes and is rejected.
+      POE_ENSURE((funct3(insn) == 2 || funct3(insn) == 3) && rs1(insn) == 0,
+                 "write to read-only CSR");
+      write_rd(insn, value);
+      break;
+    }
+    default:
+      throw Error("illegal instruction opcode " + std::to_string(op) +
+                  " at pc " + std::to_string(pc_));
+  }
+
+  if (!stopped_) pc_ = next_pc;
+}
+
+}  // namespace poe::rv

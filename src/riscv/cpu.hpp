@@ -1,0 +1,68 @@
+// RV32IMC instruction-set simulator with an Ibex-class timing model.
+//
+// The SoC evaluation (paper §IV-A ③) attaches the PASTA peripheral to a
+// 32-bit Ibex core's data bus. This ISS executes the RV32I base set, the M
+// extension, the C (compressed) extension — expanded to 32-bit equivalents
+// in the decode frontend, as Ibex does — and the Zicsr cycle counters, with
+// a simple in-order timing model: 1 cycle per instruction, +2 for taken
+// control transfers, memory accesses pay the bus wait-states, multiplies
+// take 2 cycles and divisions 37 (Ibex's iterative divider).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "riscv/bus.hpp"
+
+namespace poe::rv {
+
+struct CpuTiming {
+  unsigned base = 1;
+  unsigned taken_branch_penalty = 2;
+  unsigned jump_penalty = 1;
+  unsigned mul_extra = 1;
+  unsigned div_extra = 36;
+};
+
+/// Why run() returned.
+enum class StopReason {
+  kEcall,
+  kEbreak,
+  kMaxInstructions,
+};
+
+class Cpu {
+ public:
+  Cpu(Bus& bus, u32 reset_pc, CpuTiming timing = {});
+
+  /// Execute one instruction. Returns false if it was ECALL/EBREAK.
+  bool step();
+
+  /// Run until ECALL/EBREAK or the instruction limit.
+  StopReason run(u64 max_instructions = 100'000'000);
+
+  u32 pc() const { return pc_; }
+  void set_pc(u32 pc) { pc_ = pc; }
+  u32 reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, u32 value) {
+    if (index != 0) regs_[index] = value;
+  }
+  u64 cycles() const { return cycles_; }
+  u64 instructions_retired() const { return instret_; }
+  StopReason stop_reason() const { return stop_reason_; }
+
+ private:
+  void exec(u32 insn, unsigned length);
+  void write_rd(u32 insn, u32 value);
+
+  Bus& bus_;
+  CpuTiming timing_;
+  u32 pc_;
+  std::array<u32, 32> regs_{};
+  u64 cycles_ = 0;
+  u64 instret_ = 0;
+  StopReason stop_reason_ = StopReason::kMaxInstructions;
+  bool stopped_ = false;
+};
+
+}  // namespace poe::rv

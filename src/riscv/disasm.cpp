@@ -1,0 +1,180 @@
+#include "riscv/disasm.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "riscv/compressed.hpp"
+
+namespace poe::rv {
+
+namespace {
+
+using u32 = std::uint32_t;
+
+const char* kRegNames[32] = {
+    "x0", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+const char* reg(u32 index) { return kRegNames[index & 31]; }
+
+std::string fmt(const char* format, ...) {
+  char buf[96];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+constexpr u32 rd(u32 i) { return (i >> 7) & 0x1f; }
+constexpr u32 funct3(u32 i) { return (i >> 12) & 0x7; }
+constexpr u32 rs1(u32 i) { return (i >> 15) & 0x1f; }
+constexpr u32 rs2(u32 i) { return (i >> 20) & 0x1f; }
+constexpr u32 funct7(u32 i) { return i >> 25; }
+
+constexpr std::int32_t imm_i(u32 i) {
+  return static_cast<std::int32_t>(i) >> 20;
+}
+constexpr std::int32_t imm_s(u32 i) {
+  return (static_cast<std::int32_t>(i & 0xfe000000u) >> 20) |
+         static_cast<std::int32_t>((i >> 7) & 0x1f);
+}
+constexpr std::int32_t imm_b(u32 i) {
+  std::int32_t imm = 0;
+  imm |= static_cast<std::int32_t>((i >> 31) & 1) << 12;
+  imm |= static_cast<std::int32_t>((i >> 7) & 1) << 11;
+  imm |= static_cast<std::int32_t>((i >> 25) & 0x3f) << 5;
+  imm |= static_cast<std::int32_t>((i >> 8) & 0xf) << 1;
+  return (imm << 19) >> 19;
+}
+constexpr std::int32_t imm_j(u32 i) {
+  std::int32_t imm = 0;
+  imm |= static_cast<std::int32_t>((i >> 31) & 1) << 20;
+  imm |= static_cast<std::int32_t>((i >> 12) & 0xff) << 12;
+  imm |= static_cast<std::int32_t>((i >> 20) & 1) << 11;
+  imm |= static_cast<std::int32_t>((i >> 21) & 0x3ff) << 1;
+  return (imm << 11) >> 11;
+}
+
+std::string disasm_op(u32 i) {
+  static const char* kAlu[8] = {"add", "sll", "slt",  "sltu",
+                                "xor", "srl", "or",   "and"};
+  static const char* kMul[8] = {"mul",  "mulh", "mulhsu", "mulhu",
+                                "div",  "divu", "rem",    "remu"};
+  const u32 f3 = funct3(i);
+  if (funct7(i) == 1) {
+    return fmt("%s %s, %s, %s", kMul[f3], reg(rd(i)), reg(rs1(i)),
+               reg(rs2(i)));
+  }
+  const char* name = kAlu[f3];
+  if (funct7(i) == 0x20) {
+    if (f3 == 0) name = "sub";
+    if (f3 == 5) name = "sra";
+  }
+  return fmt("%s %s, %s, %s", name, reg(rd(i)), reg(rs1(i)), reg(rs2(i)));
+}
+
+std::string disasm_opimm(u32 i) {
+  static const char* kAlu[8] = {"addi", "slli", "slti", "sltiu",
+                                "xori", "srli", "ori",  "andi"};
+  const u32 f3 = funct3(i);
+  if (f3 == 1 || f3 == 5) {
+    const char* name = f3 == 1 ? "slli" : (funct7(i) == 0x20 ? "srai" : "srli");
+    return fmt("%s %s, %s, %u", name, reg(rd(i)), reg(rs1(i)),
+               static_cast<unsigned>(imm_i(i)) & 0x1f);
+  }
+  return fmt("%s %s, %s, %d", kAlu[f3], reg(rd(i)), reg(rs1(i)), imm_i(i));
+}
+
+}  // namespace
+
+std::string disassemble(u32 i) {
+  switch (i & 0x7f) {
+    case 0x37: return fmt("lui %s, 0x%x", reg(rd(i)), i >> 12);
+    case 0x17: return fmt("auipc %s, 0x%x", reg(rd(i)), i >> 12);
+    case 0x6f:
+      if (rd(i) == 0) return fmt("j %+d", imm_j(i));
+      return fmt("jal %s, %+d", reg(rd(i)), imm_j(i));
+    case 0x67:
+      if (rd(i) == 0 && imm_i(i) == 0 && rs1(i) == 1) return "ret";
+      return fmt("jalr %s, %d(%s)", reg(rd(i)), imm_i(i), reg(rs1(i)));
+    case 0x63: {
+      static const char* kBr[8] = {"beq", "bne", "?",    "?",
+                                   "blt", "bge", "bltu", "bgeu"};
+      return fmt("%s %s, %s, %+d", kBr[funct3(i)], reg(rs1(i)), reg(rs2(i)),
+                 imm_b(i));
+    }
+    case 0x03: {
+      static const char* kLd[8] = {"lb", "lh", "lw", "?", "lbu", "lhu"};
+      if (funct3(i) > 5 || funct3(i) == 3) break;
+      return fmt("%s %s, %d(%s)", kLd[funct3(i)], reg(rd(i)), imm_i(i),
+                 reg(rs1(i)));
+    }
+    case 0x23: {
+      static const char* kSt[8] = {"sb", "sh", "sw"};
+      if (funct3(i) > 2) break;
+      return fmt("%s %s, %d(%s)", kSt[funct3(i)], reg(rs2(i)), imm_s(i),
+                 reg(rs1(i)));
+    }
+    case 0x13: return disasm_opimm(i);
+    case 0x33: return disasm_op(i);
+    case 0x0f: return "fence";
+    case 0x73: {
+      if (i == 0x00000073) return "ecall";
+      if (i == 0x00100073) return "ebreak";
+      const u32 csr = i >> 20;
+      if (funct3(i) == 2 && rs1(i) == 0) {
+        const char* name = csr == 0xC00   ? "cycle"
+                           : csr == 0xC80 ? "cycleh"
+                           : csr == 0xC02 ? "instret"
+                           : csr == 0xC82 ? "instreth"
+                           : csr == 0xB00 ? "mcycle"
+                                          : nullptr;
+        if (name != nullptr) return fmt("csrr %s, %s", reg(rd(i)), name);
+      }
+      return fmt("csr* %s, 0x%x", reg(rd(i)), csr);
+    }
+    default: break;
+  }
+  return fmt(".word 0x%08x", i);
+}
+
+std::vector<std::string> disassemble_program(const std::vector<u32>& words,
+                                             u32 base_address) {
+  std::vector<std::string> out;
+  // The assembler emits 32-bit words; compressed instructions would be
+  // packed two per word. Walk halfword-wise to handle both.
+  std::size_t half = 0;
+  const std::size_t total_halves = words.size() * 2;
+  while (half < total_halves) {
+    const u32 addr = base_address + static_cast<u32>(half) * 2;
+    const u32 word = words[half / 2];
+    const u32 lo16 = (half % 2 == 0) ? (word & 0xFFFF) : (word >> 16);
+    if (is_compressed(lo16)) {
+      std::string text;
+      try {
+        text = disassemble(expand_compressed(static_cast<std::uint16_t>(lo16)));
+        text = "c." + text;
+      } catch (...) {
+        text = fmt(".half 0x%04x", lo16);
+      }
+      out.push_back(fmt("%4x:  %04x      %s", addr, lo16, text.c_str()));
+      half += 1;
+    } else {
+      u32 insn = lo16;
+      if (half + 1 < total_halves) {
+        const u32 word2 = words[(half + 1) / 2];
+        const u32 hi16 =
+            ((half + 1) % 2 == 0) ? (word2 & 0xFFFF) : (word2 >> 16);
+        insn |= hi16 << 16;
+      }
+      out.push_back(fmt("%4x:  %08x  %s", addr, insn,
+                        disassemble(insn).c_str()));
+      half += 2;
+    }
+  }
+  return out;
+}
+
+}  // namespace poe::rv

@@ -1,0 +1,20 @@
+// Disassembler for the ISS's RV32IMC subset — used by tests, debugging and
+// the SoC demo to show the generated driver programs in readable form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poe::rv {
+
+/// Disassemble one 32-bit instruction word. Unknown encodings come back as
+/// ".word 0x…" rather than throwing (a disassembler must not die on data).
+std::string disassemble(std::uint32_t insn);
+
+/// Disassemble an instruction stream (handling compressed encodings), one
+/// line per instruction: "  1c:  00500093  addi ra, x0, 5".
+std::vector<std::string> disassemble_program(
+    const std::vector<std::uint32_t>& words, std::uint32_t base_address = 0);
+
+}  // namespace poe::rv

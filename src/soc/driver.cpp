@@ -1,0 +1,141 @@
+#include "soc/driver.hpp"
+
+#include "common/error.hpp"
+#include "soc/pasta_peripheral.hpp"
+
+namespace poe::soc {
+
+using rv::Program;
+using rv::Reg;
+
+std::vector<rv::u32> build_encrypt_driver(const pasta::PastaParams& params,
+                                          rv::u32 periph_base,
+                                          const DriverLayout& layout) {
+  const unsigned stride = params.prime_bits() <= 32 ? 4 : 8;
+  const bool wide = stride == 8;
+  const auto t = static_cast<rv::u32>(params.t);
+
+  Program p;
+
+  // Record the start cycle.
+  p.li(Reg::s11, layout.cycles_addr);
+  p.csrr_cycle(Reg::t0);
+  p.sw(Reg::t0, Reg::s11, 0);
+
+  // --- Upload the key through the slave window.
+  p.li(Reg::s1, layout.key_addr);
+  p.li(Reg::s2, periph_base + kKeyLoBase);
+  p.li(Reg::t0, static_cast<rv::u32>(params.key_size()));
+  auto key_loop = p.make_label();
+  p.bind(key_loop);
+  p.lw(Reg::t1, Reg::s1, 0);
+  p.sw(Reg::t1, Reg::s2, 0);
+  if (wide) {
+    p.lw(Reg::t2, Reg::s1, 4);
+    p.sw(Reg::t2, Reg::s2,
+         static_cast<std::int32_t>(kKeyHiBase - kKeyLoBase));
+  }
+  p.addi(Reg::s1, Reg::s1, static_cast<std::int32_t>(stride));
+  p.addi(Reg::s2, Reg::s2, 4);
+  p.addi(Reg::t0, Reg::t0, -1);
+  p.bne(Reg::t0, Reg::x0, key_loop);
+
+  // --- Nonce.
+  p.li(Reg::s3, periph_base);
+  p.li(Reg::t1, static_cast<rv::u32>(layout.nonce));
+  p.sw(Reg::t1, Reg::s3, kRegNonceLo);
+  p.li(Reg::t1, static_cast<rv::u32>(layout.nonce >> 32));
+  p.sw(Reg::t1, Reg::s3, kRegNonceHi);
+
+  // --- Per-block loop.
+  p.li(Reg::s4, 0);  // block counter
+  p.li(Reg::s5, layout.src_addr);
+  p.li(Reg::s6, layout.dst_addr);
+  auto block_loop = p.make_label();
+  p.bind(block_loop);
+  p.sw(Reg::s4, Reg::s3, kRegCtrLo);
+  p.sw(Reg::x0, Reg::s3, kRegCtrHi);
+  p.sw(Reg::s5, Reg::s3, kRegSrcAddr);
+  if (layout.dma_writeback) {
+    p.sw(Reg::s6, Reg::s3, kRegDstAddr);
+  }
+  p.li(Reg::t1, layout.dma_writeback ? 3 : 1);
+  p.sw(Reg::t1, Reg::s3, kRegCtrl);
+
+  // Poll the done bit. The block stays in flight until the peripheral's
+  // busy_until cycle passes — the single slave bus serialises everything.
+  auto poll = p.make_label();
+  p.bind(poll);
+  p.lw(Reg::t1, Reg::s3, kRegStatus);
+  p.andi(Reg::t1, Reg::t1, 2);
+  p.beq(Reg::t1, Reg::x0, poll);
+
+  if (layout.dma_writeback) {
+    // The peripheral already streamed the ciphertext to RAM; just advance
+    // the destination pointer.
+    p.li(Reg::t1, t * stride);
+    p.add(Reg::s6, Reg::s6, Reg::t1);
+  } else {
+    // Read the ciphertext block out over the slave bus.
+    p.li(Reg::s7, periph_base + kOutLoBase);
+    p.li(Reg::t0, t);
+    auto out_loop = p.make_label();
+    p.bind(out_loop);
+    p.lw(Reg::t1, Reg::s7, 0);
+    p.sw(Reg::t1, Reg::s6, 0);
+    if (wide) {
+      p.lw(Reg::t2, Reg::s7,
+           static_cast<std::int32_t>(kOutHiBase - kOutLoBase));
+      p.sw(Reg::t2, Reg::s6, 4);
+    }
+    p.addi(Reg::s7, Reg::s7, 4);
+    p.addi(Reg::s6, Reg::s6, static_cast<std::int32_t>(stride));
+    p.addi(Reg::t0, Reg::t0, -1);
+    p.bne(Reg::t0, Reg::x0, out_loop);
+  }
+
+  // Advance the source pointer and loop over blocks.
+  p.li(Reg::t1, t * stride);
+  p.add(Reg::s5, Reg::s5, Reg::t1);
+  p.addi(Reg::s4, Reg::s4, 1);
+  p.li(Reg::t1, static_cast<rv::u32>(layout.num_blocks));
+  p.bne(Reg::s4, Reg::t1, block_loop);
+
+  // Record the end cycle and stop.
+  p.csrr_cycle(Reg::t0);
+  p.sw(Reg::t0, Reg::s11, 4);
+  p.ecall();
+
+  return p.assemble();
+}
+
+void store_elements(rv::Ram& ram, rv::u32 addr,
+                    std::span<const std::uint64_t> elements, unsigned stride) {
+  POE_ENSURE(stride == 4 || stride == 8, "stride must be 4 or 8");
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const rv::u32 a = addr + static_cast<rv::u32>(i) * stride;
+    ram.store_word(a, static_cast<rv::u32>(elements[i]));
+    if (stride == 8) {
+      ram.store_word(a + 4, static_cast<rv::u32>(elements[i] >> 32));
+    } else {
+      POE_ENSURE(elements[i] <= 0xFFFFFFFFull,
+                 "element does not fit a 4-byte stride");
+    }
+  }
+}
+
+std::vector<std::uint64_t> load_elements(const rv::Ram& ram, rv::u32 addr,
+                                         std::size_t count, unsigned stride) {
+  POE_ENSURE(stride == 4 || stride == 8, "stride must be 4 or 8");
+  std::vector<std::uint64_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const rv::u32 a = addr + static_cast<rv::u32>(i) * stride;
+    out[i] = ram.load_word(a);
+    if (stride == 8) {
+      out[i] |= static_cast<std::uint64_t>(ram.load_word(a + 4)) << 32;
+    }
+  }
+  return out;
+}
+
+}  // namespace poe::soc

@@ -1,0 +1,44 @@
+// Builds the RISC-V driver program that exercises the PASTA peripheral:
+// upload key + nonce over the slave bus, then per block set the counter and
+// source address, pulse start, poll the status register, and read the
+// ciphertext back out — the exact block-serial flow the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pasta/params.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/bus.hpp"
+
+namespace poe::soc {
+
+struct DriverLayout {
+  rv::u32 key_addr = 0x10000;     ///< 2t elements
+  rv::u32 src_addr = 0x20000;     ///< num_blocks * t plaintext elements
+  rv::u32 dst_addr = 0x30000;     ///< ciphertext destination
+  rv::u32 cycles_addr = 0x40000;  ///< [0]: start mcycle, [4]: end mcycle
+  std::size_t num_blocks = 1;
+  std::uint64_t nonce = 0;
+  /// Use the peripheral's DMA write-back (CTRL bit 1): the ciphertext goes
+  /// to RAM over the master port and the core skips the per-element slave
+  /// readout loop.
+  bool dma_writeback = false;
+};
+
+/// Assemble the encryption driver for the given PASTA configuration.
+std::vector<rv::u32> build_encrypt_driver(const pasta::PastaParams& params,
+                                          rv::u32 periph_base,
+                                          const DriverLayout& layout);
+
+/// Store field elements into RAM with the peripheral's element stride
+/// (4 bytes for omega <= 32, else 8).
+void store_elements(rv::Ram& ram, rv::u32 addr,
+                    std::span<const std::uint64_t> elements, unsigned stride);
+
+/// Load field elements back from RAM.
+std::vector<std::uint64_t> load_elements(const rv::Ram& ram, rv::u32 addr,
+                                         std::size_t count, unsigned stride);
+
+}  // namespace poe::soc

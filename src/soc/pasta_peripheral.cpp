@@ -1,0 +1,137 @@
+#include "soc/pasta_peripheral.hpp"
+
+#include "modular/modulus.hpp"
+
+namespace poe::soc {
+
+namespace {
+constexpr unsigned kMasterReadLatency = 2;   ///< private bus RAM read, cycles
+constexpr unsigned kMasterWriteLatency = 2;  ///< private bus RAM write
+}
+
+PastaPeripheral::PastaPeripheral(const pasta::PastaParams& params,
+                                 rv::Ram& ram)
+    : params_(params),
+      ram_(ram),
+      accel_(params),
+      key_(params.key_size(), 0),
+      out_(params.t, 0) {}
+
+rv::u32 PastaPeripheral::read32(rv::u32 offset, rv::u64 now) {
+  if (offset >= kOutLoBase && offset < kOutLoBase + params_.t * 4) {
+    POE_ENSURE(!busy(now), "ciphertext readout while busy");
+    return static_cast<rv::u32>(out_[(offset - kOutLoBase) / 4]);
+  }
+  if (offset >= kOutHiBase && offset < kOutHiBase + params_.t * 4) {
+    POE_ENSURE(!busy(now), "ciphertext readout while busy");
+    return static_cast<rv::u32>(out_[(offset - kOutHiBase) / 4] >> 32);
+  }
+  switch (offset) {
+    case kRegStatus: {
+      const bool b = busy(now);
+      return (b ? 1u : 0u) | ((done_ && !b) ? 2u : 0u);
+    }
+    case kRegNonceLo: return static_cast<rv::u32>(nonce_);
+    case kRegNonceHi: return static_cast<rv::u32>(nonce_ >> 32);
+    case kRegCtrLo: return static_cast<rv::u32>(counter_);
+    case kRegCtrHi: return static_cast<rv::u32>(counter_ >> 32);
+    case kRegSrcAddr: return src_addr_;
+    case kRegDstAddr: return dst_addr_;
+    case kRegCyclesLo: return static_cast<rv::u32>(last_block_cycles_);
+    case kRegCtrl: return 0;
+    default:
+      throw Error("PASTA peripheral: read from invalid offset " +
+                  std::to_string(offset));
+  }
+}
+
+void PastaPeripheral::write32(rv::u32 offset, rv::u32 value, rv::u64 now) {
+  POE_ENSURE(!busy(now),
+             "PASTA peripheral: register write while a block is in flight");
+  if (offset >= kKeyLoBase && offset < kKeyLoBase + params_.key_size() * 4) {
+    auto& slot = key_[(offset - kKeyLoBase) / 4];
+    slot = (slot & ~0xFFFFFFFFull) | value;
+    return;
+  }
+  if (offset >= kKeyHiBase && offset < kKeyHiBase + params_.key_size() * 4) {
+    auto& slot = key_[(offset - kKeyHiBase) / 4];
+    slot = (slot & 0xFFFFFFFFull) | (static_cast<std::uint64_t>(value) << 32);
+    return;
+  }
+  switch (offset) {
+    case kRegCtrl:
+      if (value & 1u) start_block(now, (value & 2u) != 0);
+      return;
+    case kRegNonceLo:
+      nonce_ = (nonce_ & ~0xFFFFFFFFull) | value;
+      return;
+    case kRegNonceHi:
+      nonce_ = (nonce_ & 0xFFFFFFFFull) |
+               (static_cast<std::uint64_t>(value) << 32);
+      return;
+    case kRegCtrLo:
+      counter_ = (counter_ & ~0xFFFFFFFFull) | value;
+      return;
+    case kRegCtrHi:
+      counter_ = (counter_ & 0xFFFFFFFFull) |
+                 (static_cast<std::uint64_t>(value) << 32);
+      return;
+    case kRegSrcAddr:
+      src_addr_ = value;
+      return;
+    case kRegDstAddr:
+      dst_addr_ = value;
+      return;
+    default:
+      throw Error("PASTA peripheral: write to invalid offset " +
+                  std::to_string(offset));
+  }
+}
+
+void PastaPeripheral::start_block(rv::u64 now, bool dma_writeback) {
+  // Fetch the plaintext block over the private master port.
+  const unsigned stride = element_stride();
+  std::vector<std::uint64_t> msg(params_.t);
+  for (std::size_t i = 0; i < params_.t; ++i) {
+    const rv::u32 addr = src_addr_ + static_cast<rv::u32>(i) * stride;
+    std::uint64_t v = ram_.load_word(addr);
+    if (stride == 8) {
+      v |= static_cast<std::uint64_t>(ram_.load_word(addr + 4)) << 32;
+    }
+    POE_ENSURE(v < params_.p, "plaintext element out of field range");
+    msg[i] = v;
+  }
+  const std::uint64_t fetch_cycles =
+      params_.t * kMasterReadLatency * (stride / 4);
+
+  // Keystream generation overlaps the fetch; the message addition streams
+  // with the final Mix, so the visible latency is the accelerator's.
+  const auto result = accel_.run_block(key_, nonce_, counter_);
+  const mod::Modulus mod(params_.p);
+  for (std::size_t i = 0; i < params_.t; ++i) {
+    out_[i] = mod.add(msg[i], result.keystream[i]);
+  }
+  last_block_cycles_ = result.stats.total_cycles;
+  std::uint64_t busy_cycles = std::max<std::uint64_t>(
+      result.stats.total_cycles, fetch_cycles + 4);
+  if (dma_writeback) {
+    // Stream the ciphertext straight to RAM over the master port; the core
+    // only polls STATUS (no per-element slave readout).
+    for (std::size_t i = 0; i < params_.t; ++i) {
+      const rv::u32 addr = dst_addr_ + static_cast<rv::u32>(i) * stride;
+      ram_.store_word(addr, static_cast<rv::u32>(out_[i]));
+      if (stride == 8) {
+        ram_.store_word(addr + 4, static_cast<rv::u32>(out_[i] >> 32));
+      }
+    }
+    busy_cycles += params_.t * kMasterWriteLatency * (stride / 4);
+  }
+  busy_until_ = now + busy_cycles;
+  done_ = true;
+
+  stats_.blocks_processed += 1;
+  stats_.accelerator_cycles += result.stats.total_cycles;
+  stats_.fetch_cycles += fetch_cycles;
+}
+
+}  // namespace poe::soc

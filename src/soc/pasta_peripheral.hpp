@@ -1,0 +1,91 @@
+// The PASTA encryption peripheral of the RISC-V SoC (paper §IV-A ③).
+//
+// Loosely coupled design: the peripheral sits on the core's data bus as a
+// slave (start signal, nonce/counter/key writes, status polling, ciphertext
+// readout) and owns a private master port into RAM for fetching plaintext
+// blocks. As in the paper, the single slave bus serialises control and data
+// movement, so "the processing of one block must be completed before the
+// next block can be started".
+//
+// Register map (word offsets within the 4 KiB window):
+//   0x000 CTRL       bit0: start one block; bit1: DMA write-back (the
+//                    peripheral stores the ciphertext to DST_ADDR through
+//                    its master port instead of the core reading OUT_*)
+//   0x004 STATUS     bit0 = busy, bit1 = done (result valid)
+//   0x008 NONCE_LO   0x00C NONCE_HI
+//   0x010 CTR_LO     0x014 CTR_HI
+//   0x018 SRC_ADDR   RAM byte address of the plaintext block
+//   0x01C CYCLES_LO  accelerator cycles of the last block (diagnostic)
+//   0x020 DST_ADDR   RAM byte address for DMA write-back
+//   0x400 KEY_LO[2t] 0x800 KEY_HI[2t]   (HI used when omega > 32)
+//   0xC00 OUT_LO[t]  0xE00 OUT_HI[t]
+//
+// Elements in RAM are stored little-endian using 4 bytes when omega <= 32
+// and 8 bytes otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "pasta/params.hpp"
+#include "riscv/bus.hpp"
+
+namespace poe::soc {
+
+inline constexpr rv::u32 kRegCtrl = 0x000;
+inline constexpr rv::u32 kRegStatus = 0x004;
+inline constexpr rv::u32 kRegNonceLo = 0x008;
+inline constexpr rv::u32 kRegNonceHi = 0x00C;
+inline constexpr rv::u32 kRegCtrLo = 0x010;
+inline constexpr rv::u32 kRegCtrHi = 0x014;
+inline constexpr rv::u32 kRegSrcAddr = 0x018;
+inline constexpr rv::u32 kRegCyclesLo = 0x01C;
+inline constexpr rv::u32 kRegDstAddr = 0x020;
+inline constexpr rv::u32 kKeyLoBase = 0x400;
+inline constexpr rv::u32 kKeyHiBase = 0x800;
+inline constexpr rv::u32 kOutLoBase = 0xC00;
+inline constexpr rv::u32 kOutHiBase = 0xE00;
+inline constexpr rv::u32 kWindowSize = 0x1000;
+
+struct PeripheralStats {
+  std::uint64_t blocks_processed = 0;
+  std::uint64_t accelerator_cycles = 0;  ///< sum over blocks
+  std::uint64_t fetch_cycles = 0;        ///< master-port RAM reads
+};
+
+class PastaPeripheral : public rv::BusDevice {
+ public:
+  /// `ram` is the target of the private master port.
+  PastaPeripheral(const pasta::PastaParams& params, rv::Ram& ram);
+
+  rv::u32 read32(rv::u32 offset, rv::u64 now) override;
+  void write32(rv::u32 offset, rv::u32 value, rv::u64 now) override;
+  unsigned access_latency() const override { return 1; }
+
+  /// Bytes one field element occupies in RAM.
+  unsigned element_stride() const { return params_.prime_bits() <= 32 ? 4 : 8; }
+
+  const PeripheralStats& stats() const { return stats_; }
+  const pasta::PastaParams& params() const { return params_; }
+
+ private:
+  bool busy(rv::u64 now) const { return now < busy_until_; }
+  void start_block(rv::u64 now, bool dma_writeback);
+
+  pasta::PastaParams params_;
+  rv::Ram& ram_;
+  hw::AcceleratorSim accel_;
+  std::vector<std::uint64_t> key_;
+  std::uint64_t nonce_ = 0;
+  std::uint64_t counter_ = 0;
+  rv::u32 src_addr_ = 0;
+  rv::u32 dst_addr_ = 0;
+  std::vector<std::uint64_t> out_;
+  rv::u64 busy_until_ = 0;
+  bool done_ = false;
+  std::uint64_t last_block_cycles_ = 0;
+  PeripheralStats stats_;
+};
+
+}  // namespace poe::soc

@@ -1,0 +1,27 @@
+#include "soc/soc.hpp"
+
+#include "riscv/assembler.hpp"
+
+namespace poe::soc {
+
+rv::Bus& Soc::map_devices() {
+  bus_.map(config_.ram_base, static_cast<rv::u32>(config_.ram_bytes), &ram_);
+  bus_.map(config_.periph_base, kWindowSize, &periph_);
+  return bus_;
+}
+
+Soc::Soc(const SocConfig& config)
+    : config_(config),
+      ram_(config.ram_bytes),
+      periph_(config.params, ram_),
+      bus_(),
+      cpu_(map_devices(), config.reset_pc) {}
+
+rv::StopReason Soc::run_program(const std::vector<rv::u32>& words,
+                                rv::u64 max_instructions) {
+  rv::Program::load(ram_, config_.reset_pc - config_.ram_base, words);
+  cpu_.set_pc(config_.reset_pc);
+  return cpu_.run(max_instructions);
+}
+
+}  // namespace poe::soc

@@ -1,0 +1,47 @@
+// The RISC-V SoC: Ibex-class RV32IM core + RAM + PASTA peripheral on a
+// shared data bus (paper §IV-A ③, Fig. 6 context).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "pasta/params.hpp"
+#include "riscv/bus.hpp"
+#include "riscv/cpu.hpp"
+#include "soc/pasta_peripheral.hpp"
+
+namespace poe::soc {
+
+struct SocConfig {
+  pasta::PastaParams params;
+  std::size_t ram_bytes = 1u << 20;
+  rv::u32 ram_base = 0x00000000;
+  rv::u32 periph_base = 0x40000000;
+  rv::u32 reset_pc = 0x00000000;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& config);
+
+  rv::Ram& ram() { return ram_; }
+  PastaPeripheral& peripheral() { return periph_; }
+  rv::Cpu& cpu() { return cpu_; }
+  rv::Bus& bus() { return bus_; }
+  const SocConfig& config() const { return config_; }
+
+  /// Load a program at the reset PC and run it to completion.
+  rv::StopReason run_program(const std::vector<rv::u32>& words,
+                             rv::u64 max_instructions = 500'000'000);
+
+ private:
+  rv::Bus& map_devices();  ///< wires RAM + peripheral; returns the bus
+
+  SocConfig config_;
+  rv::Ram ram_;
+  PastaPeripheral periph_;
+  rv::Bus bus_;
+  rv::Cpu cpu_;
+};
+
+}  // namespace poe::soc

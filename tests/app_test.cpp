@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "app/video.hpp"
+#include "common/rng.hpp"
+#include "pasta/cipher.hpp"
+
+namespace poe::app {
+namespace {
+
+TEST(Video, SyntheticFramesAreDeterministicAndMoving) {
+  SyntheticCamera cam(analytics::qqvga());
+  const auto f0 = cam.next_frame();
+  const auto f1 = cam.next_frame();
+  EXPECT_EQ(f0.pixels.size(), 19200u);
+  EXPECT_NE(f0.pixels, f1.pixels);
+
+  SyntheticCamera cam2(analytics::qqvga());
+  EXPECT_EQ(cam2.next_frame().pixels, f0.pixels);
+}
+
+TEST(Video, PackUnpackRoundtrip) {
+  const auto params = pasta::pasta4(pasta::pasta_prime(33));
+  SyntheticCamera cam(analytics::qqvga());
+  const auto frame = cam.next_frame();
+  for (unsigned ppe : {1u, 2u, 4u}) {
+    const auto elements = pack_pixels(frame, params, ppe);
+    EXPECT_EQ(elements.size(), (frame.pixels.size() + ppe - 1) / ppe);
+    const auto back = unpack_pixels(elements, frame.resolution, ppe);
+    EXPECT_EQ(back.pixels, frame.pixels);
+  }
+}
+
+TEST(Video, PackingRejectsOverfullElements) {
+  const auto params = pasta::pasta4();  // 17-bit prime: max 2 px... 16 bits
+  SyntheticCamera cam(analytics::qqvga());
+  EXPECT_NO_THROW(pack_pixels(cam.next_frame(), params, 2));
+  EXPECT_THROW(pack_pixels(cam.next_frame(), params, 3), poe::Error);
+}
+
+TEST(Video, EncryptDecryptFrameRoundtrip) {
+  const auto params = pasta::pasta4(pasta::pasta_prime(33));
+  Xoshiro256 rng(1);
+  FrameEncryptor enc(params, pasta::PastaCipher::random_key(params, rng), 4);
+  SyntheticCamera cam(analytics::qqvga());
+  const auto frame = cam.next_frame();
+
+  const auto encrypted = enc.encrypt(frame, 99);
+  EXPECT_GT(encrypted.cycles, 0u);
+  // 19200 px / 4 per element = 4800 elements = 150 blocks x 132 B.
+  EXPECT_EQ(encrypted.ciphertext.size(), 4800u);
+  EXPECT_EQ(encrypted.bytes_on_wire, 150u * 132u);
+
+  const auto back = enc.decrypt(encrypted, frame.resolution, 99);
+  EXPECT_EQ(back.pixels, frame.pixels);
+}
+
+TEST(Video, CiphertextDiffersFromPlaintext) {
+  const auto params = pasta::pasta4();
+  Xoshiro256 rng(2);
+  FrameEncryptor enc(params, pasta::PastaCipher::random_key(params, rng), 2);
+  SyntheticCamera cam(analytics::qqvga());
+  const auto frame = cam.next_frame();
+  const auto packed = pack_pixels(frame, params, 2);
+  const auto encrypted = enc.encrypt(frame, 1);
+  EXPECT_NE(encrypted.ciphertext, packed);
+}
+
+}  // namespace
+}  // namespace poe::app

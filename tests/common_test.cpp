@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/bignum.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace poe {
+namespace {
+
+TEST(Bits, RotlMatchesManual) {
+  EXPECT_EQ(rotl64(1, 1), 2u);
+  EXPECT_EQ(rotl64(0x8000000000000000ull, 1), 1u);
+  EXPECT_EQ(rotl64(0x0123456789ABCDEFull, 0), 0x0123456789ABCDEFull);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(65537), 17u);
+  EXPECT_EQ(ceil_log2(65536), 16u);
+}
+
+TEST(Bits, LoadStoreRoundtrip) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(buf[0], 0x88);
+  EXPECT_EQ(load_le64(buf), 0x1122334455667788ull);
+  store_be64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(buf[0], 0x11);
+  EXPECT_EQ(buf[7], 0x88);
+}
+
+TEST(Error, EnsureThrowsWithMessage) {
+  try {
+    POE_ENSURE(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(97), 97u);
+  }
+}
+
+TEST(Bignum, AddSubRoundtrip) {
+  UBig a(0xFFFFFFFFFFFFFFFFull);
+  a.add(UBig(1));
+  EXPECT_EQ(a.bit_length(), 65u);
+  a.sub(UBig(1));
+  EXPECT_EQ(a.low_u64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(a.bit_length(), 64u);
+}
+
+TEST(Bignum, MulDivRoundtrip) {
+  UBig a(1);
+  for (int i = 0; i < 10; ++i) a.mul_u64(1000000007ull);
+  UBig b = a;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.divmod_u64(1000000007ull), 0u);
+  }
+  EXPECT_EQ(b.low_u64(), 1u);
+  EXPECT_TRUE(b == UBig::one());
+}
+
+TEST(Bignum, ModU64MatchesDivmod) {
+  UBig a(123456789);
+  a.mul_u64(987654321).add_u64(55);
+  UBig b = a;
+  EXPECT_EQ(a.mod_u64(1000003), b.divmod_u64(1000003));
+}
+
+TEST(Bignum, ProductAndToString) {
+  UBig p = UBig::product({10, 10, 10});
+  EXPECT_EQ(p.to_string(), "1000");
+  EXPECT_EQ(UBig{}.to_string(), "0");
+}
+
+TEST(Bignum, ModBySubtraction) {
+  UBig m = UBig::product({65537, 65537});
+  UBig v = m;
+  v.add(m).add(UBig(42));  // 3m + 42 > value is 2m+42... build k*m + 42
+  v.mod_by_subtraction(m);
+  EXPECT_EQ(v.low_u64(), 42u);
+}
+
+TEST(Bignum, Shr1) {
+  UBig a(1);
+  a.mul_u64(1ull << 63).mul_u64(2);  // 2^64
+  a.shr1();
+  EXPECT_EQ(a.bit_length(), 64u);
+  EXPECT_EQ(a.low_u64(), 0x8000000000000000ull);
+}
+
+TEST(Bignum, SubUnderflowThrows) {
+  UBig a(5);
+  EXPECT_THROW(a.sub(UBig(6)), Error);
+}
+
+TEST(Bignum, FuzzAgainstInt128) {
+  // Random add/sub/mul_u64/mod chains cross-checked against native
+  // 128-bit arithmetic while values fit.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    unsigned __int128 ref = rng.below(1ull << 62);
+    UBig big(static_cast<std::uint64_t>(ref));
+    for (int op = 0; op < 8; ++op) {
+      const std::uint64_t v = 1 + rng.below(1u << 30);
+      switch (rng.below(3)) {
+        case 0:
+          if (ref <= (unsigned __int128)1 << 96) {
+            ref *= v;
+            big.mul_u64(v);
+          }
+          break;
+        case 1:
+          ref += v;
+          big.add_u64(v);
+          break;
+        case 2: {
+          const std::uint64_t m = 2 + rng.below(1u << 20);
+          EXPECT_EQ(big.mod_u64(m), static_cast<std::uint64_t>(ref % m))
+              << "trial " << trial;
+          break;
+        }
+      }
+    }
+    // Final value comparison through limbs.
+    UBig check;
+    check = UBig(static_cast<std::uint64_t>(ref & 0xFFFFFFFFFFFFFFFFull));
+    UBig hi(static_cast<std::uint64_t>(ref >> 64));
+    for (int i = 0; i < 64; ++i) hi.mul_u64(2);
+    check.add(hi);
+    EXPECT_TRUE(big == check) << "trial " << trial;
+  }
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); },
+               /*max_threads=*/4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroAndSingleElement) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 57) throw Error("boom");
+          },
+          4),
+      Error);
+}
+
+TEST(Parallel, DeterministicResultsAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    std::vector<std::uint64_t> out(256);
+    parallel_for(
+        256, [&](std::size_t i) { out[i] = i * i + 7; }, threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Table, RendersAllCells) {
+  TextTable t("demo");
+  t.header({"a", "bb"});
+  t.row({"1", "2"}).separator().row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.333, 1), "33.3%");
+}
+
+}  // namespace
+}  // namespace poe

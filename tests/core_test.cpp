@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/scheme_space.hpp"
+#include "core/poe.hpp"
+
+namespace poe {
+namespace {
+
+TEST(CoreAccelerator, AllBackendsProduceIdenticalCiphertexts) {
+  const auto params = pasta::pasta4();
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> msg(params.t + 9);
+  for (auto& m : msg) m = rng.below(params.p);
+
+  const auto ref = Accelerator::with_random_key(params, 2, Backend::kReference);
+  const Accelerator sim(params, ref.key(), Backend::kCycleSim);
+  const Accelerator soc(params, ref.key(), Backend::kSoc);
+
+  const auto ct_ref = ref.encrypt(msg, 42);
+  EXPECT_EQ(sim.encrypt(msg, 42), ct_ref);
+  EXPECT_EQ(soc.encrypt(msg, 42), ct_ref);
+  EXPECT_EQ(ref.decrypt(ct_ref, 42), msg);
+  EXPECT_EQ(soc.decrypt(ct_ref, 42), msg);
+}
+
+TEST(CoreAccelerator, StatsReflectPlatformClocks) {
+  const auto params = pasta::pasta4();
+  auto accel = Accelerator::with_random_key(params, 3);
+  std::vector<std::uint64_t> msg(params.t, 1);
+  EncryptStats stats;
+  accel.encrypt(msg, 7, &stats);
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_GT(stats.cycles, 1000u);
+  // 75 MHz vs 1 GHz: the FPGA time is ~13.3x the ASIC time.
+  EXPECT_NEAR(stats.fpga_us / stats.asic_us, 1000.0 / 75.0, 0.01);
+}
+
+TEST(CoreAccelerator, SocStatsIncludeDriverOverhead) {
+  const auto params = pasta::pasta4();
+  auto sim = Accelerator::with_random_key(params, 4, Backend::kCycleSim);
+  const Accelerator soc(params, sim.key(), Backend::kSoc);
+  std::vector<std::uint64_t> msg(params.t, 5);
+  EncryptStats sim_stats, soc_stats;
+  sim.encrypt(msg, 1, &sim_stats);
+  soc.encrypt(msg, 1, &soc_stats);
+  EXPECT_GT(soc_stats.cycles, sim_stats.cycles);
+  EXPECT_GT(soc_stats.soc_us, 0.0);
+}
+
+TEST(CoreAccelerator, ReferenceBackendReportsNoCycles) {
+  const auto params = pasta::pasta4();
+  auto accel = Accelerator::with_random_key(params, 5, Backend::kReference);
+  std::vector<std::uint64_t> msg(3, 1);
+  EncryptStats stats;
+  accel.encrypt(msg, 1, &stats);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_EQ(stats.blocks, 1u);
+}
+
+TEST(PkeModel, PaperOperationCounts) {
+  // §I-A: PKE client encryption ~2^19 multiplications; PASTA-3 ~2^18.
+  analytics::PkeEncryptModel pke;
+  EXPECT_NEAR(std::log2(static_cast<double>(pke.total_mults())), 19.0, 0.2);
+
+  analytics::PastaCostModel p3{pasta::pasta3()};
+  EXPECT_NEAR(std::log2(static_cast<double>(p3.affine_mults())), 18.0, 0.01);
+
+  // "32x slower computation for data-intensive applications": encrypting
+  // 2^12 elements.
+  const double ratio =
+      analytics::pasta_vs_pke_throughput_ratio(p3, pke, 1ull << 12);
+  EXPECT_GT(ratio, 14.0);
+  EXPECT_LT(ratio, 34.0);
+}
+
+TEST(PriorWorks, PerElementNormalisation) {
+  for (const auto& w : analytics::table3_prior_works()) {
+    EXPECT_GT(w.us_per_element(), 0.0);
+    EXPECT_LT(w.us_per_element(), w.encrypt_us);
+  }
+  // Headline claim: ~97x over prior PKE client accelerators (RISE per
+  // element vs this work on ASIC: 4.88 / 0.05).
+  const auto& rise = analytics::table3_prior_works().back();
+  EXPECT_EQ(rise.citation.find("[19]"), 0u);
+  const double tw_asic_us_per_element = 1.59 / 32.0;
+  EXPECT_NEAR(rise.us_per_element() / tw_asic_us_per_element, 98.0, 3.0);
+}
+
+TEST(PriorWorks, TechnologyNormalisation) {
+  // Area similar to RISE post-normalisation (§IV-C ②): 0.24 mm^2 at 28nm
+  // scaled to 12nm is the same order as RISE's 0.11 mm^2.
+  const double tw_at_12 = analytics::normalize_area_mm2(0.24, 28, 12);
+  EXPECT_GT(tw_at_12 / 0.11, 0.2);
+  EXPECT_LT(tw_at_12 / 0.11, 5.0);
+}
+
+TEST(Fig8Model, RiseMatchesPaperAnchors) {
+  analytics::RiseCommModel rise;
+  // ~1.5 MB per ciphertext.
+  EXPECT_NEAR(static_cast<double>(rise.ciphertext_bytes()) / 1e6, 1.6, 0.1);
+  // One QQVGA frame per ciphertext... (the paper overpacks slightly: 19200
+  // pixels vs 16384 slots; we model the honest 2 ciphertexts but check the
+  // paper's 70 fps claim against the 1-ct reading).
+  const double fps_1ct = analytics::kMaxBandwidthBps /
+                         static_cast<double>(rise.ciphertext_bytes());
+  EXPECT_NEAR(fps_1ct, 70.0, 5.0);
+}
+
+TEST(Fig8Model, ShapeOfFigure8) {
+  analytics::RiseCommModel rise;
+  // ASIC-paced encryption (1.59 us/block, Table II) — Fig. 8 compares
+  // chips; the FPGA-paced variant is printed by the bench for reference.
+  analytics::PastaCommModel tw{.params = pasta::pasta4(pasta::pasta_prime(33)),
+                               .pixels_per_element = 1,
+                               .encrypt_us_per_block = 1.59};
+  // §V anchor: one 32-element block at omega=33 is 132 bytes.
+  EXPECT_EQ(tw.frame_bytes(analytics::Resolution{"one-block", 32, 1}), 132u);
+
+  const auto series = analytics::fig8_series(rise, tw);
+  ASSERT_EQ(series.size(), 6u);
+  for (const auto& p : series) {
+    // This work sustains orders of magnitude more frames at every point.
+    EXPECT_GT(p.ratio, 5.0) << p.resolution << " @ " << p.bandwidth_bps;
+  }
+  // RISE cannot sustain VGA at the minimum bandwidth (< 1 fps).
+  const auto& vga_min = series.back();
+  EXPECT_EQ(vga_min.resolution, "VGA");
+  EXPECT_LT(vga_min.rise_fps, 1.0);
+  EXPECT_GT(vga_min.this_work_fps, 1.0);
+}
+
+TEST(SchemeSpace, ProfilesAndEstimates) {
+  const auto profiles = analytics::scheme_profiles();
+  ASSERT_GE(profiles.size(), 5u);
+  // PASTA entries use the exact structural numbers.
+  EXPECT_EQ(profiles[0].xof_elements, 2048u);
+  EXPECT_EQ(profiles[1].xof_elements, 640u);
+  // Cycle estimate agrees with the cycle-accurate model within ~5%.
+  Xoshiro256 rng(3);
+  hw::AcceleratorSim sim(pasta::pasta4());
+  const auto key = pasta::PastaCipher::random_key(pasta::pasta4(), rng);
+  const auto measured = sim.run_block(key, 1, 0).stats.total_cycles;
+  const auto estimate = analytics::estimated_cycles(profiles[1]);
+  EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(measured),
+              measured * 0.05);
+  // Fixed-matrix schemes are strictly cheaper in XOF and area.
+  for (const auto& s : profiles) {
+    EXPECT_GT(analytics::estimated_cycles(s), 26u);
+    EXPECT_GT(analytics::estimated_area_factor(s), 0.3);
+    if (!s.needs_matgen) {
+      EXPECT_LT(analytics::estimated_area_factor(s), 1.0);
+      EXPECT_LT(s.xof_elements, 256u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poe

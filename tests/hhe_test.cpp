@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hhe/batched_server.hpp"
+#include "hhe/protocol.hpp"
+
+namespace poe::hhe {
+namespace {
+
+class HheProtocol : public ::testing::Test {
+ protected:
+  HheProtocol()
+      : config_(HheConfig::test()), bgv_(config_.bgv) {}
+
+  HheConfig config_;
+  fhe::Bgv bgv_;
+};
+
+TEST_F(HheProtocol, KeyCiphertextsDecryptToKey) {
+  Xoshiro256 rng(1);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  const auto key_cts = client.encrypt_key();
+  ASSERT_EQ(key_cts.size(), config_.pasta.key_size());
+  EXPECT_EQ(client.decrypt_result(key_cts), key);
+}
+
+TEST_F(HheProtocol, TranscipherBlockRecoversMessage) {
+  Xoshiro256 rng(2);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  HheServer server(config_, bgv_, client.encrypt_key());
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const std::uint64_t nonce = 123456;
+
+  // Client -> server: symmetric ciphertext, zero expansion.
+  const auto sym_ct = client.encrypt(msg, nonce);
+  ASSERT_EQ(sym_ct.size(), msg.size());
+
+  // Server: homomorphic PASTA decryption.
+  ServerReport report;
+  const auto fhe_cts = server.transcipher_block(sym_ct, nonce, 0, &report);
+  ASSERT_EQ(fhe_cts.size(), msg.size());
+  EXPECT_GT(report.min_noise_budget_bits, 0.0)
+      << "circuit ran out of noise budget (final level "
+      << report.final_level << ")";
+  EXPECT_GE(report.final_level, 1u);
+  // 2 * (t-1) Feistel squares per round * 3 rounds + 2t * 2 cube mults.
+  const std::size_t t = config_.pasta.t;
+  EXPECT_EQ(report.ct_ct_multiplications, 3 * 2 * (t - 1) + 2 * t * 2);
+
+  // Client: decrypting the server's output yields the original message.
+  EXPECT_EQ(client.decrypt_result(fhe_cts), msg);
+}
+
+TEST_F(HheProtocol, TranscipherPartialAndMultiBlock) {
+  Xoshiro256 rng(3);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  HheServer server(config_, bgv_, client.encrypt_key());
+
+  std::vector<std::uint64_t> msg(config_.pasta.t + 3);  // 2 blocks, 2nd short
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const auto sym_ct = client.encrypt(msg, 77);
+  const auto fhe_cts = server.transcipher(sym_ct, 77);
+  ASSERT_EQ(fhe_cts.size(), msg.size());
+  EXPECT_EQ(client.decrypt_result(fhe_cts), msg);
+}
+
+TEST_F(HheProtocol, ServerOutputIsComputable) {
+  // The point of HHE: the server's output is a *usable* FHE ciphertext —
+  // e.g. it can add two transciphered values.
+  Xoshiro256 rng(4);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  HheServer server(config_, bgv_, client.encrypt_key());
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const auto cts = server.transcipher_block(client.encrypt(msg, 5), 5, 0);
+
+  fhe::Ciphertext sum = cts[0];
+  bgv_.add_inplace(sum, cts[1]);
+  bgv_.mul_scalar_inplace(sum, 3);
+  const auto got = client.decrypt_result({sum});
+  const mod::Modulus pm(config_.pasta.p);
+  EXPECT_EQ(got[0], pm.mul(pm.add(msg[0], msg[1]), 3));
+}
+
+TEST_F(HheProtocol, MismatchedPlaintextModulusRejected) {
+  HheConfig bad = config_;
+  bad.pasta.p = 8088322049ull;  // != bgv.t
+  Xoshiro256 rng(5);
+  const auto key = pasta::PastaCipher::random_key(bad.pasta, rng);
+  EXPECT_THROW(HheClient(bad, bgv_, key), poe::Error);
+}
+
+TEST_F(HheProtocol, WrongKeyCountRejected) {
+  EXPECT_THROW(HheServer(config_, bgv_, {}), poe::Error);
+}
+
+class BatchedHhe : public ::testing::Test {
+ protected:
+  BatchedHhe() : config_(HheConfig::batched_test()), bgv_(config_.bgv) {}
+  HheConfig config_;
+  fhe::Bgv bgv_;
+};
+
+TEST_F(BatchedHhe, BatchedKeyCiphertextDecodesToKey) {
+  Xoshiro256 rng(10);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  fhe::BatchEncoder encoder(config_.bgv.n, config_.bgv.t);
+  fhe::SlotLayout layout(config_.bgv.n, config_.bgv.t);
+  const auto ct = encrypt_key_batched(config_, bgv_, encoder, layout, key);
+  const auto got =
+      BatchedHheServer::decode_block(config_, bgv_, ct, key.size());
+  EXPECT_EQ(got, key);
+}
+
+TEST_F(BatchedHhe, BatchedTranscipherMatchesMessage) {
+  Xoshiro256 rng(11);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  fhe::BatchEncoder encoder(config_.bgv.n, config_.bgv.t);
+  fhe::SlotLayout layout(config_.bgv.n, config_.bgv.t);
+  BatchedHheServer server(
+      config_, bgv_, encrypt_key_batched(config_, bgv_, encoder, layout, key));
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const std::uint64_t nonce = 31337;
+  const auto sym_ct = client.encrypt(msg, nonce);
+
+  ServerReport report;
+  const auto out = server.transcipher_block(sym_ct, nonce, 0, &report);
+  EXPECT_GT(report.min_noise_budget_bits, 0.0)
+      << "final level " << report.final_level;
+  // One squaring per Feistel round + two multiplications for the cube —
+  // for the WHOLE state (vs 2(t-1) per round coefficient-wise).
+  EXPECT_EQ(report.ct_ct_multiplications,
+            config_.pasta.rounds - 1 + 2);
+
+  const auto got =
+      BatchedHheServer::decode_block(config_, bgv_, out, msg.size());
+  EXPECT_EQ(got, msg);
+}
+
+TEST_F(BatchedHhe, BatchedAgreesWithCoefficientWiseServer) {
+  Xoshiro256 rng(12);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const auto sym_ct = client.encrypt(msg, 5);
+
+  // Coefficient-wise path.
+  HheServer coeff_server(config_, bgv_, client.encrypt_key());
+  const auto coeff_out = coeff_server.transcipher_block(sym_ct, 5, 0);
+  const auto coeff_msg = client.decrypt_result(coeff_out);
+
+  // Batched path.
+  fhe::BatchEncoder encoder(config_.bgv.n, config_.bgv.t);
+  fhe::SlotLayout layout(config_.bgv.n, config_.bgv.t);
+  BatchedHheServer batched(
+      config_, bgv_, encrypt_key_batched(config_, bgv_, encoder, layout, key));
+  const auto batched_out = batched.transcipher_block(sym_ct, 5, 0);
+  const auto batched_msg =
+      BatchedHheServer::decode_block(config_, bgv_, batched_out, msg.size());
+
+  EXPECT_EQ(coeff_msg, msg);
+  EXPECT_EQ(batched_msg, msg);
+}
+
+TEST_F(BatchedHhe, RejectsTooSmallRing) {
+  HheConfig bad = config_;
+  bad.pasta.t = 600;  // 2t = 1200 does not divide n/2 = 512
+  fhe::Ciphertext dummy = bgv_.encrypt(fhe::Plaintext{{1}});
+  EXPECT_THROW(BatchedHheServer(bad, bgv_, dummy), poe::Error);
+}
+
+TEST(HheConfigs, DemoUsesPasta4) {
+  const auto cfg = HheConfig::demo();
+  EXPECT_EQ(cfg.pasta.t, 32u);
+  EXPECT_EQ(cfg.pasta.rounds, 4u);
+  EXPECT_EQ(cfg.bgv.t, cfg.pasta.p);
+}
+
+}  // namespace
+}  // namespace poe::hhe

@@ -1,0 +1,533 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/area_model.hpp"
+#include "hw/countermeasures.hpp"
+#include "hw/platforms.hpp"
+#include "hw/xof_unit.hpp"
+#include "pasta/cipher.hpp"
+
+namespace poe::hw {
+namespace {
+
+using pasta::pasta3;
+using pasta::pasta4;
+using pasta::PastaCipher;
+
+TEST(XofUnit, OverlappedCadence) {
+  // Words 1..21 in consecutive cycles after init (2 absorb + 24 perm), then
+  // a 5-cycle gap before the next 21.
+  XofSamplerUnit xof(pasta4(), 0, 0);
+  std::vector<std::uint64_t> cycles;
+  std::uint64_t words = 0;
+  // Draw enough accepted coefficients to cover > 2 batches of words.
+  while (xof.words_drawn() < 50) {
+    xof.next(true);
+    words = xof.words_drawn();
+  }
+  (void)words;
+  // Reconstruct expectation: word w (1-based) in batch b = (w-1)/21 arrives
+  // at 26 + b*26 + ((w-1)%21 + 1).
+  XofSamplerUnit x2(pasta4(), 0, 0);
+  for (int i = 0; i < 100; ++i) {
+    const auto before = x2.words_drawn();
+    const auto c = x2.next(true);
+    const auto accepted_word_index = x2.words_drawn();  // 1-based
+    (void)before;
+    const std::uint64_t w = accepted_word_index - 1;
+    const std::uint64_t expect = 26 + (w / 21) * 26 + (w % 21) + 1;
+    EXPECT_EQ(c.cycle, expect) << "word " << accepted_word_index;
+  }
+}
+
+TEST(XofUnit, NaiveCadenceIsSlower) {
+  XofTimingConfig naive;
+  naive.mode = KeccakMode::kNaive;
+  XofSamplerUnit fast(pasta4(), 3, 4);
+  XofSamplerUnit slow(pasta4(), 3, 4, naive);
+  for (int i = 0; i < 200; ++i) {
+    const auto cf = fast.next(true);
+    const auto cs = slow.next(true);
+    EXPECT_EQ(cf.value, cs.value);  // identical functional stream
+    EXPECT_LE(cf.cycle, cs.cycle);
+  }
+  // Past the first batch the naive mode pays 45 vs 26 cycles per batch.
+  EXPECT_GT(slow.current_cycle(),
+            fast.current_cycle() + 19 * (fast.words_drawn() / 21 - 1));
+}
+
+TEST(XofUnit, MatchesSoftwareSampler) {
+  const auto params = pasta3();
+  XofSamplerUnit hw_xof(params, 42, 9);
+  pasta::FieldSampler sw(params, 42, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const bool allow_zero = (i % 3) != 0;
+    EXPECT_EQ(hw_xof.next(allow_zero).value, sw.next(allow_zero));
+  }
+}
+
+TEST(XofUnit, StallAdvancesClock) {
+  XofSamplerUnit xof(pasta4(), 0, 0);
+  const auto c1 = xof.next(true);
+  xof.stall_until(c1.cycle + 1000);
+  const auto c2 = xof.next(true);
+  EXPECT_GT(c2.cycle, c1.cycle + 1000);
+  EXPECT_GE(xof.stall_cycles(), 999u);
+}
+
+class HwFunctionalEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<int, unsigned, std::uint64_t>> {};
+
+TEST_P(HwFunctionalEquivalence, KeystreamMatchesReferenceCipher) {
+  const auto [variant, omega, nonce] = GetParam();
+  const auto params = variant == 3 ? pasta3(pasta::pasta_prime(omega))
+                                   : pasta4(pasta::pasta_prime(omega));
+  Xoshiro256 rng(55 + nonce + omega);
+  const auto key = PastaCipher::random_key(params, rng);
+
+  AcceleratorSim sim(params);
+  PastaCipher sw(params, key);
+  for (std::uint64_t ctr = 0; ctr < 3; ++ctr) {
+    const auto hw_result = sim.run_block(key, nonce, ctr);
+    EXPECT_EQ(hw_result.keystream, sw.keystream(nonce, ctr))
+        << "variant=" << variant << " w=" << omega << " nonce=" << nonce
+        << " ctr=" << ctr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsPrimesAndNonces, HwFunctionalEquivalence,
+    ::testing::Combine(::testing::Values(3, 4),
+                       ::testing::Values(17u, 33u, 54u, 60u),
+                       ::testing::Values(0ull, 123456789ull)));
+
+TEST(Accelerator, Pasta4CycleCountNearPaper) {
+  // Paper Table II: 1,591 cycles for one PASTA-4 block (nonce-dependent).
+  const auto params = pasta4();
+  Xoshiro256 rng(1);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  std::uint64_t sum = 0;
+  const int kBlocks = 20;
+  for (int i = 0; i < kBlocks; ++i) {
+    const auto r = sim.run_block(key, 1000 + i, 0);
+    sum += r.stats.total_cycles;
+    EXPECT_EQ(r.stats.xof_stall_cycles, 0u) << "unexpected back-pressure";
+  }
+  const double mean = static_cast<double>(sum) / kBlocks;
+  EXPECT_NEAR(mean, 1591.0, 1591.0 * 0.06) << "mean cycles " << mean;
+}
+
+TEST(Accelerator, Pasta3CycleCountNearPaper) {
+  // Paper Table II: 4,955 cycles for one PASTA-3 block.
+  const auto params = pasta3();
+  Xoshiro256 rng(2);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  std::uint64_t sum = 0;
+  const int kBlocks = 8;
+  for (int i = 0; i < kBlocks; ++i)
+    sum += sim.run_block(key, 77 + i, 0).stats.total_cycles;
+  const double mean = static_cast<double>(sum) / kBlocks;
+  EXPECT_NEAR(mean, 4955.0, 4955.0 * 0.07) << "mean cycles " << mean;
+}
+
+TEST(Accelerator, NaiveKeccakAlmostDoublesCycles) {
+  // §IV-B: "the clock cycle almost doubles for a naive Keccak
+  // implementation".
+  const auto params = pasta4();
+  Xoshiro256 rng(3);
+  const auto key = PastaCipher::random_key(params, rng);
+  XofTimingConfig naive;
+  naive.mode = KeccakMode::kNaive;
+  AcceleratorSim fast(params);
+  AcceleratorSim slow(params, naive);
+  const auto cf = fast.run_block(key, 5, 0).stats.total_cycles;
+  const auto cs = slow.run_block(key, 5, 0).stats.total_cycles;
+  const double ratio = static_cast<double>(cs) / static_cast<double>(cf);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Accelerator, PermutationCountNearPaperEstimate) {
+  const auto params4 = pasta4();
+  Xoshiro256 rng(4);
+  const auto key4 = PastaCipher::random_key(params4, rng);
+  const auto r4 = AcceleratorSim(params4).run_block(key4, 0, 0);
+  EXPECT_GE(r4.stats.permutations, 55u);  // paper: ~60
+  EXPECT_LE(r4.stats.permutations, 68u);
+
+  const auto params3 = pasta3();
+  const auto key3 = PastaCipher::random_key(params3, rng);
+  const auto r3 = AcceleratorSim(params3).run_block(key3, 0, 0);
+  EXPECT_GE(r3.stats.permutations, 180u);  // paper: ~186
+  EXPECT_LE(r3.stats.permutations, 210u);
+}
+
+TEST(Accelerator, EncryptMatchesSoftwareAndAccumulatesCycles) {
+  const auto params = pasta4();
+  Xoshiro256 rng(5);
+  const auto key = PastaCipher::random_key(params, rng);
+  std::vector<std::uint64_t> msg(params.t * 2 + 7);
+  for (auto& m : msg) m = rng.below(params.p);
+
+  AcceleratorSim sim(params);
+  const auto hw_result = sim.encrypt(key, msg, 99);
+  PastaCipher sw(params, key);
+  EXPECT_EQ(hw_result.ciphertext, sw.encrypt(msg, 99));
+  EXPECT_EQ(hw_result.per_block.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto& b : hw_result.per_block) sum += b.total_cycles;
+  EXPECT_EQ(hw_result.total_cycles, sum);
+}
+
+TEST(Accelerator, CyclesVaryWithNonce) {
+  // §IV-B: "the number of clock cycles upon experimentation varies with a
+  // small deviation based on the initiating nonce and counter".
+  const auto params = pasta4();
+  Xoshiro256 rng(6);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto c = sim.run_block(key, i, 0).stats.total_cycles;
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(hi, lo);                       // varies
+  EXPECT_LT(hi - lo, lo / 10);             // ...with small deviation
+}
+
+TEST(Accelerator, BitlengthPerformanceScalesWithRejectionRate) {
+  // §IV-A claims "the performance stays the same for different bit
+  // lengths". Measured refinement (recorded in EXPERIMENTS.md): the
+  // XOF-bound cycle count is invariant *per accepted-word demand* — the
+  // datapath itself is width-independent — but the demand depends on the
+  // prime's rejection rate. The Fermat prime 65537 rejects ~half the
+  // words (mask 2^17-1); the PASTA reference 33/60-bit moduli sit just
+  // below a power of two and reject almost nothing, so those blocks are
+  // ~1.8x FASTER. Cycles normalised by expected XOF words must be flat.
+  std::vector<double> normalised;
+  for (unsigned omega : {17u, 33u, 54u, 60u}) {
+    const auto params = pasta4(pasta::pasta_prime(omega));
+    Xoshiro256 rng(60);
+    const auto key = PastaCipher::random_key(params, rng);
+    AcceleratorSim sim(params);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 12; ++i)
+      sum += sim.run_block(key, 500 + i, 0).stats.total_cycles;
+    const double mean = static_cast<double>(sum) / 12.0;
+    // Expected XOF words for the block at this prime's rejection rate;
+    // subtract the width-independent start-up (26cc) and final-Mix (t cc)
+    // overheads before normalising.
+    const double words = static_cast<double>(params.xof_elements_per_block()) *
+                         params.expected_words_per_element();
+    normalised.push_back((mean - 26.0 - static_cast<double>(params.t)) /
+                         words);
+  }
+  for (std::size_t i = 1; i < normalised.size(); ++i) {
+    EXPECT_NEAR(normalised[i] / normalised[0], 1.0, 0.06)
+        << "omega index " << i;
+  }
+}
+
+TEST(AreaModel, AreaTimeProductGrowsWithBitlength) {
+  // §IV-A: "The area-time product increases as the area is more than
+  // doubled when the bit length is doubled" — cycles are flat, area grows.
+  AreaModel model;
+  double prev_at = 0;
+  for (unsigned omega : {17u, 33u, 54u}) {
+    const auto params = pasta4(pasta::pasta_prime(omega));
+    const double at = static_cast<double>(model.fpga(params).lut);
+    EXPECT_GT(at, prev_at) << "omega " << omega;
+    prev_at = at;
+  }
+  // 17 -> 33 bits (~2x width): LUT area grows by ~1.8x or more.
+  EXPECT_GT(static_cast<double>(
+                model.fpga(pasta4(pasta::pasta_prime(33))).lut) /
+                static_cast<double>(model.fpga(pasta4()).lut),
+            1.7);
+}
+
+TEST(Accelerator, GoldenCycleCounts) {
+  // Pinned cycle counts for fixed (key-independent timing) nonces — any
+  // change to the XOF cadence, sampler or scheduler shows up here.
+  const std::uint64_t nonce = 0xBEEF;
+  {
+    const auto params = pasta4();
+    std::vector<std::uint64_t> key(params.key_size(), 1);
+    const auto r = AcceleratorSim(params).run_block(key, nonce, 7);
+    EXPECT_EQ(r.stats.total_cycles,
+              AcceleratorSim(params).run_block(key, nonce, 7)
+                  .stats.total_cycles);  // deterministic
+    EXPECT_GT(r.stats.total_cycles, 1450u);
+    EXPECT_LT(r.stats.total_cycles, 1800u);
+  }
+  {
+    const auto params = pasta3();
+    std::vector<std::uint64_t> key(params.key_size(), 2);
+    const auto r = AcceleratorSim(params).run_block(key, nonce, 7);
+    EXPECT_GT(r.stats.total_cycles, 4700u);
+    EXPECT_LT(r.stats.total_cycles, 5600u);
+  }
+}
+
+TEST(Accelerator, RejectsWrongKeySize) {
+  AcceleratorSim sim(pasta4());
+  EXPECT_THROW(sim.run_block(std::vector<std::uint64_t>(3), 0, 0), poe::Error);
+}
+
+TEST(Platforms, CycleToMicrosecondConversion) {
+  EXPECT_NEAR(fpga_artix7().cycles_to_us(4955), 66.1, 0.1);   // Table II
+  EXPECT_NEAR(asic_1ghz().cycles_to_us(4955), 4.96, 0.01);    // Table II
+  EXPECT_NEAR(riscv_soc_100mhz().cycles_to_us(1591), 15.9, 0.05);
+}
+
+TEST(AreaModel, ReproducesTable1Anchors) {
+  AreaModel model;
+  for (const auto& row : paper_table1()) {
+    const auto params = row.t == 128 ? pasta3(pasta::pasta_prime(row.omega))
+                                     : pasta4(pasta::pasta_prime(row.omega));
+    const auto r = model.fpga(params);
+    EXPECT_NEAR(static_cast<double>(r.lut), static_cast<double>(row.lut),
+                row.lut * 0.002)
+        << row.scheme << " w=" << row.omega;
+    EXPECT_NEAR(static_cast<double>(r.ff), static_cast<double>(row.ff),
+                row.ff * 0.002);
+    EXPECT_EQ(r.dsp, row.dsp);
+    EXPECT_EQ(r.bram, 0u);
+  }
+}
+
+TEST(AreaModel, DspIsStructural) {
+  EXPECT_EQ(AreaModel::dsp_per_multiplier(17), 1u);
+  EXPECT_EQ(AreaModel::dsp_per_multiplier(18), 1u);
+  EXPECT_EQ(AreaModel::dsp_per_multiplier(33), 4u);
+  EXPECT_EQ(AreaModel::dsp_per_multiplier(54), 9u);
+  EXPECT_EQ(AreaModel::dsp_per_multiplier(60), 16u);
+}
+
+TEST(AreaModel, AsicAnchorsAndScaling) {
+  AreaModel model;
+  const auto p17 = pasta4();
+  EXPECT_NEAR(model.asic_mm2(p17, 28), 0.24, 0.005);
+  EXPECT_NEAR(model.asic_mm2(p17, 7), 0.03, 0.001);
+  // §IV-A ②: area x2.1 at omega=33, x4.3 at omega=54.
+  EXPECT_NEAR(model.asic_mm2(pasta4(pasta::pasta_prime(33)), 28) / 0.24, 2.1,
+              0.05);
+  EXPECT_NEAR(model.asic_mm2(pasta4(pasta::pasta_prime(54)), 28) / 0.24, 4.3,
+              0.05);
+  EXPECT_THROW(model.asic_mm2(p17, 12), poe::Error);
+}
+
+TEST(AreaModel, PowerBounded) {
+  AreaModel model;
+  double max_power = 0;
+  for (unsigned omega : {17u, 33u, 54u}) {
+    for (auto params : {pasta3(pasta::pasta_prime(omega)),
+                        pasta4(pasta::pasta_prime(omega))}) {
+      max_power = std::max(max_power, model.asic_power_w(params, 28));
+    }
+  }
+  EXPECT_NEAR(max_power, 1.2, 0.01);  // §IV-A ②: "maximum power ... 1.2W"
+}
+
+TEST(AreaModel, BreakdownSumsToOneAndMatGenDominates) {
+  AreaModel model;
+  for (const std::string platform : {"fpga", "asic"}) {
+    const auto shares = model.breakdown(pasta3(), platform);
+    double sum = 0;
+    double matgen = 0, largest = 0;
+    for (const auto& s : shares) {
+      sum += s.fraction;
+      largest = std::max(largest, s.fraction);
+      if (s.module.find("MatGen") != std::string::npos) matgen = s.fraction;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Fig. 7: MatGen is the largest module (33.3% on FPGA).
+    EXPECT_EQ(matgen, largest);
+    EXPECT_GT(matgen, 0.25);
+  }
+}
+
+TEST(AreaModel, Pasta3VsPasta4AreaRatio) {
+  // §IV-C ①: "PASTA-3 consumes approximately 3x more area than PASTA-4".
+  AreaModel model;
+  const double r_lut =
+      static_cast<double>(model.fpga(pasta3()).lut) /
+      static_cast<double>(model.fpga(pasta4()).lut);
+  EXPECT_GT(r_lut, 2.5);
+  EXPECT_LT(r_lut, 3.5);
+}
+
+TEST(AreaModel, FitsWithinArtix7) {
+  // Table I reports utilisation <= 78% on every resource.
+  AreaModel model;
+  FpgaDevice device;
+  for (const auto& row : paper_table1()) {
+    const auto params = row.t == 128 ? pasta3(pasta::pasta_prime(row.omega))
+                                     : pasta4(pasta::pasta_prime(row.omega));
+    const auto r = model.fpga(params);
+    EXPECT_LE(r.lut, device.lut);
+    EXPECT_LE(r.ff, device.ff);
+    EXPECT_LE(r.dsp, device.dsp);
+  }
+}
+
+TEST(Trace, RecordsScheduleAndMatchesStats) {
+  const auto params = pasta4();
+  Xoshiro256 rng(40);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  ScheduleTrace trace;
+  const auto r = sim.run_block(key, 2, 0, nullptr, &trace);
+
+  // 4 vectors per affine layer, 5 layers.
+  std::size_t xof_events = 0, mat_events = 0;
+  for (const auto& e : trace.events()) {
+    if (e.unit == Unit::kXof) ++xof_events;
+    if (e.unit == Unit::kMatEngine) ++mat_events;
+    EXPECT_LE(e.end, r.stats.total_cycles + 8) << e.label;
+  }
+  EXPECT_EQ(xof_events, 4 * params.affine_layers());
+  EXPECT_EQ(mat_events, 2 * params.affine_layers());
+  // Trace busy counts match the scheduler's own accounting.
+  EXPECT_EQ(trace.busy_cycles(Unit::kMatEngine), r.stats.mat_engine_busy);
+  // The XOF is the bottleneck: it is busy most of the block (§III).
+  EXPECT_GT(trace.utilisation(Unit::kXof, r.stats.total_cycles), 0.7);
+  EXPECT_LT(trace.utilisation(Unit::kVecAdd, r.stats.total_cycles), 0.1);
+}
+
+TEST(Trace, TimelineAndVcdRender) {
+  const auto params = pasta4();
+  Xoshiro256 rng(41);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  ScheduleTrace trace;
+  const auto r = sim.run_block(key, 3, 0, nullptr, &trace);
+
+  std::ostringstream timeline;
+  trace.print_timeline(timeline, r.stats.total_cycles, 80);
+  const std::string tl = timeline.str();
+  EXPECT_NE(tl.find("xof"), std::string::npos);
+  EXPECT_NE(tl.find("mat_engine"), std::string::npos);
+  EXPECT_NE(tl.find('#'), std::string::npos);
+
+  std::ostringstream vcd;
+  trace.write_vcd(vcd, r.stats.total_cycles);
+  const std::string v = vcd.str();
+  EXPECT_EQ(v.find("$timescale"), v.find("$timescale"));
+  EXPECT_NE(v.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(v.find("xof_busy"), std::string::npos);
+  EXPECT_NE(v.find("$enddefinitions"), std::string::npos);
+  // Signals toggle: there is at least one rising edge per unit.
+  EXPECT_NE(v.find("b1 !"), std::string::npos);
+  EXPECT_NE(v.find("b1 \""), std::string::npos);
+}
+
+TEST(Trace, RejectsBadEvents) {
+  ScheduleTrace trace;
+  EXPECT_THROW(trace.add(Unit::kXof, 10, 5, "backwards"), poe::Error);
+  std::ostringstream os;
+  EXPECT_THROW(trace.print_timeline(os, 100, 2), poe::Error);
+}
+
+TEST(Fault, InjectedFaultCorruptsKeystream) {
+  const auto params = pasta4();
+  Xoshiro256 rng(20);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  const auto clean = sim.run_block(key, 9, 0);
+  FaultInjection fault{.affine_layer = 1, .left_half = true, .element = 3,
+                       .delta = 5};
+  const auto faulty = sim.run_block(key, 9, 0, &fault);
+  EXPECT_NE(faulty.keystream, clean.keystream)
+      << "a single datapath fault must propagate (SASTA attack surface)";
+  // Same timing — faults do not change the schedule.
+  EXPECT_EQ(faulty.stats.total_cycles, clean.stats.total_cycles);
+}
+
+TEST(Fault, FaultInFinalLayerDiffusesViaMixOnly) {
+  // A fault after the last affine layer touches the output through the
+  // final Mix; earlier faults diffuse through S-boxes and matrices.
+  const auto params = pasta4();
+  Xoshiro256 rng(21);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+  const auto clean = sim.run_block(key, 10, 0);
+  FaultInjection late{.affine_layer = params.rounds, .left_half = true,
+                      .element = 0, .delta = 1};
+  const auto faulty = sim.run_block(key, 10, 0, &late);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < params.t; ++i) {
+    if (faulty.keystream[i] != clean.keystream[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);  // only the faulted lane (Mix is elementwise)
+
+  FaultInjection early{.affine_layer = 0, .left_half = true, .element = 0,
+                       .delta = 1};
+  const auto faulty_early = sim.run_block(key, 10, 0, &early);
+  diffs = 0;
+  for (std::size_t i = 0; i < params.t; ++i) {
+    if (faulty_early.keystream[i] != clean.keystream[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, params.t / 2);  // full diffusion
+}
+
+TEST(Countermeasures, TemporalRedundancyDetectsTransients) {
+  const auto params = pasta4();
+  Xoshiro256 rng(22);
+  const auto key = PastaCipher::random_key(params, rng);
+  AcceleratorSim sim(params);
+
+  const auto clean = run_with_temporal_redundancy(sim, key, 1, 0);
+  EXPECT_FALSE(clean.detected);
+  EXPECT_FALSE(clean.fault_injected);
+
+  FaultInjection fault{.affine_layer = 2, .left_half = false, .element = 7,
+                       .delta = 123};
+  const auto faulty = run_with_temporal_redundancy(sim, key, 1, 0, &fault);
+  EXPECT_TRUE(faulty.detected);
+  // The reported keystream (clean pass) is still correct.
+  EXPECT_EQ(faulty.keystream, clean.keystream);
+  // Both runs pay the same ~2x redundant-pass cost.
+  EXPECT_EQ(faulty.cycles, clean.cycles);
+  AcceleratorSim plain(params);
+  const auto single = plain.run_block(key, 1, 0).stats.total_cycles;
+  EXPECT_GT(clean.cycles, 2 * single - 4);
+}
+
+TEST(Countermeasures, CostModelShape) {
+  AreaModel model;
+  const auto params = pasta4();
+  const auto base = model.fpga(params);
+
+  for (auto cm : {Countermeasure::kTemporalRedundancy,
+                  Countermeasure::kSpatialRedundancy,
+                  Countermeasure::kMasking}) {
+    const auto cost = countermeasure_cost(cm);
+    const auto prot = protected_fpga(model, params, cm);
+    EXPECT_GE(prot.lut, base.lut) << to_string(cm);
+    EXPECT_GE(protected_cycles(1591, cm), 1591u) << to_string(cm);
+    EXPECT_TRUE(cost.cycle_factor > 1.0 || cost.var_area_factor > 1.0)
+        << to_string(cm);
+  }
+  // Temporal redundancy trades time; spatial trades area.
+  EXPECT_GT(protected_cycles(1591, Countermeasure::kTemporalRedundancy),
+            protected_cycles(1591, Countermeasure::kSpatialRedundancy));
+  EXPECT_GT(protected_fpga(model, params, Countermeasure::kSpatialRedundancy)
+                .lut,
+            protected_fpga(model, params, Countermeasure::kTemporalRedundancy)
+                .lut);
+  // Masking doubles-plus the DSP arrays.
+  EXPECT_GE(protected_fpga(model, params, Countermeasure::kMasking).dsp,
+            2 * base.dsp);
+}
+
+}  // namespace
+}  // namespace poe::hw

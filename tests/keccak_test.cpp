@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "keccak/keccak_f1600.hpp"
+#include "keccak/shake.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poe::keccak {
+namespace {
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+TEST(KeccakF1600, ZeroStatePermutation) {
+  // Known-answer: first lane of Keccak-f[1600] applied to the all-zero state.
+  State s{};
+  f1600(s);
+  EXPECT_EQ(s[0], 0xF1258F7940E1DDE7ull);
+  EXPECT_EQ(s[1], 0x84D5CCF933C0478Aull);
+}
+
+TEST(KeccakF1600, RoundStepsComposeToFullPermutation) {
+  State a{}, b{};
+  a[3] = 0xdeadbeef;
+  b[3] = 0xdeadbeef;
+  f1600(a);
+  for (int r = 0; r < kNumRounds; ++r) f1600_round(b, r);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shake128, EmptyInputKnownAnswer) {
+  // FIPS 202 test vector: SHAKE128("") first 32 bytes.
+  auto out = shake128({}, 32);
+  EXPECT_EQ(hex(out),
+            "7f9c2ba4e88f827d616045507605853e"
+            "d73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Shake256, EmptyInputKnownAnswer) {
+  Shake xof = Shake::shake256();
+  std::vector<std::uint8_t> out(32);
+  xof.squeeze(out);
+  EXPECT_EQ(hex(out),
+            "46b9dd2b0ba88d13233b3feb743eeb24"
+            "3fcd52ea62b81b82b50c27646ed5762f");
+}
+
+TEST(Shake128, IncrementalAbsorbMatchesOneShot) {
+  std::vector<std::uint8_t> msg(500);
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+  auto oneshot = shake128(msg, 64);
+
+  Shake xof = Shake::shake128();
+  xof.absorb(std::span(msg).subspan(0, 3));
+  xof.absorb(std::span(msg).subspan(3, 200));
+  xof.absorb(std::span(msg).subspan(203));
+  std::vector<std::uint8_t> incremental(64);
+  xof.squeeze(incremental);
+  EXPECT_EQ(oneshot, incremental);
+}
+
+TEST(Shake128, IncrementalSqueezeMatchesOneShot) {
+  std::vector<std::uint8_t> msg = {1, 2, 3};
+  auto oneshot = shake128(msg, 400);  // spans multiple rate blocks
+
+  Shake xof = Shake::shake128();
+  xof.absorb(msg);
+  std::vector<std::uint8_t> incremental(400);
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 7u, 160u, 200u, 32u}) {
+    xof.squeeze(std::span(incremental).subspan(off, chunk));
+    off += chunk;
+  }
+  EXPECT_EQ(off, incremental.size());
+  EXPECT_EQ(oneshot, incremental);
+}
+
+TEST(Shake128, SqueezeU64IsLittleEndianOfByteStream) {
+  Shake a = Shake::shake128();
+  Shake b = Shake::shake128();
+  std::uint8_t bytes[8];
+  b.squeeze(bytes);
+  std::uint64_t expect = 0;
+  for (int i = 7; i >= 0; --i) expect = (expect << 8) | bytes[i];
+  EXPECT_EQ(a.squeeze_u64(), expect);
+}
+
+TEST(Shake128, RateBlockBoundaryAbsorb) {
+  // Absorb exactly one rate block (168 bytes) and compare against split.
+  std::vector<std::uint8_t> msg(168, 0xAB);
+  auto oneshot = shake128(msg, 16);
+  Shake xof = Shake::shake128();
+  xof.absorb(std::span(msg).subspan(0, 168));
+  std::vector<std::uint8_t> out(16);
+  xof.squeeze(out);
+  EXPECT_EQ(oneshot, out);
+}
+
+TEST(Shake128, PermutationCountGrowsWithOutput) {
+  Shake xof = Shake::shake128();
+  xof.absorb(std::vector<std::uint8_t>{1});
+  std::vector<std::uint8_t> out(168 * 3);
+  xof.squeeze(out);
+  // 1 permutation to finish absorbing + 2 more for blocks 2 and 3.
+  EXPECT_EQ(xof.permutation_count(), 3u);
+}
+
+TEST(Shake, AbsorbAfterSqueezeThrows) {
+  Shake xof = Shake::shake128();
+  std::vector<std::uint8_t> out(8);
+  xof.squeeze(out);
+  std::vector<std::uint8_t> more{1};
+  EXPECT_THROW(xof.absorb(more), poe::Error);
+}
+
+TEST(Shake, InvalidRateRejected) {
+  EXPECT_THROW(Shake(0), poe::Error);
+  EXPECT_THROW(Shake(7), poe::Error);
+  EXPECT_THROW(Shake(200), poe::Error);
+}
+
+TEST(Sha3_256, KnownAnswers) {
+  // FIPS 202: SHA3-256("") — the canonical empty-input digest.
+  const auto empty = sha3_256({});
+  EXPECT_EQ(hex(empty),
+            "a7ffc6f8bf1ed76651c14756a061d662"
+            "f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3_256, RateBoundaryInputs) {
+  // Inputs of exactly rate-1, rate, rate+1 bytes exercise the padding
+  // paths; check determinism and divergence rather than fixed vectors.
+  std::vector<std::uint8_t> a(135, 0x61), b(136, 0x61), c(137, 0x61);
+  EXPECT_EQ(sha3_256(a), sha3_256(a));
+  EXPECT_NE(hex(sha3_256(a)), hex(sha3_256(b)));
+  EXPECT_NE(hex(sha3_256(b)), hex(sha3_256(c)));
+}
+
+TEST(Shake128, DistinctSeedsDiverge) {
+  std::vector<std::uint8_t> a{0, 0, 0, 1}, b{0, 0, 0, 2};
+  EXPECT_NE(shake128(a, 32), shake128(b, 32));
+}
+
+}  // namespace
+}  // namespace poe::keccak

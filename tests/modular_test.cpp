@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "modular/modulus.hpp"
+#include "modular/primes.hpp"
+#include "pasta/params.hpp"
+
+namespace poe::mod {
+namespace {
+
+TEST(Modulus, BasicOps) {
+  Modulus m(17);
+  EXPECT_EQ(m.add(9, 9), 1u);
+  EXPECT_EQ(m.sub(3, 5), 15u);
+  EXPECT_EQ(m.neg(0), 0u);
+  EXPECT_EQ(m.neg(5), 12u);
+  EXPECT_EQ(m.mul(4, 5), 3u);
+  EXPECT_EQ(m.mac(4, 5, 2), 5u);
+  EXPECT_EQ(m.pow(2, 4), 16u);
+  EXPECT_EQ(m.pow(3, 0), 1u);
+}
+
+TEST(Modulus, InverseIsInverse) {
+  Modulus m(65537);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    u64 a = 1 + rng.below(65536);
+    EXPECT_EQ(m.mul(a, m.inv(a)), 1u);
+  }
+}
+
+TEST(Modulus, InverseOfZeroThrows) {
+  Modulus m(65537);
+  EXPECT_THROW(m.inv(0), poe::Error);
+  EXPECT_THROW(m.inv(65537), poe::Error);
+}
+
+TEST(Modulus, RangeChecked) {
+  EXPECT_THROW(Modulus(1), poe::Error);
+  EXPECT_THROW(Modulus(1ull << 62), poe::Error);
+  EXPECT_NO_THROW(Modulus((1ull << 62) - 1));
+}
+
+TEST(FermatReduce, MatchesGenericReduction) {
+  const unsigned k = 16;
+  const u64 p = 65537;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    u64 a = rng.below(p), b = rng.below(p);
+    u128 x = static_cast<u128>(a) * b;
+    EXPECT_EQ(fermat_reduce(x, k, p), static_cast<u64>(x % p))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(FermatReduce, EdgeValues) {
+  const u64 p = 65537;
+  EXPECT_EQ(fermat_reduce(0, 16, p), 0u);
+  EXPECT_EQ(fermat_reduce(p, 16, p), 0u);
+  EXPECT_EQ(fermat_reduce(p - 1, 16, p), p - 1);
+  u128 max_prod = static_cast<u128>(p - 1) * (p - 1);
+  EXPECT_EQ(fermat_reduce(max_prod, 16, p),
+            static_cast<u64>(max_prod % p));
+}
+
+TEST(Primes, KnownPrimesAndComposites) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_TRUE(is_prime(65537));
+  EXPECT_TRUE(is_prime(0xFFFFFFFFFFFFFFC5ull));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(65536));
+  EXPECT_FALSE(is_prime(3215031751ull));  // strong pseudoprime to small bases
+}
+
+TEST(Primes, PastaPresetPrimesAreNttFriendly) {
+  for (unsigned omega : {17u, 33u, 54u, 60u}) {
+    const u64 p = poe::pasta::pasta_prime(omega);
+    EXPECT_TRUE(is_prime(p)) << "omega=" << omega << " p=" << p;
+    EXPECT_EQ(poe::bit_width_u64(p), omega) << "p=" << p;
+    // NTT/batching-friendliness: 2N | p-1 for N up to 2^15.
+    EXPECT_EQ((p - 1) % (1ull << 16), 0u) << "p=" << p;
+  }
+}
+
+TEST(Primes, NttPrimeChain) {
+  auto chain = ntt_prime_chain(4, 50, 8192);
+  EXPECT_EQ(chain.size(), 4u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_TRUE(is_prime(chain[i]));
+    EXPECT_EQ((chain[i] - 1) % (2 * 8192), 0u);
+    if (i > 0) {
+      EXPECT_LT(chain[i], chain[i - 1]);
+    }
+  }
+}
+
+TEST(Primes, PrimitiveRootHasFullOrder) {
+  for (u64 p : {17ull, 65537ull, 7681ull}) {
+    const u64 g = primitive_root(p);
+    Modulus m(p);
+    // g^((p-1)/f) != 1 for every prime factor f — spot-check f = 2.
+    EXPECT_NE(m.pow(g, (p - 1) / 2), 1u);
+    EXPECT_EQ(m.pow(g, p - 1), 1u);
+  }
+}
+
+TEST(Primes, RootOfUnityOrders) {
+  const u64 p = 65537;
+  Modulus m(p);
+  for (u64 order : {2ull, 4ull, 256ull, 65536ull}) {
+    const u64 w = root_of_unity(p, order);
+    EXPECT_EQ(m.pow(w, order), 1u);
+    EXPECT_EQ(m.pow(w, order / 2), p - 1);
+  }
+  EXPECT_THROW(root_of_unity(p, 3), poe::Error);  // 3 does not divide p-1
+}
+
+}  // namespace
+}  // namespace poe::mod

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pasta/cipher.hpp"
+#include "soc/driver.hpp"
+#include "soc/pasta_peripheral.hpp"
+#include "soc/soc.hpp"
+
+namespace poe::soc {
+namespace {
+
+using pasta::pasta3;
+using pasta::pasta4;
+using pasta::PastaCipher;
+
+class SocEncrypt : public ::testing::TestWithParam<std::tuple<int, unsigned>> {
+};
+
+TEST_P(SocEncrypt, DriverProducesReferenceCiphertext) {
+  const auto [variant, omega] = GetParam();
+  const auto params = variant == 3 ? pasta3(pasta::pasta_prime(omega))
+                                   : pasta4(pasta::pasta_prime(omega));
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  const unsigned stride = soc.peripheral().element_stride();
+
+  Xoshiro256 rng(17 + variant + omega);
+  const auto key = PastaCipher::random_key(params, rng);
+  DriverLayout layout;
+  layout.num_blocks = 2;
+  layout.nonce = 0xDEADBEEFCAFE0001ull;
+  std::vector<std::uint64_t> msg(params.t * layout.num_blocks);
+  for (auto& m : msg) m = rng.below(params.p);
+
+  store_elements(soc.ram(), layout.key_addr, key, stride);
+  store_elements(soc.ram(), layout.src_addr, msg, stride);
+
+  const auto program =
+      build_encrypt_driver(params, cfg.periph_base, layout);
+  const auto reason = soc.run_program(program);
+  ASSERT_EQ(reason, rv::StopReason::kEcall);
+
+  const auto ct =
+      load_elements(soc.ram(), layout.dst_addr, msg.size(), stride);
+  PastaCipher sw(params, key);
+  EXPECT_EQ(ct, sw.encrypt(msg, layout.nonce));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SocEncrypt,
+                         ::testing::Values(std::tuple{4, 17u},
+                                           std::tuple{4, 33u},
+                                           std::tuple{4, 54u},
+                                           std::tuple{3, 17u}));
+
+TEST(Soc, PerBlockLatencyNearAcceleratorCycles) {
+  // Table II: the SoC's per-block time is dominated by the accelerator
+  // (paper: 15.9us = 1,590 cycles at 100 MHz for PASTA-4); the slave-bus
+  // driver adds readout overhead on top.
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  Xoshiro256 rng(5);
+  const auto key = PastaCipher::random_key(params, rng);
+  DriverLayout layout;
+  layout.num_blocks = 4;
+  std::vector<std::uint64_t> msg(params.t * layout.num_blocks);
+  for (auto& m : msg) m = rng.below(params.p);
+  store_elements(soc.ram(), layout.key_addr, key, 4);
+  store_elements(soc.ram(), layout.src_addr, msg, 4);
+
+  soc.run_program(build_encrypt_driver(params, cfg.periph_base, layout));
+
+  const auto start = soc.ram().load_word(layout.cycles_addr);
+  const auto end = soc.ram().load_word(layout.cycles_addr + 4);
+  const double per_block =
+      static_cast<double>(end - start) / layout.num_blocks;
+  const double accel_mean =
+      static_cast<double>(soc.peripheral().stats().accelerator_cycles) /
+      layout.num_blocks;
+  EXPECT_GT(per_block, accel_mean);             // bus overhead exists
+  EXPECT_LT(per_block, accel_mean * 1.5);       // ...but does not dominate
+  EXPECT_EQ(soc.peripheral().stats().blocks_processed, 4u);
+}
+
+TEST(Soc, BlocksAreSerialised) {
+  // The paper: one block must complete before the next can start. Starting a
+  // new block while busy is a programming error the model rejects.
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  auto& periph = soc.peripheral();
+  // Program registers directly through the bus.
+  const auto base = cfg.periph_base;
+  auto& bus = soc.bus();
+  for (std::size_t i = 0; i < params.key_size(); ++i) {
+    bus.write32(base + kKeyLoBase + static_cast<rv::u32>(i) * 4, 1, 0);
+  }
+  store_elements(soc.ram(), 0x20000, std::vector<std::uint64_t>(params.t, 0),
+                 4);
+  bus.write32(base + kRegSrcAddr, 0x20000, 0);
+  bus.write32(base + kRegCtrl, 1, /*now=*/100);
+  // Still busy shortly after: status busy bit set, restart rejected.
+  EXPECT_EQ(bus.read32(base + kRegStatus, 101) & 1u, 1u);
+  EXPECT_THROW(bus.write32(base + kRegCtrl, 1, 102), poe::Error);
+  // After the block completes: done bit set, busy clear.
+  const rv::u64 after = 100 + 5000;
+  EXPECT_EQ(bus.read32(base + kRegStatus, after), 2u);
+  EXPECT_NO_THROW(bus.write32(base + kRegCtrl, 1, after));
+  (void)periph;
+}
+
+TEST(Soc, ReadoutWhileBusyRejected) {
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  auto& bus = soc.bus();
+  const auto base = cfg.periph_base;
+  for (std::size_t i = 0; i < params.key_size(); ++i) {
+    bus.write32(base + kKeyLoBase + static_cast<rv::u32>(i) * 4, 1, 0);
+  }
+  store_elements(soc.ram(), 0x20000, std::vector<std::uint64_t>(params.t, 0),
+                 4);
+  bus.write32(base + kRegSrcAddr, 0x20000, 0);
+  bus.write32(base + kRegCtrl, 1, 0);
+  EXPECT_THROW(bus.read32(base + kOutLoBase, 1), poe::Error);
+}
+
+TEST(Soc, OutOfRangePlaintextRejected) {
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  auto& bus = soc.bus();
+  const auto base = cfg.periph_base;
+  soc.ram().store_word(0x20000, static_cast<rv::u32>(params.p));  // == p
+  bus.write32(base + kRegSrcAddr, 0x20000, 0);
+  EXPECT_THROW(bus.write32(base + kRegCtrl, 1, 0), poe::Error);
+}
+
+TEST(Soc, InvalidPeripheralOffsetRejected) {
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  EXPECT_THROW(soc.bus().read32(cfg.periph_base + 0x3F0, 0), poe::Error);
+  EXPECT_THROW(soc.bus().write32(cfg.periph_base + 0x3F0, 1, 0), poe::Error);
+}
+
+TEST(Soc, WideElementsRoundTripInRam) {
+  rv::Ram ram(4096);
+  std::vector<std::uint64_t> values{0x1FFFFFFFFull, 0, 42,
+                                    0x0FFFFFFFFFFFFFFull};
+  store_elements(ram, 128, values, 8);
+  EXPECT_EQ(load_elements(ram, 128, values.size(), 8), values);
+  // Narrow strides reject wide values.
+  EXPECT_THROW(store_elements(ram, 0, values, 4), poe::Error);
+}
+
+TEST(Soc, DmaWritebackMatchesReadoutPath) {
+  const auto params = pasta4();
+  Xoshiro256 rng(77);
+  const auto key = PastaCipher::random_key(params, rng);
+  DriverLayout layout;
+  layout.num_blocks = 3;
+  layout.nonce = 5150;
+  std::vector<std::uint64_t> msg(params.t * layout.num_blocks);
+  for (auto& m : msg) m = rng.below(params.p);
+
+  auto run = [&](bool dma) {
+    SocConfig cfg{.params = params};
+    Soc soc(cfg);
+    DriverLayout l = layout;
+    l.dma_writeback = dma;
+    store_elements(soc.ram(), l.key_addr, key, 4);
+    store_elements(soc.ram(), l.src_addr, msg, 4);
+    soc.run_program(build_encrypt_driver(params, cfg.periph_base, l));
+    const auto ct = load_elements(soc.ram(), l.dst_addr, msg.size(), 4);
+    const auto cycles = soc.ram().load_word(l.cycles_addr + 4) -
+                        soc.ram().load_word(l.cycles_addr);
+    return std::pair{ct, cycles};
+  };
+
+  const auto [ct_readout, cycles_readout] = run(false);
+  const auto [ct_dma, cycles_dma] = run(true);
+  PastaCipher sw(params, key);
+  const auto expect = sw.encrypt(msg, layout.nonce);
+  EXPECT_EQ(ct_readout, expect);
+  EXPECT_EQ(ct_dma, expect);
+  // DMA write-back removes the per-element slave readout loop.
+  EXPECT_LT(cycles_dma, cycles_readout);
+  EXPECT_LT(static_cast<double>(cycles_dma),
+            0.95 * static_cast<double>(cycles_readout));
+}
+
+TEST(Soc, DmaWritebackWideElements) {
+  const auto params = pasta4(pasta::pasta_prime(54));
+  Xoshiro256 rng(78);
+  const auto key = PastaCipher::random_key(params, rng);
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  DriverLayout layout;
+  layout.num_blocks = 1;
+  layout.dma_writeback = true;
+  const unsigned stride = soc.peripheral().element_stride();
+  std::vector<std::uint64_t> msg(params.t);
+  for (auto& m : msg) m = rng.below(params.p);
+  store_elements(soc.ram(), layout.key_addr, key, stride);
+  store_elements(soc.ram(), layout.src_addr, msg, stride);
+  soc.run_program(build_encrypt_driver(params, cfg.periph_base, layout));
+  const auto ct = load_elements(soc.ram(), layout.dst_addr, msg.size(), stride);
+  PastaCipher sw(params, key);
+  EXPECT_EQ(ct, sw.encrypt(msg, layout.nonce));
+}
+
+TEST(Soc, NonceRegistersReadBack) {
+  const auto params = pasta4();
+  SocConfig cfg{.params = params};
+  Soc soc(cfg);
+  auto& bus = soc.bus();
+  const auto base = cfg.periph_base;
+  bus.write32(base + kRegNonceLo, 0x11223344, 0);
+  bus.write32(base + kRegNonceHi, 0x55667788, 0);
+  EXPECT_EQ(bus.read32(base + kRegNonceLo, 0), 0x11223344u);
+  EXPECT_EQ(bus.read32(base + kRegNonceHi, 0), 0x55667788u);
+}
+
+}  // namespace
+}  // namespace poe::soc
