@@ -6,7 +6,9 @@
 // full PASTA-4 transciphering (t = 32; takes on the order of a minute).
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/table.hpp"
 #include "core/poe.hpp"
@@ -19,6 +21,35 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point begin) {
   return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+std::string counter_line(const CounterSnapshot& ops) {
+  std::ostringstream os;
+  os << ops.ntts() << " NTTs, " << ops.key_switch << " key switches, "
+     << ops.mod_switch << " mod switches, pool hit rate "
+     << fixed(100.0 * ops.pool_hit_rate(), 1) << "% (" << ops.pool_misses
+     << " fresh allocations)";
+  return os.str();
+}
+
+// One benchmark record for BENCH_hhe.json.
+std::string json_record(const char* name, double seconds,
+                        const hhe::ServerReport& rep) {
+  const CounterSnapshot& ops = rep.exec_ops;
+  std::ostringstream os;
+  os << "    {\"name\": \"" << name << "\", \"ns_per_op\": "
+     << static_cast<std::uint64_t>(seconds * 1e9)
+     << ", \"ct_ct_mults\": " << rep.ct_ct_multiplications
+     << ", \"ntt_forward\": " << ops.ntt_forward
+     << ", \"ntt_inverse\": " << ops.ntt_inverse
+     << ", \"key_switches\": " << ops.key_switch
+     << ", \"mod_switches\": " << ops.mod_switch
+     << ", \"pool_hits\": " << ops.pool_hits
+     << ", \"pool_misses\": " << ops.pool_misses
+     << ", \"pool_hit_rate\": " << fixed(ops.pool_hit_rate(), 4)
+     << ", \"noise_budget_bits\": " << fixed(rep.min_noise_budget_bits, 1)
+     << "}";
+  return os.str();
 }
 }  // namespace
 
@@ -82,8 +113,11 @@ int main() {
   t.row({"Client decrypts server output", "client",
          ok ? "matches the original message" : "MISMATCH"});
   t.print(std::cout);
+  std::cout << "exec counters: " << counter_line(report.exec_ops) << "\n";
 
   // --- Batched (SIMD) server: the whole state in one ciphertext.
+  hhe::ServerReport brep;
+  double bs = 0;
   {
     const auto bcfg =
         full ? hhe::HheConfig::batched_demo() : hhe::HheConfig::batched_test();
@@ -100,10 +134,9 @@ int main() {
               << " s\n";
 
     const auto bsym = bclient.encrypt(msg, nonce);
-    hhe::ServerReport brep;
     t0 = Clock::now();
     const auto bout = bserver.transcipher_block(bsym, nonce, 0, &brep);
-    const double bs = seconds_since(t0);
+    bs = seconds_since(t0);
     const auto bmsg = hhe::BatchedHheServer::decode_block(bcfg, bbgv, bout,
                                                           msg.size());
     std::cout << "transcipher: " << fixed(bs, 2) << " s with "
@@ -113,6 +146,7 @@ int main() {
               << config.pasta.key_size() << "; result "
               << (bmsg == msg ? "matches" : "MISMATCH") << ", noise budget "
               << fixed(brep.min_noise_budget_bits, 1) << " bits\n";
+    std::cout << "exec counters: " << counter_line(brep.exec_ops) << "\n";
   }
 
   // --- PASTA-3 vs PASTA-4 on the SERVER (the flip side of the paper's
@@ -164,5 +198,17 @@ int main() {
             << " B vs direct FHE upload " << with_commas(bgv_ct_bytes)
             << " B — " << fixed(static_cast<double>(bgv_ct_bytes) / pasta_bytes, 0)
             << "x expansion avoided (the point of HHE).\n";
+
+  // Machine-readable record for regression tracking across PRs.
+  {
+    std::ofstream json("BENCH_hhe.json");
+    json << "{\n  \"config\": \"" << config.pasta.name << "\",\n"
+         << "  \"benchmarks\": [\n"
+         << json_record("transcipher_block_coefficient", transcipher_s, report)
+         << ",\n"
+         << json_record("transcipher_block_batched", bs, brep) << "\n"
+         << "  ]\n}\n";
+    std::cout << "(wrote BENCH_hhe.json)\n";
+  }
   return ok ? 0 : 1;
 }

@@ -3,6 +3,9 @@
 // encryption (the CPU baseline of Table II), and BGV primitives.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "fhe/bgv.hpp"
 #include "fhe/encoding.hpp"
@@ -178,4 +181,18 @@ BENCHMARK(BM_AcceleratorBlock)->Arg(3)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Cumulative ExecContext counters across every benchmark above — a quick
+  // sanity check that the BGV benches hit the pool instead of the allocator.
+  const poe::CounterSnapshot ops = poe::ExecContext::global().snapshot();
+  std::cout << "exec counters (cumulative): " << ops.ntts() << " NTTs, "
+            << ops.ct_ct_mul << " ct-ct mults, " << ops.key_switch
+            << " key switches, " << ops.mod_switch << " mod switches, "
+            << ops.encode << " encodes, pool " << ops.pool_hits << " hits / "
+            << ops.pool_misses << " misses\n";
+  return 0;
+}

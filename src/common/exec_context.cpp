@@ -1,0 +1,13 @@
+#include "common/exec_context.hpp"
+
+namespace poe {
+
+ExecContext& ExecContext::global() {
+  // Function-local static: constructed on first use (before any static
+  // object that allocates polynomials), destroyed after them, so slabs can
+  // always find their way home.
+  static ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace poe

@@ -1,0 +1,109 @@
+// Shared execution resources for the FHE/HHE hot path.
+//
+// ExecContext bundles the three things every layer of the homomorphic stack
+// needs but none should own privately:
+//   * a BufferPool — recyclable flat slabs backing every RnsPoly, so a
+//     warmed-up circuit evaluation is allocation-free,
+//   * the persistent ThreadPool behind parallel_for,
+//   * atomic operation counters (NTTs, ct-ct multiplications, key switches,
+//     modulus switches, batch encodes) that, together with the pool's
+//     hit/miss counters, make every performance PR measurable.
+//
+// RnsContext (and therefore Bgv, the HHE servers, and poe::Accelerator)
+// holds a pointer to an ExecContext; the process-wide ExecContext::global()
+// is the default, and tests/benches snapshot its counters for deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/pool.hpp"
+#include "common/thread_pool.hpp"
+
+namespace poe {
+
+/// Plain-value snapshot of an ExecContext's counters; subtract two to get
+/// the cost of a code region.
+struct CounterSnapshot {
+  std::uint64_t ntt_forward = 0;
+  std::uint64_t ntt_inverse = 0;
+  std::uint64_t ct_ct_mul = 0;
+  std::uint64_t key_switch = 0;
+  std::uint64_t mod_switch = 0;
+  std::uint64_t encode = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+
+  CounterSnapshot operator-(const CounterSnapshot& o) const {
+    return CounterSnapshot{ntt_forward - o.ntt_forward,
+                           ntt_inverse - o.ntt_inverse,
+                           ct_ct_mul - o.ct_ct_mul,
+                           key_switch - o.key_switch,
+                           mod_switch - o.mod_switch,
+                           encode - o.encode,
+                           pool_hits - o.pool_hits,
+                           pool_misses - o.pool_misses};
+  }
+
+  std::uint64_t ntts() const { return ntt_forward + ntt_inverse; }
+  /// Fraction of slab requests served from the pool's free lists.
+  double pool_hit_rate() const {
+    const std::uint64_t total = pool_hits + pool_misses;
+    return total == 0 ? 1.0 : static_cast<double>(pool_hits) / total;
+  }
+};
+
+/// Atomic operation counters. Increments use relaxed ordering — they are
+/// statistics, not synchronisation.
+struct OpCounters {
+  std::atomic<std::uint64_t> ntt_forward{0};  ///< per RNS component
+  std::atomic<std::uint64_t> ntt_inverse{0};
+  std::atomic<std::uint64_t> ct_ct_mul{0};   ///< tensor products
+  std::atomic<std::uint64_t> key_switch{0};  ///< relin + Galois switches
+  std::atomic<std::uint64_t> mod_switch{0};  ///< per ciphertext
+  std::atomic<std::uint64_t> encode{0};      ///< batch encodes/decodes
+
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+    c.fetch_add(by, std::memory_order_relaxed);
+  }
+};
+
+class ExecContext {
+ public:
+  /// Owns a fresh BufferPool and counters; runs loops on `threads`
+  /// (defaults to the process-wide pool — worker threads are expensive,
+  /// slabs are not).
+  explicit ExecContext(ThreadPool* threads = nullptr)
+      : threads_(threads != nullptr ? threads : &ThreadPool::global()) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Process-wide default context (what RnsContext uses unless told
+  /// otherwise).
+  static ExecContext& global();
+
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+  ThreadPool& threads() { return *threads_; }
+  OpCounters& counters() { return counters_; }
+
+  CounterSnapshot snapshot() const {
+    CounterSnapshot s;
+    s.ntt_forward = counters_.ntt_forward.load(std::memory_order_relaxed);
+    s.ntt_inverse = counters_.ntt_inverse.load(std::memory_order_relaxed);
+    s.ct_ct_mul = counters_.ct_ct_mul.load(std::memory_order_relaxed);
+    s.key_switch = counters_.key_switch.load(std::memory_order_relaxed);
+    s.mod_switch = counters_.mod_switch.load(std::memory_order_relaxed);
+    s.encode = counters_.encode.load(std::memory_order_relaxed);
+    s.pool_hits = pool_.hits();
+    s.pool_misses = pool_.misses();
+    return s;
+  }
+
+ private:
+  BufferPool pool_;
+  ThreadPool* threads_;
+  mutable OpCounters counters_;
+};
+
+}  // namespace poe

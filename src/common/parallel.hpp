@@ -1,50 +1,16 @@
-// Minimal data-parallel helper: run f(i) for i in [0, count) across a few
-// worker threads. Used by the HHE server, whose per-element homomorphic
-// operations are independent (the Bgv evaluator's const methods only read
-// shared key material). Deterministic: each index writes its own slot.
+// Data-parallel helper: run f(i) for i in [0, count) across the persistent
+// worker threads of the global ThreadPool (see thread_pool.hpp). Used by the
+// HHE servers, whose per-element homomorphic operations are independent (the
+// Bgv evaluator's const methods only read shared key material).
+// Deterministic: each index writes its own slot.
+//
+// Exception semantics: the first exception thrown by f is rethrown to the
+// caller; once a failure has been observed no NEW f(i) invocation begins
+// (the cancellation flag is checked before every call), while invocations
+// already in flight on other workers run to completion.
+//
+// Thread count: POE_THREADS when set (0 or unset = hardware_concurrency);
+// POE_THREADS=1 forces serial execution.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <exception>
-#include <functional>
-#include <thread>
-#include <vector>
-
-namespace poe {
-
-template <typename Fn>
-void parallel_for(std::size_t count, Fn&& f, unsigned max_threads = 0) {
-  if (count == 0) return;
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  const unsigned threads = static_cast<unsigned>(
-      std::min<std::size_t>(count, max_threads == 0 ? hw : max_threads));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) f(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count || failed.load()) return;
-      try {
-        f(i);
-      } catch (...) {
-        if (!failed.exchange(true)) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (failed.load() && error) std::rethrow_exception(error);
-}
-
-}  // namespace poe
+#include "common/thread_pool.hpp"  // IWYU pragma: export (parallel_for)

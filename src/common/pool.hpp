@@ -1,0 +1,100 @@
+// Recyclable flat-buffer arena for RNS polynomial storage.
+//
+// Every RnsPoly in the FHE layer is one contiguous slab of uint64_t words
+// (level * n coefficients); the hot homomorphic path (key switching,
+// tensoring, rotations) churns through dozens of such temporaries per
+// operation. BufferPool keeps returned slabs in per-size-class free lists so
+// a warmed-up circuit evaluation runs allocation-free — the software
+// analogue of the fixed on-chip buffer organisation the accelerator
+// literature (Presto, Medha) relies on for throughput.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace poe {
+
+class BufferPool;
+
+/// Move-only RAII handle to a 64-byte-aligned uint64_t slab drawn from a
+/// BufferPool. Returns its storage to the owning pool on destruction, so a
+/// slab's lifetime tracks the polynomial that holds it.
+class PolyBuffer {
+ public:
+  PolyBuffer() = default;
+  PolyBuffer(PolyBuffer&& o) noexcept
+      : pool_(o.pool_), data_(o.data_), words_(o.words_) {
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.words_ = 0;
+  }
+  PolyBuffer& operator=(PolyBuffer&& o) noexcept;
+  PolyBuffer(const PolyBuffer&) = delete;
+  PolyBuffer& operator=(const PolyBuffer&) = delete;
+  ~PolyBuffer() { reset(); }
+
+  std::uint64_t* data() { return data_; }
+  const std::uint64_t* data() const { return data_; }
+  /// Capacity in words — the slab's size class, not the caller's request.
+  std::size_t size() const { return words_; }
+  bool empty() const { return data_ == nullptr; }
+
+  /// Return the slab to the pool immediately (no-op when empty).
+  void reset();
+
+ private:
+  friend class BufferPool;
+  PolyBuffer(BufferPool* pool, std::uint64_t* data, std::size_t words)
+      : pool_(pool), data_(data), words_(words) {}
+
+  BufferPool* pool_ = nullptr;
+  std::uint64_t* data_ = nullptr;
+  std::size_t words_ = 0;
+};
+
+/// Thread-safe pool of cache-aligned slabs keyed by word count. Acquire
+/// prefers the smallest cached slab that fits (size classes are n * level
+/// multiples in practice, so a slab freed at one level serves any smaller
+/// request). Hit/miss counters expose the allocation discipline to benches
+/// and tests.
+class BufferPool {
+ public:
+  BufferPool() = default;
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Hand out a slab of at least `words` words. `zero` clears the first
+  /// `words` words (recycled slabs hold stale coefficients).
+  PolyBuffer acquire(std::size_t words, bool zero = true);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Slabs currently lent out (live polynomials).
+  std::uint64_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  /// Bytes parked in the free lists.
+  std::size_t cached_bytes() const;
+
+  /// Free every cached slab (outstanding slabs are unaffected).
+  void trim();
+
+ private:
+  friend class PolyBuffer;
+  void release(std::uint64_t* data, std::size_t words) noexcept;
+
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::vector<std::uint64_t*>> free_;  // by word count
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> outstanding_{0};
+};
+
+}  // namespace poe

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "hw/platforms.hpp"
 #include "pasta/cipher.hpp"
 #include "pasta/params.hpp"
@@ -52,6 +53,12 @@ class Accelerator {
   const pasta::PastaParams& params() const { return params_; }
   Backend backend() const { return backend_; }
   const std::vector<std::uint64_t>& key() const { return key_; }
+
+  /// The process-wide execution context the software FHE/HHE layers run on:
+  /// slab pool, thread pool, and operation counters (NTTs, key switches,
+  /// pool hit rate). Counters accumulate across every evaluator that did
+  /// not get a private ExecContext.
+  static ExecContext& exec() { return ExecContext::global(); }
 
  private:
   std::vector<std::uint64_t> encrypt_soc(std::span<const std::uint64_t> msg,

@@ -10,6 +10,7 @@
 #include "analytics/pke_model.hpp"      // IWYU pragma: export
 #include "analytics/prior_works.hpp"    // IWYU pragma: export
 #include "analytics/video_model.hpp"    // IWYU pragma: export
+#include "common/exec_context.hpp"      // IWYU pragma: export
 #include "core/accelerator.hpp"         // IWYU pragma: export
 #include "hw/accelerator.hpp"           // IWYU pragma: export
 #include "hw/area_model.hpp"            // IWYU pragma: export

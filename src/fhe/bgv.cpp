@@ -41,7 +41,7 @@ BgvParams BgvParams::secure() {
 
 RnsPoly restrict_to_level(const RnsPoly& p, std::size_t level) {
   POE_ENSURE(level <= p.level(), "cannot extend a polynomial");
-  RnsPoly out(p.context(), level, p.is_ntt());
+  RnsPoly out = RnsPoly::uninit(p.context(), level, p.is_ntt());
   for (std::size_t i = 0; i < level; ++i) {
     auto dst = out.rns(i);
     auto src = p.rns(i);
@@ -125,6 +125,8 @@ void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
   const std::size_t level = ct.level;
   const unsigned dbits = params_.relin_digit_bits;
   const u64 mask = (u64{1} << dbits) - 1;
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.key_switch);
   for (std::size_t j = 0; j < level; ++j) {
     const unsigned qbits = bit_width_u64(ctx_.prime(j));
     const unsigned digits = (qbits + dbits - 1) / dbits;
@@ -132,22 +134,32 @@ void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
     const auto src = input_coeff.rns(j);
     for (unsigned d = 0; d < digits; ++d) {
       // Digit polynomial: ((input mod q_j) >> (d*dbits)) & mask, lifted to
-      // all active primes.
-      RnsPoly dig(&ctx_, level, false);
+      // all active primes. The digit is < 2^dbits; when that is below every
+      // active prime (always, for the shipped parameter sets) the lift is
+      // the identity, so component 0 is computed once and copied.
+      RnsPoly dig = RnsPoly::uninit(&ctx_, level, false);
+      auto first = dig.rns(0);
+      for (std::size_t idx = 0; idx < first.size(); ++idx) {
+        first[idx] = (src[idx] >> (d * dbits)) & mask;
+      }
+      const bool first_exact = mask < ctx_.mod(0).value();
       for (std::size_t i = 0; i < level; ++i) {
         const auto& m = ctx_.mod(i);
         auto dst = dig.rns(i);
-        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
-          dst[idx] = (src[idx] >> (d * dbits)) & mask;
-          if (dst[idx] >= m.value()) dst[idx] %= m.value();
+        if (mask < m.value() && first_exact) {
+          if (i > 0) std::copy(first.begin(), first.end(), dst.begin());
+        } else {
+          for (std::size_t idx = 0; idx < dst.size(); ++idx) {
+            dst[idx] = ((src[idx] >> (d * dbits)) & mask) % m.value();
+          }
         }
       }
       dig.to_ntt();
-      RnsPoly tb = dig;
-      tb.mul_inplace(restrict_to_level(key.digits[j][d].b, level));
-      ct.parts[0].add_inplace(tb);
-      dig.mul_inplace(restrict_to_level(key.digits[j][d].a, level));
-      ct.parts[1].add_inplace(dig);
+      // Key components live at the top level; the fused accumulate reads
+      // only the first `level` of them — no restricted copies, no `tb`
+      // temporary.
+      ct.parts[0].add_mul_inplace(dig, key.digits[j][d].b);
+      ct.parts[1].add_mul_inplace(dig, key.digits[j][d].a);
     }
   }
 }
@@ -215,13 +227,6 @@ void Bgv::swap_rows_inplace(Ciphertext& a, const GaloisKeys& keys) const {
   apply_galois_inplace(a, 2 * ctx_.n() - 1, it->second);
 }
 
-RnsPoly Bgv::secret_restricted(std::size_t level) const {
-  return restrict_to_level(s_ntt_, level);
-}
-RnsPoly Bgv::secret_sq_restricted(std::size_t level) const {
-  return restrict_to_level(s_sq_ntt_, level);
-}
-
 Ciphertext Bgv::encrypt(const Plaintext& pt) const {
   const std::size_t top = ctx_.num_primes();
   RnsPoly u = RnsPoly::sample_ternary(&ctx_, top, rng_);
@@ -254,14 +259,12 @@ Ciphertext Bgv::encrypt(const Plaintext& pt) const {
 
 RnsPoly Bgv::decrypt_core(const Ciphertext& ct) const {
   POE_ENSURE(ct.size() >= 2 && ct.size() <= 3, "unsupported ciphertext size");
+  // The secret (and its square) live at the top level; the fused accumulate
+  // reads only the ciphertext's active components.
   RnsPoly v = ct.parts[0];
-  RnsPoly c1 = ct.parts[1];
-  c1.mul_inplace(secret_restricted(ct.level));
-  v.add_inplace(c1);
+  v.add_mul_inplace(ct.parts[1], s_ntt_);
   if (ct.size() == 3) {
-    RnsPoly c2 = ct.parts[2];
-    c2.mul_inplace(secret_sq_restricted(ct.level));
-    v.add_inplace(c2);
+    v.add_mul_inplace(ct.parts[2], s_sq_ntt_);
   }
   v.from_ntt();
   return v;
@@ -378,18 +381,18 @@ Ciphertext Bgv::multiply(const Ciphertext& a, const Ciphertext& b) const {
   POE_ENSURE(a.level == b.level, "level mismatch (use match_levels)");
   POE_ENSURE(a.size() == 2 && b.size() == 2,
              "multiply requires relinearised inputs");
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.ct_ct_mul);
   Ciphertext out;
   out.level = a.level;
   out.parts.resize(3);
   // (a0 b0, a0 b1 + a1 b0, a1 b1)
   out.parts[0] = a.parts[0];
   out.parts[0].mul_inplace(b.parts[0]);
-  RnsPoly cross1 = a.parts[0];
-  cross1.mul_inplace(b.parts[1]);
-  RnsPoly cross2 = a.parts[1];
-  cross2.mul_inplace(b.parts[0]);
-  cross1.add_inplace(cross2);
-  out.parts[1] = std::move(cross1);
+  RnsPoly cross = a.parts[0];
+  cross.mul_inplace(b.parts[1]);
+  cross.add_mul_inplace(a.parts[1], b.parts[0]);
+  out.parts[1] = std::move(cross);
   out.parts[2] = a.parts[1];
   out.parts[2].mul_inplace(b.parts[1]);
   return out;
@@ -414,6 +417,8 @@ void Bgv::relinearize_inplace(Ciphertext& a) const {
 
 void Bgv::mod_switch_inplace(Ciphertext& a) const {
   POE_ENSURE(a.level >= 2, "cannot switch below the last prime");
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.mod_switch);
   const LevelData& lvl = ctx_.level(a.level);
   const std::size_t last = a.level - 1;
   const u64 qlast = ctx_.prime(last);

@@ -129,8 +129,6 @@ class Bgv {
   double noise_budget_bits(const Ciphertext& ct) const;
 
  private:
-  RnsPoly secret_restricted(std::size_t level) const;
-  RnsPoly secret_sq_restricted(std::size_t level) const;
   /// c0 + c1 s (+ c2 s^2) in coefficient form.
   RnsPoly decrypt_core(const Ciphertext& ct) const;
   /// t * fresh-noise polynomial in NTT form at the top level.

@@ -6,8 +6,12 @@
 namespace poe::fhe {
 
 RnsContext::RnsContext(std::size_t n, std::uint64_t t,
-                       std::vector<std::uint64_t> primes)
-    : n_(n), t_(t), t_mod_(t), primes_(std::move(primes)) {
+                       std::vector<std::uint64_t> primes, ExecContext* exec)
+    : exec_(exec != nullptr ? exec : &ExecContext::global()),
+      n_(n),
+      t_(t),
+      t_mod_(t),
+      primes_(std::move(primes)) {
   POE_ENSURE(!primes_.empty(), "empty RNS basis");
   POE_ENSURE(mod::is_prime(t_), "plaintext modulus must be prime");
   for (std::uint64_t q : primes_) {

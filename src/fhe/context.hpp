@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bignum.hpp"
+#include "common/exec_context.hpp"
 #include "fhe/ntt.hpp"
 #include "modular/modulus.hpp"
 
@@ -33,9 +34,14 @@ struct LevelData {
 class RnsContext {
  public:
   /// n: ring degree (power of two); t: plaintext modulus; primes: the RNS
-  /// chain, each ≡ 1 (mod 2n) and coprime to t.
-  RnsContext(std::size_t n, std::uint64_t t,
-             std::vector<std::uint64_t> primes);
+  /// chain, each ≡ 1 (mod 2n) and coprime to t. Polynomials built on this
+  /// context draw their slabs from (and report their operations to) `exec`;
+  /// nullptr means the process-wide ExecContext::global().
+  RnsContext(std::size_t n, std::uint64_t t, std::vector<std::uint64_t> primes,
+             ExecContext* exec = nullptr);
+
+  /// Execution resources (slab pool, thread pool, op counters).
+  ExecContext& exec() const { return *exec_; }
 
   std::size_t n() const { return n_; }
   std::size_t num_primes() const { return primes_.size(); }
@@ -49,6 +55,7 @@ class RnsContext {
   const LevelData& level(std::size_t num_active) const;
 
  private:
+  ExecContext* exec_;
   std::size_t n_;
   std::uint64_t t_;
   mod::Modulus t_mod_;

@@ -4,7 +4,8 @@
 
 namespace poe::fhe {
 
-BatchEncoder::BatchEncoder(std::size_t n, std::uint64_t t) : ntt_(t, n) {}
+BatchEncoder::BatchEncoder(std::size_t n, std::uint64_t t, ExecContext* exec)
+    : exec_(exec != nullptr ? exec : &ExecContext::global()), ntt_(t, n) {}
 
 Plaintext BatchEncoder::encode(
     const std::vector<std::uint64_t>& values) const {
@@ -17,6 +18,8 @@ Plaintext BatchEncoder::encode(
   }
   // Slots are the evaluations; encoding is the inverse transform.
   ntt_.inverse(pt.coeffs);
+  auto& c = exec_->counters();
+  c.bump(c.encode);
   return pt;
 }
 

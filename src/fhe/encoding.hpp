@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "fhe/bgv.hpp"
 #include "fhe/ntt.hpp"
 
@@ -13,7 +14,9 @@ namespace poe::fhe {
 
 class BatchEncoder {
  public:
-  BatchEncoder(std::size_t n, std::uint64_t t);
+  /// Encodes report to `exec`'s op counters; nullptr means the process-wide
+  /// ExecContext::global().
+  BatchEncoder(std::size_t n, std::uint64_t t, ExecContext* exec = nullptr);
 
   std::size_t slot_count() const { return ntt_.n(); }
 
@@ -22,6 +25,7 @@ class BatchEncoder {
   std::vector<std::uint64_t> decode(const Plaintext& pt) const;
 
  private:
+  ExecContext* exec_;
   Ntt ntt_;
 };
 

@@ -1,5 +1,7 @@
 #include "fhe/poly.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace poe::fhe {
@@ -8,7 +10,35 @@ RnsPoly::RnsPoly(const RnsContext* ctx, std::size_t level, bool ntt_form)
     : ctx_(ctx), level_(level), ntt_form_(ntt_form) {
   POE_ENSURE(ctx != nullptr, "null context");
   POE_ENSURE(level >= 1 && level <= ctx->num_primes(), "bad level " << level);
-  comps_.assign(level, std::vector<std::uint64_t>(ctx->n(), 0));
+  buf_ = ctx->exec().pool().acquire(level * ctx->n(), /*zero=*/true);
+}
+
+RnsPoly::RnsPoly(const RnsPoly& o)
+    : ctx_(o.ctx_), level_(o.level_), ntt_form_(o.ntt_form_) {
+  if (ctx_ != nullptr) {
+    const std::size_t words = level_ * ctx_->n();
+    buf_ = ctx_->exec().pool().acquire(words, /*zero=*/false);
+    std::copy_n(o.buf_.data(), words, buf_.data());
+  }
+}
+
+RnsPoly& RnsPoly::operator=(const RnsPoly& o) {
+  if (this == &o) return *this;
+  ctx_ = o.ctx_;
+  level_ = o.level_;
+  ntt_form_ = o.ntt_form_;
+  if (ctx_ == nullptr) {
+    buf_.reset();
+    return *this;
+  }
+  const std::size_t words = level_ * ctx_->n();
+  // Reuse the slab in place when it is big enough; otherwise swap it for
+  // one from the pool.
+  if (buf_.size() < words) {
+    buf_ = ctx_->exec().pool().acquire(words, /*zero=*/false);
+  }
+  std::copy_n(o.buf_.data(), words, buf_.data());
+  return *this;
 }
 
 void RnsPoly::check_compatible(const RnsPoly& o) const {
@@ -18,15 +48,26 @@ void RnsPoly::check_compatible(const RnsPoly& o) const {
   POE_ENSURE(ntt_form_ == o.ntt_form_, "representation mismatch");
 }
 
+void RnsPoly::check_operand(const RnsPoly& o) const {
+  POE_ENSURE(ctx_ == o.ctx_, "polynomials from different contexts");
+  POE_ENSURE(level_ <= o.level_, "operand level " << o.level_
+                                                  << " below " << level_);
+  POE_ENSURE(ntt_form_ == o.ntt_form_, "representation mismatch");
+}
+
 void RnsPoly::to_ntt() {
   POE_ENSURE(!ntt_form_, "already in NTT form");
-  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).forward(comps_[i]);
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).forward(rns(i));
+  auto& c = ctx_->exec().counters();
+  c.bump(c.ntt_forward, level_);
   ntt_form_ = true;
 }
 
 void RnsPoly::from_ntt() {
   POE_ENSURE(ntt_form_, "already in coefficient form");
-  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).inverse(comps_[i]);
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).inverse(rns(i));
+  auto& c = ctx_->exec().counters();
+  c.bump(c.ntt_inverse, level_);
   ntt_form_ = false;
 }
 
@@ -34,8 +75,10 @@ RnsPoly& RnsPoly::add_inplace(const RnsPoly& o) {
   check_compatible(o);
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
-    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
-      comps_[i][j] = m.add(comps_[i][j], o.comps_[i][j]);
+    auto dst = rns(i);
+    const auto src = o.rns(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = m.add(dst[j], src[j]);
     }
   }
   return *this;
@@ -45,8 +88,10 @@ RnsPoly& RnsPoly::sub_inplace(const RnsPoly& o) {
   check_compatible(o);
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
-    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
-      comps_[i][j] = m.sub(comps_[i][j], o.comps_[i][j]);
+    auto dst = rns(i);
+    const auto src = o.rns(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = m.sub(dst[j], src[j]);
     }
   }
   return *this;
@@ -55,18 +100,36 @@ RnsPoly& RnsPoly::sub_inplace(const RnsPoly& o) {
 RnsPoly& RnsPoly::negate_inplace() {
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
-    for (auto& x : comps_[i]) x = m.neg(x);
+    for (auto& x : rns(i)) x = m.neg(x);
   }
   return *this;
 }
 
 RnsPoly& RnsPoly::mul_inplace(const RnsPoly& o) {
-  check_compatible(o);
+  check_operand(o);
   POE_ENSURE(ntt_form_, "pointwise multiply requires NTT form");
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
-    for (std::size_t j = 0; j < comps_[i].size(); ++j) {
-      comps_[i][j] = m.mul(comps_[i][j], o.comps_[i][j]);
+    auto dst = rns(i);
+    const auto src = o.rns(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = m.mul(dst[j], src[j]);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::add_mul_inplace(const RnsPoly& a, const RnsPoly& b) {
+  check_operand(a);
+  check_operand(b);
+  POE_ENSURE(ntt_form_, "pointwise multiply requires NTT form");
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto& m = ctx_->mod(i);
+    auto dst = rns(i);
+    const auto sa = a.rns(i);
+    const auto sb = b.rns(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = m.add(dst[j], m.mul(sa[j], sb[j]));
     }
   }
   return *this;
@@ -82,7 +145,7 @@ RnsPoly& RnsPoly::mul_scalar_inplace(std::uint64_t scalar_mod_t) {
     const auto& m = ctx_->mod(i);
     const std::uint64_t s =
         negative ? m.neg(magnitude % m.value()) : magnitude % m.value();
-    for (auto& x : comps_[i]) x = m.mul(x, s);
+    for (auto& x : rns(i)) x = m.mul(x, s);
   }
   return *this;
 }
@@ -94,12 +157,14 @@ RnsPoly RnsPoly::apply_automorphism(std::uint64_t g) const {
   RnsPoly out(ctx_, level_, false);
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
+    const auto src = rns(i);
+    auto dst = out.rns(i);
     for (std::size_t idx = 0; idx < n; ++idx) {
       const std::uint64_t j = (idx * g) % (2 * n);
       if (j < n) {
-        out.comps_[i][j] = comps_[i][idx];
+        dst[j] = src[idx];
       } else {
-        out.comps_[i][j - n] = m.neg(comps_[i][idx]);
+        dst[j - n] = m.neg(src[idx]);
       }
     }
   }
@@ -108,7 +173,6 @@ RnsPoly RnsPoly::apply_automorphism(std::uint64_t g) const {
 
 void RnsPoly::drop_last_component() {
   POE_ENSURE(level_ >= 2, "cannot drop below one prime");
-  comps_.pop_back();
   --level_;
 }
 
@@ -125,7 +189,7 @@ RnsPoly RnsPoly::from_plaintext(const RnsContext* ctx, std::size_t level,
     const std::uint64_t magnitude = negative ? t - c : c;
     for (std::size_t i = 0; i < level; ++i) {
       const auto& m = ctx->mod(i);
-      p.comps_[i][j] = negative ? m.neg(magnitude) : magnitude;
+      p.rns(i)[j] = negative ? m.neg(magnitude) : magnitude;
     }
   }
   if (to_ntt_form) p.to_ntt();
@@ -137,7 +201,7 @@ RnsPoly RnsPoly::sample_uniform(const RnsContext* ctx, std::size_t level,
   RnsPoly p(ctx, level, ntt_form);
   for (std::size_t i = 0; i < level; ++i) {
     const std::uint64_t q = ctx->prime(i);
-    for (auto& x : p.comps_[i]) x = rng.below(q);
+    for (auto& x : p.rns(i)) x = rng.below(q);
   }
   return p;
 }
@@ -148,11 +212,11 @@ RnsPoly RnsPoly::from_signed_coeffs(const RnsContext* ctx, std::size_t level,
   RnsPoly p(ctx, level, false);
   for (std::size_t i = 0; i < level; ++i) {
     const auto& m = ctx->mod(i);
+    auto dst = p.rns(i);
     for (std::size_t j = 0; j < coeffs.size(); ++j) {
       const std::int64_t c = coeffs[j];
-      p.comps_[i][j] = c >= 0 ? static_cast<std::uint64_t>(c) % m.value()
-                              : m.neg(static_cast<std::uint64_t>(-c) %
-                                      m.value());
+      dst[j] = c >= 0 ? static_cast<std::uint64_t>(c) % m.value()
+                      : m.neg(static_cast<std::uint64_t>(-c) % m.value());
     }
   }
   return p;
@@ -163,6 +227,18 @@ RnsPoly RnsPoly::sample_ternary(const RnsContext* ctx, std::size_t level,
   std::vector<std::int64_t> coeffs(ctx->n());
   for (auto& c : coeffs) c = static_cast<std::int64_t>(rng.below(3)) - 1;
   return from_signed_coeffs(ctx, level, coeffs);
+}
+
+RnsPoly RnsPoly::uninit(const RnsContext* ctx, std::size_t level,
+                        bool ntt_form) {
+  RnsPoly p;
+  p.ctx_ = ctx;
+  p.level_ = level;
+  p.ntt_form_ = ntt_form;
+  POE_ENSURE(ctx != nullptr, "null context");
+  POE_ENSURE(level >= 1 && level <= ctx->num_primes(), "bad level " << level);
+  p.buf_ = ctx->exec().pool().acquire(level * ctx->n(), /*zero=*/false);
+  return p;
 }
 
 RnsPoly RnsPoly::sample_noise(const RnsContext* ctx, std::size_t level,

@@ -80,6 +80,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   ServerReport local;
   ServerReport& rep = report != nullptr ? *report : local;
   rep = ServerReport{};
+  const CounterSnapshot before = bgv_.rns().exec().snapshot();
 
   Ciphertext state = key_ct_;
 
@@ -203,6 +204,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   mix();
 
   rep.final_level = state.level;
+  rep.exec_ops = bgv_.rns().exec().snapshot() - before;
   rep.min_noise_budget_bits = bgv_.noise_budget_bits(state);
   return state;
 }

@@ -110,6 +110,7 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   ServerReport local;
   ServerReport& rep = report != nullptr ? *report : local;
   rep = ServerReport{};
+  const CounterSnapshot before = bgv_.rns().exec().snapshot();
 
   std::vector<Ciphertext> left(key_cts_.begin(),
                                key_cts_.begin() + static_cast<long>(t));
@@ -200,6 +201,7 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   mix();
 
   rep.final_level = left.front().level;
+  rep.exec_ops = bgv_.rns().exec().snapshot() - before;
   rep.min_noise_budget_bits = 1e9;
   for (const auto& ct : left) {
     rep.min_noise_budget_bits =

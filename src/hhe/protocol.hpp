@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "fhe/bgv.hpp"
 #include "pasta/cipher.hpp"
 
@@ -49,6 +50,9 @@ struct ServerReport {
   std::size_t final_level = 0;
   std::size_t ct_ct_multiplications = 0;
   std::size_t scalar_multiplications = 0;
+  /// Delta of the evaluator's ExecContext counters over the keystream
+  /// circuit (NTTs, key switches, pool hits/misses, ...).
+  CounterSnapshot exec_ops;
 };
 
 class HheClient {

@@ -22,6 +22,11 @@ class Modulus {
  public:
   explicit Modulus(u64 p) : p_(p) {
     POE_ENSURE(p >= 2 && p < (1ull << 62), "modulus out of range: " << p);
+    unsigned k = 0;
+    for (u64 v = p; v != 0; v >>= 1) ++k;
+    k_ = k;
+    // Barrett constant floor(2^(2k+1) / p); fits 64 bits since p >= 2^(k-1).
+    mu_ = static_cast<u64>((static_cast<u128>(1) << (2 * k_ + 1)) / p);
   }
 
   u64 value() const { return p_; }
@@ -39,8 +44,20 @@ class Modulus {
 
   u64 neg(u64 a) const { return a == 0 ? 0 : p_ - a; }
 
+  /// a * b mod p for a, b < p, via Barrett reduction (the 128-by-64-bit
+  /// division the naive formulation emits costs ~10x more than these two
+  /// multiplications on every pointwise product in the FHE hot path).
   u64 mul(u64 a, u64 b) const {
-    return static_cast<u64>(static_cast<u128>(a) * b % p_);
+    POE_DCHECK(a < p_ && b < p_, "Barrett operands must be reduced");
+    const u128 z = static_cast<u128>(a) * b;
+    // Estimate the quotient from the top bits: t in [z/p - 3, z/p].
+    const u64 t =
+        static_cast<u64>(((z >> (k_ - 1)) * static_cast<u128>(mu_)) >>
+                         (k_ + 2));
+    u64 r = static_cast<u64>(z) - t * p_;  // < 3p < 2^64
+    if (r >= 2 * p_) r -= 2 * p_;
+    if (r >= p_) r -= p_;
+    return r;
   }
 
   /// a*b + c mod p (the hardware MAC primitive).
@@ -69,6 +86,8 @@ class Modulus {
 
  private:
   u64 p_;
+  u64 mu_;      ///< Barrett constant floor(2^(2k+1) / p)
+  unsigned k_;  ///< bit width of p
 };
 
 /// Add-shift reduction for Fermat-structured primes p = 2^k + 1, mirroring

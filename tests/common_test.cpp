@@ -3,12 +3,18 @@
 #include "common/bignum.hpp"
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/exec_context.hpp"
 #include "common/parallel.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 namespace poe {
 namespace {
@@ -185,6 +191,124 @@ TEST(Parallel, DeterministicResultsAcrossThreadCounts) {
     return out;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Parallel, ParseThreadsEnv) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  EXPECT_EQ(ThreadPool::parse_threads_env(nullptr), hw);
+  EXPECT_EQ(ThreadPool::parse_threads_env(""), hw);
+  EXPECT_EQ(ThreadPool::parse_threads_env("0"), hw);
+  EXPECT_EQ(ThreadPool::parse_threads_env("pasta"), hw);
+  EXPECT_EQ(ThreadPool::parse_threads_env("-2"), hw);
+  EXPECT_EQ(ThreadPool::parse_threads_env("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_threads_env("6"), 6u);
+}
+
+TEST(Parallel, CancellationChecksBeforeInvoking) {
+  // Regression test for the cancellation protocol: once one body throws, no
+  // NEW body invocation may begin. Uses a dedicated pool (the global one has
+  // zero workers on single-core machines, which would serialise the loop and
+  // mask the race). One executor parks inside body(0) until body(1) is about
+  // to throw, so both executors are pinned while indices 2..999 are pending.
+  ThreadPool pool(1);  // one worker + the calling thread = 2 executors
+  std::atomic<bool> blocked_entered{false};
+  std::atomic<bool> about_to_throw{false};
+  std::atomic<int> invocations{0};
+  auto body = [&](std::size_t i) {
+    invocations.fetch_add(1, std::memory_order_relaxed);
+    if (i == 0) {
+      blocked_entered.store(true);
+      while (!about_to_throw.load()) std::this_thread::yield();
+    } else if (i == 1) {
+      while (!blocked_entered.load()) std::this_thread::yield();
+      about_to_throw.store(true);
+      throw Error("boom");
+    }
+  };
+  using Body = decltype(body);
+  EXPECT_THROW(
+      pool.run(1000, std::addressof(body),
+               [](void* ctx, std::size_t i) { (*static_cast<Body*>(ctx))(i); }),
+      Error);
+  // Indices 0 and 1 always run; after the failure the pre-invoke check stops
+  // both executors. A couple of racing claims may slip through while the
+  // exception unwinds, but nothing close to the remaining 998 indices.
+  EXPECT_GE(invocations.load(), 2);
+  EXPECT_LE(invocations.load(), 16);
+}
+
+TEST(BufferPool, MissThenHitReusesSlab) {
+  BufferPool pool;
+  std::uint64_t* raw = nullptr;
+  {
+    PolyBuffer b = pool.acquire(256);
+    raw = b.data();
+    EXPECT_EQ(pool.misses(), 1u);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.outstanding(), 1u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(raw) % 64, 0u);  // cache line
+    for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(b.data()[i], 0u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  const PolyBuffer c = pool.acquire(256, /*zero=*/false);
+  EXPECT_EQ(c.data(), raw);  // recycled the very same slab
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  const PolyBuffer d = pool.acquire(256);  // first slab lent out -> fresh
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.outstanding(), 2u);
+}
+
+TEST(BufferPool, BiggerSlabServesSmallerRequest) {
+  BufferPool pool;
+  {
+    PolyBuffer big = pool.acquire(1024, /*zero=*/false);
+    big.data()[5] = 77;  // stale coefficient to be cleared on recycle
+  }
+  const PolyBuffer small = pool.acquire(64, /*zero=*/true);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_GE(small.size(), 1024u);  // slab keeps its original size class
+  EXPECT_EQ(small.data()[5], 0u);
+}
+
+TEST(BufferPool, TrimFreesCachedSlabs) {
+  BufferPool pool;
+  { const PolyBuffer a = pool.acquire(128); }
+  EXPECT_EQ(pool.cached_bytes(), 128 * sizeof(std::uint64_t));
+  pool.trim();
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  const PolyBuffer b = pool.acquire(128);  // cache emptied -> fresh again
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(BufferPool, MoveTransfersOwnership) {
+  BufferPool pool;
+  PolyBuffer a = pool.acquire(32);
+  std::uint64_t* raw = a.data();
+  PolyBuffer b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b.reset();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(ExecContext, SnapshotDeltas) {
+  ExecContext ctx;
+  const CounterSnapshot before = ctx.snapshot();
+  ctx.counters().bump(ctx.counters().ntt_forward, 3);
+  ctx.counters().bump(ctx.counters().ct_ct_mul);
+  { const PolyBuffer p = ctx.pool().acquire(16); }  // miss, then returned
+  const PolyBuffer q = ctx.pool().acquire(16);      // hit
+  const CounterSnapshot delta = ctx.snapshot() - before;
+  EXPECT_EQ(delta.ntt_forward, 3u);
+  EXPECT_EQ(delta.ntts(), 3u);
+  EXPECT_EQ(delta.ct_ct_mul, 1u);
+  EXPECT_EQ(delta.pool_misses, 1u);
+  EXPECT_EQ(delta.pool_hits, 1u);
+  EXPECT_DOUBLE_EQ(delta.pool_hit_rate(), 0.5);
 }
 
 TEST(Table, RendersAllCells) {

@@ -586,6 +586,55 @@ TEST(Serialize, WireSizeShrinksWithLevel) {
   EXPECT_GT(full, one * 2);
 }
 
+TEST(Poly, MoveAndPoolRoundtripBitIdentical) {
+  const auto primes = mod::ntt_prime_chain(2, 40, 16);
+  RnsContext ctx(16, 65537, primes);
+  Xoshiro256 rng(42);
+  RnsPoly a = RnsPoly::sample_uniform(&ctx, 2, rng, /*ntt_form=*/false);
+  std::vector<std::uint64_t> want;
+  for (std::size_t i = 0; i < 2; ++i) {
+    want.insert(want.end(), a.rns(i).begin(), a.rns(i).end());
+  }
+  // A move re-seats the same slab (no copy, no pool traffic).
+  const std::uint64_t* slab = a.rns(0).data();
+  const CounterSnapshot before = ctx.exec().snapshot();
+  RnsPoly b = std::move(a);
+  EXPECT_EQ(b.rns(0).data(), slab);
+  const CounterSnapshot after_move = ctx.exec().snapshot() - before;
+  EXPECT_EQ(after_move.pool_hits + after_move.pool_misses, 0u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(b.rns(i)[j], want[i * 16 + j]);
+    }
+  }
+  // Destroying the poly parks the slab; the next same-size construction gets
+  // the recycled slab back with every word zeroed (no stale coefficients).
+  b = RnsPoly();
+  RnsPoly c(&ctx, 2, false);
+  EXPECT_EQ(c.rns(0).data(), slab);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) EXPECT_EQ(c.rns(i)[j], 0u);
+  }
+}
+
+TEST(Bgv, WarmedUpMultiplyRunsFromThePool) {
+  // After one warm-up multiply has populated the pool's size classes, ten
+  // more multiply+relinearise rounds should recycle slabs rather than touch
+  // the allocator: the ISSUE's acceptance bar is a >90% hit rate.
+  Bgv bgv(BgvParams::toy());
+  BatchEncoder enc(bgv.params().n, bgv.params().t);
+  const auto ct = bgv.encrypt(enc.encode({5, 6, 7}));
+  (void)bgv.multiply_relin(ct, ct);
+  const CounterSnapshot before = bgv.rns().exec().snapshot();
+  for (int i = 0; i < 10; ++i) (void)bgv.multiply_relin(ct, ct);
+  const CounterSnapshot delta = bgv.rns().exec().snapshot() - before;
+  EXPECT_EQ(delta.ct_ct_mul, 10u);
+  EXPECT_EQ(delta.key_switch, 10u);
+  EXPECT_GT(delta.ntts(), 0u);
+  EXPECT_GT(delta.pool_hits, 0u);
+  EXPECT_GT(delta.pool_hit_rate(), 0.9);
+}
+
 TEST(Poly, RepresentationGuards) {
   const auto primes = mod::ntt_prime_chain(2, 40, 16);
   RnsContext ctx(16, 65537, primes);
