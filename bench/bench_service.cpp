@@ -1,0 +1,194 @@
+// Multi-tenant transcipher service benchmark: client-count sweep.
+//
+// Each client opens a session (cached encrypted PASTA key) and submits one
+// multi-block message; the service coalesces each client's blocks into SIMD
+// batches and overlaps plaintext-side batch preparation (SHAKE squeeze,
+// rejection sampling, matrix generation) with the BGV evaluation of the
+// previous batch — the software analogue of the paper's Fig. 3 schedule.
+//
+// The acceptance baseline is the obvious alternative a server could run
+// instead: sequential per-client coefficient-wise HheServer::transcipher
+// calls over the same workload. Measured at the 8-client point; the service
+// must beat it by >= 1.3x aggregate throughput.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/poe.hpp"
+#include "hhe/batched_server.hpp"
+
+namespace {
+using namespace poe;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+struct SweepPoint {
+  std::size_t clients = 0;
+  service::ServiceReport report;
+};
+}  // namespace
+
+int main() {
+  const auto config = hhe::HheConfig::batched_test();
+  const std::size_t blocks_per_client = 4;
+  const std::vector<std::size_t> client_counts = {1, 2, 4, 8};
+
+  std::cout << "=== Multi-tenant transcipher service — " << config.pasta.name
+            << ", BGV n=" << config.bgv.n << " ===\n";
+
+  auto t0 = Clock::now();
+  fhe::Bgv bgv(config.bgv);
+  fhe::BatchEncoder encoder(config.bgv.n, config.bgv.t);
+  fhe::SlotLayout layout(config.bgv.n, config.bgv.t);
+  const auto simd_keys =
+      hhe::SimdBatchEngine::make_shared_rotation_keys(config, bgv);
+  std::cout << "BGV keygen + rotation keys: " << fixed(seconds_since(t0), 2)
+            << " s\n";
+
+  // One key/cipher per client id (the same across all sweep points so the
+  // sweep measures scheduling, not key material).
+  const std::size_t max_clients = client_counts.back();
+  Xoshiro256 rng(42);
+  std::vector<std::vector<std::uint64_t>> keys(max_clients);
+  std::vector<pasta::PastaCipher> ciphers;
+  std::vector<fhe::Ciphertext> key_cts;
+  for (std::size_t c = 0; c < max_clients; ++c) {
+    keys[c] = pasta::PastaCipher::random_key(config.pasta, rng);
+    ciphers.emplace_back(config.pasta, keys[c]);
+    key_cts.push_back(
+        hhe::encrypt_key_batched(config, bgv, encoder, layout, keys[c]));
+  }
+  const std::size_t msg_len = blocks_per_client * config.pasta.t;
+  std::vector<std::vector<std::uint64_t>> msgs(max_clients);
+  for (auto& msg : msgs) {
+    msg.resize(msg_len);
+    for (auto& m : msg) m = rng.below(config.pasta.p);
+  }
+
+  // ---- Sweep: N clients through the pipelined service. -------------------
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t n : client_counts) {
+    service::ServiceConfig scfg;
+    scfg.max_sessions = max_clients;
+    service::TranscipherService svc(config, bgv, scfg, simd_keys);
+    std::vector<service::TranscipherRequest> reqs;
+    for (std::size_t c = 0; c < n; ++c) {
+      svc.open_session(c + 1, key_cts[c]);
+      reqs.push_back(service::TranscipherRequest{
+          .client_id = c + 1,
+          .nonce = 7000 + c,
+          .symmetric_ct = ciphers[c].encrypt(msgs[c], 7000 + c)});
+    }
+    SweepPoint point;
+    point.clients = n;
+    const auto results = svc.process(reqs, &point.report);
+    // Verify every block round-trips before trusting the numbers.
+    for (std::size_t c = 0; c < n; ++c) {
+      std::vector<std::uint64_t> got;
+      for (const auto& block : results[c].blocks) {
+        const auto vals =
+            service::TranscipherService::decode_block(config, bgv, block);
+        got.insert(got.end(), vals.begin(), vals.end());
+      }
+      if (got != msgs[c]) {
+        std::cerr << "MISMATCH for client " << c + 1 << "\n";
+        return 1;
+      }
+    }
+    sweep.push_back(std::move(point));
+  }
+
+  TextTable t;
+  t.header({"Clients", "Blocks", "Total s", "s/block", "Blocks/s",
+            "Occupancy", "Prep overlap s"});
+  for (const auto& p : sweep) {
+    const auto& r = p.report;
+    t.row({std::to_string(p.clients), std::to_string(r.blocks),
+           fixed(r.total_s, 2), fixed(r.total_s / double(r.blocks), 3),
+           fixed(r.blocks_per_s, 2), fixed(r.avg_batch_occupancy, 3),
+           fixed(r.prepare_s, 3)});
+  }
+  t.print(std::cout);
+
+  // ---- Baseline at 8 clients: sequential coefficient-wise serving. -------
+  const auto coeff_config = hhe::HheConfig::test();
+  fhe::Bgv coeff_bgv(coeff_config.bgv);
+  double baseline_s = 0;
+  std::size_t baseline_blocks = 0;
+  {
+    std::cout << "\nbaseline: sequential per-client HheServer::transcipher ("
+              << max_clients << " clients x " << blocks_per_client
+              << " blocks)...\n";
+    std::vector<hhe::HheServer> servers;
+    servers.reserve(max_clients);
+    for (std::size_t c = 0; c < max_clients; ++c) {
+      hhe::HheClient client(coeff_config, coeff_bgv, keys[c]);
+      servers.emplace_back(coeff_config, coeff_bgv, client.encrypt_key());
+    }
+    t0 = Clock::now();
+    for (std::size_t c = 0; c < max_clients; ++c) {
+      const auto sym = ciphers[c].encrypt(msgs[c], 7000 + c);
+      const auto out = servers[c].transcipher(sym, 7000 + c);
+      baseline_blocks += (sym.size() + coeff_config.pasta.t - 1) /
+                         coeff_config.pasta.t;
+      if (out.size() != sym.size()) return 1;
+    }
+    baseline_s = seconds_since(t0);
+  }
+
+  const auto& peak = sweep.back().report;
+  const double service_tput = peak.blocks_per_s;
+  const double baseline_tput = double(baseline_blocks) / baseline_s;
+  const double speedup = service_tput / baseline_tput;
+  std::cout << "baseline: " << fixed(baseline_s, 2) << " s for "
+            << baseline_blocks << " blocks ("
+            << fixed(baseline_tput, 2) << " blocks/s)\n"
+            << "service @ " << max_clients << " clients: "
+            << fixed(service_tput, 2) << " blocks/s — " << fixed(speedup, 2)
+            << "x aggregate throughput (acceptance floor 1.3x)\n";
+
+  // ---- Machine-readable record. ------------------------------------------
+  {
+    std::ofstream json("BENCH_service.json");
+    json << "{\n  \"config\": \"" << config.pasta.name << "\",\n"
+         << "  \"blocks_per_client\": " << blocks_per_client << ",\n"
+         << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const auto& r = sweep[i].report;
+      json << "    {\"clients\": " << sweep[i].clients
+           << ", \"blocks\": " << r.blocks << ", \"batches\": " << r.batches
+           << ", \"total_s\": " << fixed(r.total_s, 4)
+           << ", \"ns_per_block\": "
+           << static_cast<std::uint64_t>(r.total_s / double(r.blocks) * 1e9)
+           << ", \"blocks_per_s\": " << fixed(r.blocks_per_s, 3)
+           << ", \"avg_batch_occupancy\": " << fixed(r.avg_batch_occupancy, 3)
+           << ", \"prepare_s\": " << fixed(r.prepare_s, 4)
+           << ", \"eval_s\": " << fixed(r.eval_s, 4)
+           << ", \"prepare_stalls\": " << r.prepare_stalls
+           << ", \"eval_stalls\": " << r.eval_stalls
+           << ", \"max_queue_depth\": " << r.max_queue_depth
+           << ", \"min_noise_budget_bits\": "
+           << fixed(r.min_noise_budget_bits, 1)
+           << ", \"ntt_forward\": " << r.exec_ops.ntt_forward
+           << ", \"key_switches\": " << r.exec_ops.key_switch << "}"
+           << (i + 1 < sweep.size() ? ",\n" : "\n");
+    }
+    json << "  ],\n"
+         << "  \"baseline\": {\"name\": \"sequential_coeff_hhe_server\", "
+         << "\"clients\": " << max_clients
+         << ", \"blocks\": " << baseline_blocks
+         << ", \"total_s\": " << fixed(baseline_s, 4)
+         << ", \"blocks_per_s\": " << fixed(baseline_tput, 3) << "},\n"
+         << "  \"speedup_at_" << max_clients
+         << "_clients\": " << fixed(speedup, 3) << "\n}\n";
+    std::cout << "(wrote BENCH_service.json)\n";
+  }
+  return speedup >= 1.3 ? 0 : 1;
+}

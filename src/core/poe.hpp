@@ -17,3 +17,4 @@
 #include "hw/platforms.hpp"             // IWYU pragma: export
 #include "pasta/cipher.hpp"             // IWYU pragma: export
 #include "pasta/params.hpp"             // IWYU pragma: export
+#include "service/service.hpp"          // IWYU pragma: export

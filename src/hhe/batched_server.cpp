@@ -37,32 +37,61 @@ fhe::Ciphertext encrypt_key_batched(const HheConfig& config,
   return bgv.encrypt(encoder.encode(layout.to_slots(tile_state(layout, key))));
 }
 
+BsgsSplit bsgs_split(std::size_t state_size) {
+  BsgsSplit split;
+  split.baby =
+      static_cast<std::size_t>(std::lround(std::sqrt(double(state_size))));
+  while (state_size % split.baby != 0) ++split.baby;
+  split.giant = state_size / split.baby;
+  return split;
+}
+
+std::vector<long> BatchedHheServer::rotation_steps(const HheConfig& config) {
+  const std::size_t s = config.pasta.state_size();
+  const auto split = bsgs_split(s);
+  std::vector<long> steps;
+  for (std::size_t b = 1; b < split.baby; ++b) {
+    steps.push_back(static_cast<long>(b));
+  }
+  for (std::size_t g = 1; g < split.giant; ++g) {
+    steps.push_back(static_cast<long>(g * split.baby));
+  }
+  steps.push_back(static_cast<long>(config.pasta.t));  // Mix half swap
+  steps.push_back(static_cast<long>(s - 1));           // Feistel shift
+  return steps;
+}
+
+std::shared_ptr<const fhe::GaloisKeys>
+BatchedHheServer::make_shared_rotation_keys(const HheConfig& config,
+                                            const fhe::Bgv& bgv) {
+  return std::make_shared<const fhe::GaloisKeys>(
+      bgv.make_rotation_keys(rotation_steps(config)));
+}
+
 BatchedHheServer::BatchedHheServer(const HheConfig& config,
                                    const fhe::Bgv& bgv,
                                    fhe::Ciphertext encrypted_key)
+    : BatchedHheServer(config, bgv, std::move(encrypted_key),
+                       make_shared_rotation_keys(config, bgv)) {}
+
+BatchedHheServer::BatchedHheServer(
+    const HheConfig& config, const fhe::Bgv& bgv, fhe::Ciphertext encrypted_key,
+    std::shared_ptr<const fhe::GaloisKeys> shared_keys)
     : config_(config),
       bgv_(bgv),
       encoder_(config.bgv.n, config.bgv.t),
       layout_(config.bgv.n, config.bgv.t),
+      rotation_keys_(std::move(shared_keys)),
       key_ct_(std::move(encrypted_key)) {
   const std::size_t s = config_.pasta.state_size();
   POE_ENSURE(layout_.cols() % s == 0,
              "ring too small: 2t must divide n/2 (2t=" << s
                                                        << ", n=" << config.bgv.n
                                                        << ")");
-  // Baby-step/giant-step split of the 2t diagonals.
-  baby_ = static_cast<std::size_t>(std::lround(std::sqrt(double(s))));
-  while (s % baby_ != 0) ++baby_;
-  giant_ = s / baby_;
-
-  std::vector<long> steps;
-  for (std::size_t b = 1; b < baby_; ++b) steps.push_back(static_cast<long>(b));
-  for (std::size_t g = 1; g < giant_; ++g) {
-    steps.push_back(static_cast<long>(g * baby_));
-  }
-  steps.push_back(static_cast<long>(config_.pasta.t));  // Mix half swap
-  steps.push_back(static_cast<long>(s - 1));            // Feistel shift
-  rotation_keys_ = bgv_.make_rotation_keys(steps);
+  POE_ENSURE(rotation_keys_ != nullptr, "rotation keys must be non-null");
+  const auto split = bsgs_split(s);
+  baby_ = split.baby;
+  giant_ = split.giant;
 }
 
 fhe::Plaintext BatchedHheServer::tiled_plain(std::span<const u64> values) const {
@@ -101,7 +130,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     for (std::size_t b = 1; b < baby_; ++b) {
       rotated[b] = state;
       bgv_.rotate_columns_inplace(rotated[b], static_cast<long>(b),
-                                  rotation_keys_);
+                                  *rotation_keys_);
     }
 
     Ciphertext acc;
@@ -131,7 +160,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
       }
       if (g != 0) {
         bgv_.rotate_columns_inplace(inner, static_cast<long>(g * baby_),
-                                    rotation_keys_);
+                                    *rotation_keys_);
       }
       if (!acc_init) {
         acc = std::move(inner);
@@ -153,7 +182,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     // new = 2*state + rotate_by_t(state)  ==  (2L+R || L+2R).
     Ciphertext swapped = state;
     bgv_.rotate_columns_inplace(swapped, static_cast<long>(t),
-                                rotation_keys_);
+                                *rotation_keys_);
     bgv_.mul_scalar_inplace(state, 2);
     bgv_.add_inplace(state, swapped);
   };
@@ -172,7 +201,7 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
 
   auto feistel = [&] {
     Ciphertext sq = square_reduced(state);
-    bgv_.rotate_columns_inplace(sq, static_cast<long>(s - 1), rotation_keys_);
+    bgv_.rotate_columns_inplace(sq, static_cast<long>(s - 1), *rotation_keys_);
     // Mask out the wrap positions 0 (head of L) and t (head of R).
     std::vector<u64> mask(s, 1);
     mask[0] = 0;

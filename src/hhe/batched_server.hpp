@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,12 +30,33 @@ fhe::Ciphertext encrypt_key_batched(const HheConfig& config,
                                     const fhe::SlotLayout& layout,
                                     std::span<const std::uint64_t> key);
 
+/// Baby-step/giant-step factorisation of the 2t state diagonals:
+/// baby * giant == 2t with baby ~ sqrt(2t).
+struct BsgsSplit {
+  std::size_t baby = 0;
+  std::size_t giant = 0;
+};
+BsgsSplit bsgs_split(std::size_t state_size);
+
 class BatchedHheServer {
  public:
   /// Generates the rotation keys it needs (baby/giant steps, half swap,
   /// Feistel shift) via the evaluator.
   BatchedHheServer(const HheConfig& config, const fhe::Bgv& bgv,
                    fhe::Ciphertext encrypted_key);
+
+  /// Multi-tenant variant: rotation keys depend only on (config, bgv), not
+  /// on the client key, so a serving layer constructs them ONCE via
+  /// make_shared_rotation_keys and shares them across every session.
+  BatchedHheServer(const HheConfig& config, const fhe::Bgv& bgv,
+                   fhe::Ciphertext encrypted_key,
+                   std::shared_ptr<const fhe::GaloisKeys> shared_keys);
+
+  /// The rotation steps the batched circuit uses (baby steps, giant steps,
+  /// Mix half swap, Feistel shift).
+  static std::vector<long> rotation_steps(const HheConfig& config);
+  static std::shared_ptr<const fhe::GaloisKeys> make_shared_rotation_keys(
+      const HheConfig& config, const fhe::Bgv& bgv);
 
   /// Homomorphically decrypt one PASTA block; returns ONE ciphertext whose
   /// logical slots 0..len-1 hold the message elements.
@@ -60,7 +82,7 @@ class BatchedHheServer {
   const fhe::Bgv& bgv_;
   fhe::BatchEncoder encoder_;
   fhe::SlotLayout layout_;
-  fhe::GaloisKeys rotation_keys_;
+  std::shared_ptr<const fhe::GaloisKeys> rotation_keys_;
   fhe::Ciphertext key_ct_;
   std::size_t baby_;   ///< baby-step count g1
   std::size_t giant_;  ///< giant-step count g2 (g1*g2 = 2t)

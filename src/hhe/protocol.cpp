@@ -92,6 +92,22 @@ std::vector<u64> HheClient::decrypt_result(
   return out;
 }
 
+PreparedBlock prepare_block(const pasta::PastaParams& params, u64 nonce,
+                            u64 counter) {
+  const mod::Modulus pm(params.p);
+  PreparedBlock prep;
+  prep.nonce = nonce;
+  prep.counter = counter;
+  prep.rnd = pasta::derive_block_randomness(params, nonce, counter);
+  prep.mat_l.reserve(prep.rnd.layers.size());
+  prep.mat_r.reserve(prep.rnd.layers.size());
+  for (const auto& d : prep.rnd.layers) {
+    prep.mat_l.push_back(pasta::sequential_matrix(pm, d.alpha_l));
+    prep.mat_r.push_back(pasta::sequential_matrix(pm, d.alpha_r));
+  }
+  return prep;
+}
+
 HheServer::HheServer(const HheConfig& config, const fhe::Bgv& bgv,
                      std::vector<Ciphertext> encrypted_key)
     : config_(config), bgv_(bgv), key_cts_(std::move(encrypted_key)) {
@@ -101,11 +117,10 @@ HheServer::HheServer(const HheConfig& config, const fhe::Bgv& bgv,
 }
 
 std::vector<Ciphertext> HheServer::keystream_circuit(
-    u64 nonce, u64 counter, ServerReport* report) const {
+    const PreparedBlock& prep, ServerReport* report) const {
   const auto& params = config_.pasta;
   const std::size_t t = params.t;
-  const mod::Modulus pm(params.p);
-  const auto rnd = pasta::derive_block_randomness(params, nonce, counter);
+  const auto& rnd = prep.rnd;
 
   ServerReport local;
   ServerReport& rep = report != nullptr ? *report : local;
@@ -120,10 +135,8 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   // y_i = sum_j M_ij x_j + rc_i; rows are independent, so they are
   // evaluated in parallel (the Bgv evaluator's const methods only read
   // shared key material).
-  auto affine_half = [&](std::vector<Ciphertext>& x,
-                         const std::vector<u64>& alpha,
+  auto affine_half = [&](std::vector<Ciphertext>& x, const pasta::Matrix& mat,
                          const std::vector<u64>& rc) {
-    const auto mat = pasta::sequential_matrix(pm, alpha);
     std::vector<Ciphertext> out(t);
     parallel_for(t, [&](std::size_t i) {
       Ciphertext acc = x[0];
@@ -184,8 +197,8 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
 
   for (std::size_t round = 0; round < params.rounds; ++round) {
     const auto& d = rnd.layers[round];
-    affine_half(left, d.alpha_l, d.rc_l);
-    affine_half(right, d.alpha_r, d.rc_r);
+    affine_half(left, prep.mat_l[round], d.rc_l);
+    affine_half(right, prep.mat_r[round], d.rc_r);
     mix();
     if (round == params.rounds - 1) {
       cube(left);
@@ -196,8 +209,8 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
     }
   }
   const auto& fin = rnd.layers.back();
-  affine_half(left, fin.alpha_l, fin.rc_l);
-  affine_half(right, fin.alpha_r, fin.rc_r);
+  affine_half(left, prep.mat_l.back(), fin.rc_l);
+  affine_half(right, prep.mat_r.back(), fin.rc_r);
   mix();
 
   rep.final_level = left.front().level;
@@ -213,10 +226,18 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
 std::vector<Ciphertext> HheServer::transcipher_block(
     std::span<const u64> symmetric_ct, u64 nonce, u64 counter,
     ServerReport* report) const {
+  return transcipher_block(symmetric_ct,
+                           prepare_block(config_.pasta, nonce, counter),
+                           report);
+}
+
+std::vector<Ciphertext> HheServer::transcipher_block(
+    std::span<const u64> symmetric_ct, const PreparedBlock& prep,
+    ServerReport* report) const {
   const std::size_t t = config_.pasta.t;
   POE_ENSURE(symmetric_ct.size() <= t && !symmetric_ct.empty(),
              "block must have 1.." << t << " elements");
-  auto ks = keystream_circuit(nonce, counter, report);
+  auto ks = keystream_circuit(prep, report);
   std::vector<Ciphertext> out;
   out.reserve(symmetric_ct.size());
   for (std::size_t i = 0; i < symmetric_ct.size(); ++i) {

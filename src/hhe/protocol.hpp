@@ -24,6 +24,7 @@
 #include "common/exec_context.hpp"
 #include "fhe/bgv.hpp"
 #include "pasta/cipher.hpp"
+#include "pasta/matrix.hpp"
 
 namespace poe::hhe {
 
@@ -43,6 +44,24 @@ struct HheConfig {
   static HheConfig batched_demo();
   static HheConfig batched_test();
 };
+
+/// Plaintext-side precomputation for one keystream block: the public
+/// randomness (SHAKE squeeze + rejection sampling) with the affine matrices
+/// materialised. Building one touches only the XOF and CPU-side modular
+/// arithmetic — no ciphertext operations — so a serving layer can overlap it
+/// with the BGV evaluation of the *previous* block, the software analogue of
+/// the paper's Fig. 3 schedule (MatGen hidden behind the other units).
+struct PreparedBlock {
+  std::uint64_t nonce = 0;
+  std::uint64_t counter = 0;
+  pasta::BlockRandomness rnd;
+  std::vector<pasta::Matrix> mat_l, mat_r;  ///< one per affine layer
+};
+
+/// Derive and materialise everything the keystream circuit needs for block
+/// (nonce, counter) — pure CPU work, usable by both servers.
+PreparedBlock prepare_block(const pasta::PastaParams& params,
+                            std::uint64_t nonce, std::uint64_t counter);
 
 /// Diagnostics from a homomorphic decryption.
 struct ServerReport {
@@ -93,6 +112,11 @@ class HheServer {
       std::span<const std::uint64_t> symmetric_ct, std::uint64_t nonce,
       std::uint64_t counter, ServerReport* report = nullptr) const;
 
+  /// Same, from a PreparedBlock built ahead of time (pipelined serving).
+  std::vector<fhe::Ciphertext> transcipher_block(
+      std::span<const std::uint64_t> symmetric_ct, const PreparedBlock& prep,
+      ServerReport* report = nullptr) const;
+
   /// Transcipher a multi-block message (block i uses counter i).
   std::vector<fhe::Ciphertext> transcipher(
       std::span<const std::uint64_t> symmetric_ct, std::uint64_t nonce,
@@ -100,8 +124,7 @@ class HheServer {
 
  private:
   /// Evaluate the keystream circuit on the encrypted key.
-  std::vector<fhe::Ciphertext> keystream_circuit(std::uint64_t nonce,
-                                                 std::uint64_t counter,
+  std::vector<fhe::Ciphertext> keystream_circuit(const PreparedBlock& prep,
                                                  ServerReport* report) const;
 
   const HheConfig& config_;

@@ -1,0 +1,329 @@
+#include "hhe/simd_batch.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "hhe/batched_server.hpp"
+#include "modular/modulus.hpp"
+
+namespace poe::hhe {
+
+namespace {
+using fhe::Ciphertext;
+using u64 = std::uint64_t;
+}  // namespace
+
+std::vector<long> SimdBatchEngine::rotation_steps(const HheConfig& config) {
+  const std::size_t s = config.pasta.state_size();
+  const std::size_t cols = config.bgv.n / 2;
+  const auto split = bsgs_split(s);
+  std::set<long> steps;
+  for (std::size_t b = 1; b < split.baby; ++b) {
+    steps.insert(static_cast<long>(b));
+  }
+  for (std::size_t g = 0; g < split.giant; ++g) {
+    const std::size_t G = g * split.baby;
+    if (g != 0) steps.insert(static_cast<long>(G));
+    // Wrap variant of the giant step: rot_{G - s} == rot_{cols - s + G}.
+    const std::size_t wrap = (cols + G - s) % cols;
+    if (wrap != 0) steps.insert(static_cast<long>(wrap));
+  }
+  steps.insert(static_cast<long>(cols - 1));  // Feistel shift rot_{-1}
+  return {steps.begin(), steps.end()};
+}
+
+std::shared_ptr<const fhe::GaloisKeys> SimdBatchEngine::make_shared_rotation_keys(
+    const HheConfig& config, const fhe::Bgv& bgv) {
+  return std::make_shared<const fhe::GaloisKeys>(
+      bgv.make_rotation_keys(rotation_steps(config)));
+}
+
+SimdBatchEngine::SimdBatchEngine(const HheConfig& config, const fhe::Bgv& bgv)
+    : SimdBatchEngine(config, bgv, make_shared_rotation_keys(config, bgv)) {}
+
+SimdBatchEngine::SimdBatchEngine(
+    const HheConfig& config, const fhe::Bgv& bgv,
+    std::shared_ptr<const fhe::GaloisKeys> shared_keys)
+    : config_(config),
+      bgv_(bgv),
+      encoder_(config.bgv.n, config.bgv.t),
+      layout_(config.bgv.n, config.bgv.t) {
+  const std::size_t s = config_.pasta.state_size();
+  POE_ENSURE(layout_.cols() % s == 0,
+             "ring too small: 2t must divide n/2 (2t=" << s
+                                                       << ", n=" << config.bgv.n
+                                                       << ")");
+  POE_ENSURE(shared_keys != nullptr, "rotation keys must be non-null");
+  rotation_keys_ = std::move(shared_keys);
+  const auto split = bsgs_split(s);
+  baby_ = split.baby;
+  giant_ = split.giant;
+  capacity_ = layout_.cols() / s;
+}
+
+fhe::Plaintext SimdBatchEngine::encode_cols(
+    const std::vector<u64>& per_col) const {
+  const std::size_t cols = layout_.cols();
+  POE_ENSURE(per_col.size() == cols, "per-column vector has wrong size");
+  std::vector<u64> logical(2 * cols);
+  for (std::size_t col = 0; col < cols; ++col) {
+    logical[col] = per_col[col];
+    logical[cols + col] = per_col[col];
+  }
+  return encoder_.encode(layout_.to_slots(logical));
+}
+
+PreparedSimdBatch SimdBatchEngine::prepare(
+    std::span<const SimdBlockRequest> requests) const {
+  const auto& params = config_.pasta;
+  const std::size_t t = params.t;
+  const std::size_t s = 2 * t;
+  const std::size_t cols = layout_.cols();
+  const std::size_t layers = params.rounds + 1;
+  const std::size_t blocks = requests.size();
+  POE_ENSURE(blocks >= 1 && blocks <= capacity_,
+             "batch must have 1.." << capacity_ << " blocks");
+  const mod::Modulus pm(params.p);
+
+  PreparedSimdBatch batch;
+  batch.blocks = blocks;
+  for (const auto& req : requests) {
+    POE_ENSURE(!req.symmetric_ct.empty() && req.symmetric_ct.size() <= t,
+               "block must have 1.." << t << " elements");
+    batch.lens.push_back(req.symmetric_ct.size());
+    batch.nonces.push_back(req.nonce);
+    batch.counters.push_back(req.counter);
+  }
+
+  // Per block and affine layer: the Mix-composed matrix
+  //   M = Mix * diag(M_L, M_R)   (top: 2*M_L | M_R, bottom: M_L | 2*M_R)
+  // and round constants rc = Mix(rc_l || rc_r), all s x s / s dense.
+  std::vector<std::vector<std::vector<u64>>> comp(blocks), crc(blocks);
+  for (std::size_t m = 0; m < blocks; ++m) {
+    const PreparedBlock pb =
+        prepare_block(params, requests[m].nonce, requests[m].counter);
+    comp[m].resize(layers);
+    crc[m].resize(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+      const pasta::Matrix& ml = pb.mat_l[l];
+      const pasta::Matrix& mr = pb.mat_r[l];
+      const auto& d = pb.rnd.layers[l];
+      auto& M = comp[m][l];
+      M.assign(s * s, 0);
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+          M[i * s + j] = pm.add(ml.at(i, j), ml.at(i, j));
+          M[i * s + t + j] = mr.at(i, j);
+          M[(t + i) * s + j] = ml.at(i, j);
+          M[(t + i) * s + t + j] = pm.add(mr.at(i, j), mr.at(i, j));
+        }
+      }
+      auto& rcv = crc[m][l];
+      rcv.resize(s);
+      for (std::size_t i = 0; i < t; ++i) {
+        rcv[i] = pm.add(pm.add(d.rc_l[i], d.rc_l[i]), d.rc_r[i]);
+        rcv[t + i] = pm.add(d.rc_l[i], pm.add(d.rc_r[i], d.rc_r[i]));
+      }
+    }
+  }
+
+  // Mask-folded BSGS diagonals. Diagonal k of the tile-local matrix product
+  // (D_k(col) = M^{(tile)}(off, (off+k) mod s)) splits into the in-tile part
+  // A (off < s-k, read via rot_k) and the wrap part B (off >= s-k, read via
+  // rot_{k-s}); both are pre-rotated so they apply BEFORE the giant
+  // rotation: uA(col) = (D_k*A_k)(col - G), uB(col) = (D_k*B_k)(col - G + s).
+  batch.diags.resize(layers);
+  batch.rc.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    batch.diags[l].resize(s);
+    for (std::size_t g = 0; g < giant_; ++g) {
+      const std::size_t G = g * baby_;
+      for (std::size_t b = 0; b < baby_; ++b) {
+        const std::size_t k = G + b;
+        std::vector<u64> ua(cols, 0), ub(cols, 0);
+        bool any_a = false, any_b = false;
+        for (std::size_t col = 0; col < cols; ++col) {
+          {
+            const std::size_t src = (col + cols - G) % cols;
+            const std::size_t m = src / s, off = src % s;
+            if (m < blocks && off + k < s) {
+              const u64 v = comp[m][l][off * s + off + k];
+              ua[col] = v;
+              any_a = any_a || v != 0;
+            }
+          }
+          {
+            const std::size_t src = (col + cols + s - G) % cols;
+            const std::size_t m = src / s, off = src % s;
+            if (m < blocks && off + k >= s) {
+              const u64 v = comp[m][l][off * s + off + k - s];
+              ub[col] = v;
+              any_b = any_b || v != 0;
+            }
+          }
+        }
+        auto& pair = batch.diags[l][k];
+        if (any_a) pair[0] = encode_cols(ua);
+        if (any_b) pair[1] = encode_cols(ub);
+      }
+    }
+    std::vector<u64> rcv(cols, 0);
+    for (std::size_t col = 0; col < cols; ++col) {
+      const std::size_t m = col / s, off = col % s;
+      if (m < blocks) rcv[col] = crc[m][l][off];
+    }
+    batch.rc[l] = encode_cols(rcv);
+  }
+
+  // Feistel mask: kill the tile heads (offsets 0 and t — those state
+  // elements take no shifted addend) and every unoccupied tile.
+  std::vector<u64> mask(cols, 0);
+  std::vector<u64> msg(cols, 0);
+  for (std::size_t col = 0; col < cols; ++col) {
+    const std::size_t m = col / s, off = col % s;
+    if (m >= blocks) continue;
+    if (off != 0 && off != t) mask[col] = 1;
+    if (off < batch.lens[m]) msg[col] = requests[m].symmetric_ct[off];
+  }
+  batch.feistel_mask = encode_cols(mask);
+  batch.message_plain = encode_cols(msg);
+  return batch;
+}
+
+Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
+                                     const PreparedSimdBatch& batch,
+                                     ServerReport* report) const {
+  const auto& params = config_.pasta;
+  const std::size_t s = 2 * params.t;
+  const std::size_t cols = layout_.cols();
+  POE_ENSURE(batch.blocks >= 1 && batch.blocks <= capacity_,
+             "batch must have 1.." << capacity_ << " blocks");
+  POE_ENSURE(batch.diags.size() == params.rounds + 1,
+             "batch was prepared for a different cipher");
+
+  ServerReport local;
+  ServerReport& rep = report != nullptr ? *report : local;
+  rep = ServerReport{};
+  const CounterSnapshot before = bgv_.rns().exec().snapshot();
+
+  Ciphertext state = key_ct;
+
+  // One Mix-composed affine layer, BSGS over the mask-folded diagonals.
+  auto affine = [&](std::size_t l) {
+    std::vector<Ciphertext> rotated(baby_);
+    rotated[0] = state;
+    for (std::size_t b = 1; b < baby_; ++b) {
+      rotated[b] = state;
+      bgv_.rotate_columns_inplace(rotated[b], static_cast<long>(b),
+                                  *rotation_keys_);
+    }
+
+    Ciphertext acc;
+    bool acc_init = false;
+    auto accumulate = [&](Ciphertext&& inner, std::size_t step) {
+      if (step % cols != 0) {
+        bgv_.rotate_columns_inplace(inner, static_cast<long>(step % cols),
+                                    *rotation_keys_);
+      }
+      if (!acc_init) {
+        acc = std::move(inner);
+        acc_init = true;
+      } else {
+        bgv_.add_inplace(acc, inner);
+      }
+    };
+
+    for (std::size_t g = 0; g < giant_; ++g) {
+      const std::size_t G = g * baby_;
+      Ciphertext inner_a, inner_b;
+      bool init_a = false, init_b = false;
+      for (std::size_t b = 0; b < baby_; ++b) {
+        const auto& pair = batch.diags[l][G + b];
+        for (int variant = 0; variant < 2; ++variant) {
+          if (pair[variant].coeffs.empty()) continue;
+          Ciphertext term = rotated[b];
+          bgv_.mul_plain_inplace(term, pair[variant]);
+          rep.scalar_multiplications += s;
+          Ciphertext& inner = variant == 0 ? inner_a : inner_b;
+          bool& init = variant == 0 ? init_a : init_b;
+          if (!init) {
+            inner = std::move(term);
+            init = true;
+          } else {
+            bgv_.add_inplace(inner, term);
+          }
+        }
+      }
+      if (init_a) accumulate(std::move(inner_a), G);
+      if (init_b) accumulate(std::move(inner_b), cols + G - s);
+    }
+    POE_ENSURE(acc_init, "affine layer produced no terms");
+    bgv_.add_plain_inplace(acc, batch.rc[l]);
+    state = std::move(acc);
+  };
+
+  // Same 3-prime squaring schedule as the single-block batched server: the
+  // dense diagonals inflate the noise by ~||pt|| * n per layer.
+  auto square_reduced = [&](const Ciphertext& x) {
+    Ciphertext sq = bgv_.multiply_relin(x, x);
+    bgv_.mod_switch_inplace(sq);
+    bgv_.mod_switch_inplace(sq);
+    ++rep.ct_ct_multiplications;
+    return sq;
+  };
+
+  auto feistel = [&] {
+    Ciphertext sq = square_reduced(state);
+    // Tile-local shift by -1; the cross-tile leak at offset 0 is masked.
+    bgv_.rotate_columns_inplace(sq, static_cast<long>(cols - 1),
+                                *rotation_keys_);
+    bgv_.mul_plain_inplace(sq, batch.feistel_mask);
+    bgv_.mod_switch_to(state, sq.level);
+    bgv_.add_inplace(state, sq);
+  };
+
+  auto cube = [&] {
+    Ciphertext sq = square_reduced(state);
+    bgv_.mod_switch_to(state, sq.level);
+    state = bgv_.multiply_relin(sq, state);
+    bgv_.mod_switch_inplace(state);
+    bgv_.mod_switch_inplace(state);
+    ++rep.ct_ct_multiplications;
+  };
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    affine(round);
+    if (round == params.rounds - 1) {
+      cube();
+    } else {
+      feistel();
+    }
+  }
+  affine(params.rounds);  // final affine layer (Mix folded in)
+
+  // enc(m) = c - KS, all tiles at once.
+  bgv_.negate_inplace(state);
+  bgv_.add_plain_inplace(state, batch.message_plain);
+
+  rep.final_level = state.level;
+  rep.exec_ops = bgv_.rns().exec().snapshot() - before;
+  rep.min_noise_budget_bits = bgv_.noise_budget_bits(state);
+  return state;
+}
+
+std::vector<u64> SimdBatchEngine::decode_block(const HheConfig& config,
+                                               const fhe::Bgv& bgv,
+                                               const Ciphertext& ct,
+                                               std::size_t tile,
+                                               std::size_t len) {
+  const std::size_t s = config.pasta.state_size();
+  fhe::BatchEncoder encoder(config.bgv.n, config.bgv.t);
+  fhe::SlotLayout layout(config.bgv.n, config.bgv.t);
+  POE_ENSURE((tile + 1) * s <= layout.cols(), "tile out of range");
+  POE_ENSURE(len <= config.pasta.t, "len out of range");
+  const auto logical = layout.from_slots(encoder.decode(bgv.decrypt(ct)));
+  const auto begin = logical.begin() + static_cast<long>(tile * s);
+  return {begin, begin + static_cast<long>(len)};
+}
+
+}  // namespace poe::hhe

@@ -1,0 +1,120 @@
+// Multi-block SIMD transciphering: several PASTA blocks of ONE session in a
+// single BGV ciphertext.
+//
+// The 2 x (n/2) slot grid is cut into cols/2t tiles of 2t columns each; tile
+// m carries the PASTA state of block m. Because every tile holds the SAME
+// key (encrypt_key_batched tiles the key periodically), one evaluation of
+// the keystream circuit produces cols/2t independent keystream blocks, each
+// under its own (nonce, counter) randomness — the diagonal values are
+// per-slot, so tile m simply uses block m's matrices and round constants.
+//
+// Two algebraic folds keep the circuit depth and noise IDENTICAL to the
+// single-block batched server:
+//
+//  * Block-local rotations. A global column rotation by k leaks across tile
+//    boundaries; the tile-local rotation decomposes as
+//      rho_k(x) = A_k ⊙ rot_k(x) + B_k ⊙ rot_{k-2t}(x)
+//    with complementary masks A_k(col) = [off(col) < 2t-k]. Both masks are
+//    FOLDED INTO the BSGS diagonals (u ⊙ rot_r(z) = rot_r(rot_{-r}(u) ⊙ z)),
+//    so the affine layer costs the same plaintext multiplications as the
+//    single-block circuit — each giant step just gains a second rotation.
+//  * The linear Mix layer is folded into the preceding affine matrix
+//    (M = Mix · diag(M_L, M_R), rc = Mix(rc_l || rc_r)), removing the
+//    rotate-by-t half swap entirely.
+//
+// The Feistel S-box keeps its one-squaring shape: the shifted addend is
+// rot_{-1}(x^2) with a mask killing the tile heads (offsets 0 and t) — the
+// across-tile leak at offset 0 lands exactly on a masked slot.
+//
+// prepare() is pure plaintext-side CPU work (SHAKE squeeze, rejection
+// sampling, matrix generation, diagonal encoding); evaluate() is pure BGV
+// work. The serving layer overlaps prepare(batch N+1) with
+// evaluate(batch N) — the software analogue of the paper's Fig. 3 schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fhe/encoding.hpp"
+#include "fhe/galois.hpp"
+#include "hhe/protocol.hpp"
+
+namespace poe::hhe {
+
+/// One PASTA block to transcipher: its keystream coordinates plus the
+/// symmetric ciphertext elements (1..t of them).
+struct SimdBlockRequest {
+  std::uint64_t nonce = 0;
+  std::uint64_t counter = 0;
+  std::vector<std::uint64_t> symmetric_ct;
+};
+
+/// Everything evaluate() needs, built ahead of time by prepare(): the
+/// mask-folded BSGS diagonals and round constants of every affine layer
+/// (Mix pre-composed), the Feistel tile-head mask and the symmetric
+/// ciphertext values, all encoded as slot plaintexts.
+struct PreparedSimdBatch {
+  std::size_t blocks = 0;                    ///< occupied tiles
+  std::vector<std::size_t> lens;             ///< message length per block
+  std::vector<std::uint64_t> nonces, counters;
+  /// diags[layer][g * baby + b] = {uA, uB} for diagonal k = g*baby + b.
+  /// A Plaintext with empty coeffs means "identically zero — skip".
+  std::vector<std::vector<std::array<fhe::Plaintext, 2>>> diags;
+  std::vector<fhe::Plaintext> rc;            ///< per affine layer
+  fhe::Plaintext feistel_mask;
+  fhe::Plaintext message_plain;              ///< symmetric ct, tile-wise
+};
+
+class SimdBatchEngine {
+ public:
+  SimdBatchEngine(const HheConfig& config, const fhe::Bgv& bgv);
+  /// Rotation keys depend only on (config, bgv): a serving layer builds
+  /// them once and shares them across sessions.
+  SimdBatchEngine(const HheConfig& config, const fhe::Bgv& bgv,
+                  std::shared_ptr<const fhe::GaloisKeys> shared_keys);
+
+  /// Baby steps, giant steps (both wrap variants) and the Feistel shift.
+  static std::vector<long> rotation_steps(const HheConfig& config);
+  static std::shared_ptr<const fhe::GaloisKeys> make_shared_rotation_keys(
+      const HheConfig& config, const fhe::Bgv& bgv);
+
+  /// Blocks per batch = cols / 2t.
+  std::size_t capacity() const { return capacity_; }
+  const fhe::SlotLayout& layout() const { return layout_; }
+
+  /// Plaintext-side precomputation (XOF, sampling, matrices, encoding) for
+  /// up to capacity() blocks. No ciphertext operations; safe to run on a
+  /// separate thread while evaluate() works on a previous batch.
+  PreparedSimdBatch prepare(std::span<const SimdBlockRequest> requests) const;
+
+  /// Homomorphically decrypt all blocks of the batch against the session's
+  /// tiled key ciphertext; tile m of the result holds message m.
+  fhe::Ciphertext evaluate(const fhe::Ciphertext& key_ct,
+                           const PreparedSimdBatch& batch,
+                           ServerReport* report = nullptr) const;
+
+  /// Client-side: read block `tile`'s message back out.
+  static std::vector<std::uint64_t> decode_block(const HheConfig& config,
+                                                 const fhe::Bgv& bgv,
+                                                 const fhe::Ciphertext& ct,
+                                                 std::size_t tile,
+                                                 std::size_t len);
+
+ private:
+  /// Encode a per-column vector (duplicated into both slot-grid rows).
+  fhe::Plaintext encode_cols(const std::vector<std::uint64_t>& per_col) const;
+
+  const HheConfig& config_;
+  const fhe::Bgv& bgv_;
+  fhe::BatchEncoder encoder_;
+  fhe::SlotLayout layout_;
+  std::shared_ptr<const fhe::GaloisKeys> rotation_keys_;
+  std::size_t baby_ = 0;
+  std::size_t giant_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace poe::hhe

@@ -1,5 +1,7 @@
 #include "pasta/serialize.hpp"
 
+#include <limits>
+
 #include "common/bits.hpp"
 #include "common/error.hpp"
 
@@ -27,7 +29,13 @@ std::vector<std::uint64_t> unpack_elements(
     const PastaParams& params, std::span<const std::uint8_t> bytes,
     std::size_t count) {
   const unsigned bits = params.prime_bits();
-  POE_ENSURE(bytes.size() * 8 >= count * bits, "byte buffer too short");
+  // Overflow-safe length check: `count * bits` (and `bytes.size() * 8`) can
+  // wrap for adversarial counts, which would pass a naive comparison and
+  // read past the end of the buffer.
+  POE_ENSURE(count <= (std::numeric_limits<std::size_t>::max() - 7) / bits,
+             "element count out of range");
+  POE_ENSURE(bytes.size() >= ceil_div(std::uint64_t{count} * bits, 8),
+             "byte buffer too short");
   std::vector<std::uint64_t> out(count, 0);
   std::size_t bit_pos = 0;
   for (auto& e : out) {

@@ -1,0 +1,89 @@
+// A small bounded MPMC queue — the coupling between the two stages of the
+// transcipher service's pipeline (plaintext-side batch preparation feeding
+// BGV evaluation). Blocking push/pop with a capacity bound provides
+// backpressure: the prepare stage can run at most `capacity` batches ahead
+// of the evaluator, bounding memory for encoded diagonal plaintexts.
+//
+// The queue counts its stalls (pushes that found it full, pops that found
+// it empty) and the high-water depth, which the service surfaces in its
+// ServiceReport — a full queue means evaluation is the bottleneck (prepare
+// is fully hidden, the paper's Fig. 3 goal); an empty one means preparation
+// is too slow to keep the evaluator busy.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace poe::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    POE_ENSURE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Blocks while the queue is full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) ++push_stalls_;
+    cv_not_full_.wait(lock,
+                      [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    max_depth_ = std::max(max_depth_, items_.size());
+    cv_not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty() && !closed_) ++pop_stalls_;
+    cv_not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    cv_not_full_.notify_one();
+    return value;
+  }
+
+  /// No further pushes succeed; pops drain the remaining items.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_not_full_.notify_all();
+    cv_not_empty_.notify_all();
+  }
+
+  std::size_t push_stalls() const {
+    std::lock_guard lock(mu_);
+    return push_stalls_;
+  }
+  std::size_t pop_stalls() const {
+    std::lock_guard lock(mu_);
+    return pop_stalls_;
+  }
+  std::size_t max_depth() const {
+    std::lock_guard lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_full_, cv_not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::size_t push_stalls_ = 0;
+  std::size_t pop_stalls_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace poe::service

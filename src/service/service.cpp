@@ -1,0 +1,245 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+#include "service/pipeline.hpp"
+
+namespace poe::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+using u64 = std::uint64_t;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+TranscipherService::TranscipherService(
+    const hhe::HheConfig& config, const fhe::Bgv& bgv,
+    ServiceConfig service_config,
+    std::shared_ptr<const fhe::GaloisKeys> shared_keys)
+    : config_(config),
+      bgv_(bgv),
+      service_config_(service_config),
+      engine_(config, bgv,
+              shared_keys != nullptr
+                  ? std::move(shared_keys)
+                  : hhe::SimdBatchEngine::make_shared_rotation_keys(config,
+                                                                    bgv)) {
+  POE_ENSURE(service_config_.max_sessions >= 1, "need at least one session");
+  POE_ENSURE(service_config_.pipeline_depth >= 1,
+             "pipeline depth must be >= 1");
+  max_batch_ = engine_.capacity();
+  if (service_config_.max_batch_blocks != 0) {
+    max_batch_ = std::min(max_batch_, service_config_.max_batch_blocks);
+  }
+}
+
+void TranscipherService::open_session(u64 client_id, fhe::Ciphertext key_ct) {
+  auto it = sessions_.find(client_id);
+  if (it != sessions_.end()) {
+    // Fresh key for a known client: keep the nonce replay history.
+    it->second.key_ct = std::move(key_ct);
+    touch(client_id, it->second);
+    return;
+  }
+  if (sessions_.size() >= service_config_.max_sessions) {
+    const u64 victim = lru_.back();
+    lru_.pop_back();
+    sessions_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(client_id);
+  Session session;
+  session.key_ct = std::move(key_ct);
+  session.lru_pos = lru_.begin();
+  sessions_.emplace(client_id, std::move(session));
+}
+
+bool TranscipherService::has_session(u64 client_id) const {
+  return sessions_.contains(client_id);
+}
+
+void TranscipherService::touch(u64 /*client_id*/, Session& session) {
+  lru_.splice(lru_.begin(), lru_, session.lru_pos);
+}
+
+std::vector<TranscipherResult> TranscipherService::process(
+    std::span<const TranscipherRequest> requests, ServiceReport* report) {
+  const auto t_start = Clock::now();
+  ServiceReport local;
+  ServiceReport& rep = report != nullptr ? *report : local;
+  rep = ServiceReport{};
+  const CounterSnapshot before = bgv_.rns().exec().snapshot();
+  const std::size_t t = config_.pasta.t;
+
+  std::vector<TranscipherResult> results(requests.size());
+  rep.request_latency_s.assign(requests.size(), 0);
+  if (requests.empty()) {
+    rep.session_evictions = evictions_;
+    return results;
+  }
+
+  // ---- Admission: session lookup, nonce replay, block splitting. --------
+  struct BlockRef {
+    std::size_t request = 0;
+    std::size_t block = 0;
+  };
+  struct BatchJob {
+    u64 client_id = 0;
+    std::vector<hhe::SimdBlockRequest> blocks;
+    std::vector<BlockRef> refs;
+  };
+  std::vector<BatchJob> jobs;
+  // Per client: the job that still has free tiles (coalescing point).
+  std::unordered_map<u64, std::size_t> open_job;
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto& req = requests[r];
+    auto it = sessions_.find(req.client_id);
+    POE_ENSURE(it != sessions_.end(),
+               "no session for client " << req.client_id);
+    Session& session = it->second;
+    POE_ENSURE(!session.nonce_set.contains(req.nonce),
+               "nonce replay for client " << req.client_id << ": "
+                                          << req.nonce);
+    POE_ENSURE(!req.symmetric_ct.empty(), "empty request");
+    session.nonce_set.insert(req.nonce);
+    session.nonce_order.push_back(req.nonce);
+    if (session.nonce_order.size() > service_config_.max_tracked_nonces) {
+      session.nonce_set.erase(session.nonce_order.front());
+      session.nonce_order.pop_front();
+    }
+    touch(req.client_id, session);
+
+    results[r].client_id = req.client_id;
+    results[r].nonce = req.nonce;
+    const std::size_t nblocks = (req.symmetric_ct.size() + t - 1) / t;
+    results[r].blocks.resize(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t begin = b * t;
+      const std::size_t len = std::min(t, req.symmetric_ct.size() - begin);
+      auto open = open_job.find(req.client_id);
+      if (open == open_job.end() ||
+          jobs[open->second].blocks.size() >= max_batch_) {
+        open_job[req.client_id] = jobs.size();
+        BatchJob job;
+        job.client_id = req.client_id;
+        jobs.push_back(std::move(job));
+        open = open_job.find(req.client_id);
+      }
+      BatchJob& job = jobs[open->second];
+      hhe::SimdBlockRequest block;
+      block.nonce = req.nonce;
+      block.counter = b;  // block i of a message uses counter i
+      block.symmetric_ct.assign(
+          req.symmetric_ct.begin() + static_cast<long>(begin),
+          req.symmetric_ct.begin() + static_cast<long>(begin + len));
+      job.blocks.push_back(std::move(block));
+      job.refs.push_back(BlockRef{.request = r, .block = b});
+      ++rep.blocks;
+    }
+  }
+  rep.requests = requests.size();
+  rep.batches = jobs.size();
+
+  // ---- Two-stage pipeline: prepare (CPU) -> evaluate (BGV). -------------
+  struct Prepared {
+    std::size_t job = 0;
+    hhe::PreparedSimdBatch batch;
+    double prepare_s = 0;
+  };
+
+  std::vector<std::size_t> missing(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    missing[r] = results[r].blocks.size();
+  }
+  rep.min_noise_budget_bits = 1e9;
+
+  auto evaluate_one = [&](Prepared prepared) {
+    const BatchJob& job = jobs[prepared.job];
+    const auto t0 = Clock::now();
+    hhe::ServerReport server_report;
+    auto ct = std::make_shared<const fhe::Ciphertext>(engine_.evaluate(
+        sessions_.at(job.client_id).key_ct, prepared.batch, &server_report));
+    rep.eval_s += seconds_since(t0);
+    rep.prepare_s += prepared.prepare_s;
+    rep.min_noise_budget_bits = std::min(rep.min_noise_budget_bits,
+                                         server_report.min_noise_budget_bits);
+    for (std::size_t i = 0; i < job.refs.size(); ++i) {
+      const BlockRef& ref = job.refs[i];
+      results[ref.request].blocks[ref.block] =
+          PlacedBlock{ct, i, prepared.batch.lens[i]};
+      if (--missing[ref.request] == 0) {
+        rep.request_latency_s[ref.request] = seconds_since(t_start);
+      }
+    }
+  };
+
+  auto prepare_one = [&](std::size_t j) {
+    const auto t0 = Clock::now();
+    Prepared prepared;
+    prepared.job = j;
+    prepared.batch = engine_.prepare(jobs[j].blocks);
+    prepared.prepare_s = seconds_since(t0);
+    return prepared;
+  };
+
+  if (service_config_.pipelined) {
+    BoundedQueue<Prepared> queue(service_config_.pipeline_depth);
+    std::exception_ptr prepare_error;
+    std::thread producer([&] {
+      try {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          if (!queue.push(prepare_one(j))) break;
+        }
+      } catch (...) {
+        prepare_error = std::current_exception();
+      }
+      queue.close();
+    });
+    try {
+      while (auto prepared = queue.pop()) evaluate_one(std::move(*prepared));
+    } catch (...) {
+      queue.close();  // unblock the producer before re-throwing
+      producer.join();
+      throw;
+    }
+    producer.join();
+    if (prepare_error) std::rethrow_exception(prepare_error);
+    rep.prepare_stalls = queue.push_stalls();
+    rep.eval_stalls = queue.pop_stalls();
+    rep.max_queue_depth = queue.max_depth();
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      evaluate_one(prepare_one(j));
+    }
+  }
+
+  rep.total_s = seconds_since(t_start);
+  rep.avg_batch_occupancy = 0;
+  for (const auto& job : jobs) {
+    rep.avg_batch_occupancy +=
+        double(job.blocks.size()) / double(max_batch_);
+  }
+  rep.avg_batch_occupancy /= double(jobs.size());
+  rep.blocks_per_s = rep.total_s > 0 ? double(rep.blocks) / rep.total_s : 0;
+  rep.session_evictions = evictions_;
+  rep.exec_ops = bgv_.rns().exec().snapshot() - before;
+  return results;
+}
+
+std::vector<u64> TranscipherService::decode_block(const hhe::HheConfig& config,
+                                                  const fhe::Bgv& bgv,
+                                                  const PlacedBlock& block) {
+  POE_ENSURE(block.ct != nullptr, "block was never evaluated");
+  return hhe::SimdBatchEngine::decode_block(config, bgv, *block.ct,
+                                            block.tile, block.len);
+}
+
+}  // namespace poe::service

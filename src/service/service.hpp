@@ -1,0 +1,142 @@
+// Multi-tenant transcipher service — the request-level serving layer on top
+// of the SIMD batch engine (the software analogue of the paper's server).
+//
+// Responsibilities:
+//  * Sessions. Each client uploads its BGV-encrypted PASTA key once
+//    (encrypt_key_batched form); the service caches it with per-session
+//    nonce replay tracking and evicts the least-recently-used session when
+//    the capacity bound is hit.
+//  * Coalescing. A request carries a whole message; the service splits it
+//    into PASTA blocks (block i uses counter i, matching
+//    pasta::PastaCipher::encrypt) and coalesces blocks of the SAME client
+//    into SIMD batches of up to batch_capacity() tiles — blocks of
+//    different clients use different keys, so they never share a batch.
+//  * Pipelining. Batch preparation (SHAKE squeeze, rejection sampling,
+//    matrix generation, diagonal encoding — pure CPU work) runs on a
+//    dedicated thread feeding a bounded queue; the caller's thread drains
+//    it with BGV evaluation. Preparation of batch N+1 overlaps evaluation
+//    of batch N — Fig. 3's MatGen latency hiding in software.
+//
+// All rotation keys are built ONCE in the constructor and shared by every
+// session (they depend only on the BGV key, not the PASTA key).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/exec_context.hpp"
+#include "fhe/bgv.hpp"
+#include "hhe/simd_batch.hpp"
+
+namespace poe::service {
+
+struct ServiceConfig {
+  std::size_t max_sessions = 8;     ///< LRU-evict beyond this many clients
+  std::size_t max_batch_blocks = 0; ///< 0 = the engine's full capacity
+  std::size_t pipeline_depth = 2;   ///< prepared batches buffered ahead
+  bool pipelined = true;            ///< false: prepare+evaluate in sequence
+  std::size_t max_tracked_nonces = 1024;  ///< replay window per session
+};
+
+/// One client request: transcipher a whole PASTA-encrypted message.
+struct TranscipherRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t nonce = 0;
+  std::vector<std::uint64_t> symmetric_ct;
+};
+
+/// Where one block of a request's message landed: a tile of a (possibly
+/// shared) batch output ciphertext.
+struct PlacedBlock {
+  std::shared_ptr<const fhe::Ciphertext> ct;
+  std::size_t tile = 0;
+  std::size_t len = 0;
+};
+
+struct TranscipherResult {
+  std::uint64_t client_id = 0;
+  std::uint64_t nonce = 0;
+  std::vector<PlacedBlock> blocks;  ///< in message order
+};
+
+/// Aggregate diagnostics for one process() call.
+struct ServiceReport {
+  std::size_t requests = 0;
+  std::size_t blocks = 0;
+  std::size_t batches = 0;
+  double total_s = 0;        ///< wall time of the whole call
+  double prepare_s = 0;      ///< summed prepare-stage time
+  double eval_s = 0;         ///< summed evaluate-stage time
+  std::size_t prepare_stalls = 0;  ///< prepare blocked on a full queue
+  std::size_t eval_stalls = 0;     ///< evaluator blocked on an empty queue
+  std::size_t max_queue_depth = 0;
+  double avg_batch_occupancy = 0;  ///< mean fill fraction of the batches
+  double blocks_per_s = 0;
+  double min_noise_budget_bits = 0;  ///< worst batch output
+  std::size_t session_evictions = 0; ///< lifetime total at call end
+  std::vector<double> request_latency_s;  ///< per request, call start -> done
+  /// ExecContext counter delta over the whole call (NTTs, key switches, ...).
+  CounterSnapshot exec_ops;
+};
+
+class TranscipherService {
+ public:
+  /// `shared_keys`: pass the rotation keys if several services share one
+  /// BGV evaluator (they depend only on the BGV secret key); nullptr builds
+  /// a fresh set.
+  TranscipherService(const hhe::HheConfig& config, const fhe::Bgv& bgv,
+                     ServiceConfig service_config = {},
+                     std::shared_ptr<const fhe::GaloisKeys> shared_keys =
+                         nullptr);
+
+  /// Register (or replace) a client's encrypted PASTA key. Evicts the
+  /// least-recently-used other session if the capacity bound is reached.
+  void open_session(std::uint64_t client_id, fhe::Ciphertext key_ct);
+
+  bool has_session(std::uint64_t client_id) const;
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t evictions() const { return evictions_; }
+
+  /// Blocks per SIMD batch (bounded by ServiceConfig::max_batch_blocks).
+  std::size_t batch_capacity() const { return max_batch_; }
+  const hhe::SimdBatchEngine& engine() const { return engine_; }
+
+  /// Transcipher a group of requests: coalesce into batches, run the
+  /// two-stage pipeline, return one result per request (same order).
+  /// Rejects requests for unknown sessions and replayed nonces.
+  std::vector<TranscipherResult> process(
+      std::span<const TranscipherRequest> requests,
+      ServiceReport* report = nullptr);
+
+  /// Client-side: decode one placed block with the secret key.
+  static std::vector<std::uint64_t> decode_block(const hhe::HheConfig& config,
+                                                 const fhe::Bgv& bgv,
+                                                 const PlacedBlock& block);
+
+ private:
+  struct Session {
+    fhe::Ciphertext key_ct;
+    std::unordered_set<std::uint64_t> nonce_set;
+    std::deque<std::uint64_t> nonce_order;  ///< bounded replay window
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  void touch(std::uint64_t client_id, Session& session);
+
+  const hhe::HheConfig& config_;
+  const fhe::Bgv& bgv_;
+  ServiceConfig service_config_;
+  hhe::SimdBatchEngine engine_;
+  std::size_t max_batch_ = 0;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace poe::service

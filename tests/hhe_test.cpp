@@ -181,6 +181,87 @@ TEST_F(BatchedHhe, RejectsTooSmallRing) {
   EXPECT_THROW(BatchedHheServer(bad, bgv_, dummy), poe::Error);
 }
 
+TEST_F(BatchedHhe, SharedRotationKeysMatchOwnedKeys) {
+  Xoshiro256 rng(13);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  fhe::BatchEncoder encoder(config_.bgv.n, config_.bgv.t);
+  fhe::SlotLayout layout(config_.bgv.n, config_.bgv.t);
+  const auto key_ct = encrypt_key_batched(config_, bgv_, encoder, layout, key);
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  const auto sym_ct = client.encrypt(msg, 99);
+
+  BatchedHheServer owned(config_, bgv_, key_ct);
+  const auto shared_keys =
+      BatchedHheServer::make_shared_rotation_keys(config_, bgv_);
+  BatchedHheServer shared(config_, bgv_, key_ct, shared_keys);
+
+  // Key switching is deterministic given the key material, so both servers
+  // must produce the same recovered message (and the shared-keys server
+  // must not need keys of its own).
+  const auto a = BatchedHheServer::decode_block(
+      config_, bgv_, owned.transcipher_block(sym_ct, 99, 0), msg.size());
+  const auto b = BatchedHheServer::decode_block(
+      config_, bgv_, shared.transcipher_block(sym_ct, 99, 0), msg.size());
+  EXPECT_EQ(a, msg);
+  EXPECT_EQ(b, msg);
+  EXPECT_THROW(BatchedHheServer(config_, bgv_, key_ct, nullptr), poe::Error);
+}
+
+// ---- Noise-budget regression bands -------------------------------------
+//
+// Measured on the seed implementation: the coefficient-wise circuit on
+// HheConfig::test() leaves ~41 bits of budget, the batched circuit on
+// HheConfig::batched_test() ~93 bits. The bands below are wide enough for
+// platform jitter (rounding in the budget estimate) but tight enough to
+// catch a real regression — an extra multiplication level costs ~18 bits,
+// a skipped mod-switch even more.
+
+TEST_F(HheProtocol, NoiseBudgetStaysWithinRecordedBand) {
+  Xoshiro256 rng(6);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  HheServer server(config_, bgv_, client.encrypt_key());
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  ServerReport report;
+  const auto cts =
+      server.transcipher_block(client.encrypt(msg, 314), 314, 0, &report);
+  EXPECT_EQ(client.decrypt_result(cts), msg);
+  EXPECT_GE(report.min_noise_budget_bits, 35.0)
+      << "noise regression: budget dropped below the recorded band";
+  EXPECT_LE(report.min_noise_budget_bits, 47.0)
+      << "budget above the recorded band: parameters changed? "
+         "re-measure and update the band";
+  EXPECT_EQ(report.final_level, 2u);
+}
+
+TEST_F(BatchedHhe, NoiseBudgetStaysWithinRecordedBand) {
+  Xoshiro256 rng(14);
+  const auto key = pasta::PastaCipher::random_key(config_.pasta, rng);
+  HheClient client(config_, bgv_, key);
+  fhe::BatchEncoder encoder(config_.bgv.n, config_.bgv.t);
+  fhe::SlotLayout layout(config_.bgv.n, config_.bgv.t);
+  BatchedHheServer server(
+      config_, bgv_, encrypt_key_batched(config_, bgv_, encoder, layout, key));
+
+  std::vector<std::uint64_t> msg(config_.pasta.t);
+  for (auto& m : msg) m = rng.below(config_.pasta.p);
+  ServerReport report;
+  const auto out =
+      server.transcipher_block(client.encrypt(msg, 159), 159, 0, &report);
+  EXPECT_EQ(BatchedHheServer::decode_block(config_, bgv_, out, msg.size()),
+            msg);
+  EXPECT_GE(report.min_noise_budget_bits, 86.0)
+      << "noise regression: budget dropped below the recorded band";
+  EXPECT_LE(report.min_noise_budget_bits, 100.0)
+      << "budget above the recorded band: parameters changed? "
+         "re-measure and update the band";
+}
+
 TEST(HheConfigs, DemoUsesPasta4) {
   const auto cfg = HheConfig::demo();
   EXPECT_EQ(cfg.pasta.t, 32u);

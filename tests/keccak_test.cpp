@@ -29,6 +29,29 @@ TEST(KeccakF1600, ZeroStatePermutation) {
   EXPECT_EQ(s[1], 0x84D5CCF933C0478Aull);
 }
 
+TEST(KeccakF1600, ZeroStateFullFirstPlane) {
+  // Known-answer: the whole first plane (lanes y = 0) of Keccak-f[1600] on
+  // the all-zero state, from the Keccak team's published intermediate
+  // values (KeccakF-1600-IntermediateValues.txt).
+  State s{};
+  f1600(s);
+  EXPECT_EQ(s[0], 0xF1258F7940E1DDE7ull);
+  EXPECT_EQ(s[1], 0x84D5CCF933C0478Aull);
+  EXPECT_EQ(s[2], 0xD598261EA65AA9EEull);
+  EXPECT_EQ(s[3], 0xBD1547306F80494Dull);
+  EXPECT_EQ(s[4], 0x8B284E056253D057ull);
+}
+
+TEST(KeccakF1600, DoublePermutationKnownAnswer) {
+  // Second application (same source): catches state-management bugs that a
+  // single-shot permutation KAT cannot (e.g. missing state writeback).
+  State s{};
+  f1600(s);
+  f1600(s);
+  EXPECT_EQ(s[0], 0x2D5C954DF96ECB3Cull);
+  EXPECT_EQ(s[1], 0x6A332CD07057B56Dull);
+}
+
 TEST(KeccakF1600, RoundStepsComposeToFullPermutation) {
   State a{}, b{};
   a[3] = 0xdeadbeef;
@@ -53,6 +76,28 @@ TEST(Shake256, EmptyInputKnownAnswer) {
   EXPECT_EQ(hex(out),
             "46b9dd2b0ba88d13233b3feb743eeb24"
             "3fcd52ea62b81b82b50c27646ed5762f");
+}
+
+TEST(Shake128, EmptyInput64ByteKnownAnswer) {
+  // FIPS 202: SHAKE128("") first 64 bytes — the longer prefix exercises
+  // squeezing past the first 32 bytes the short KAT covers.
+  auto out = shake128({}, 64);
+  EXPECT_EQ(hex(out),
+            "7f9c2ba4e88f827d616045507605853e"
+            "d73b8093f6efbc88eb1a6eacfa66ef26"
+            "3cb1eea988004b93103cfb0aeefd2a68"
+            "6e01fa4a58e8a3639ca8a1e3f9ae57e2");
+}
+
+TEST(Shake256, EmptyInput64ByteKnownAnswer) {
+  Shake xof = Shake::shake256();
+  std::vector<std::uint8_t> out(64);
+  xof.squeeze(out);
+  EXPECT_EQ(hex(out),
+            "46b9dd2b0ba88d13233b3feb743eeb24"
+            "3fcd52ea62b81b82b50c27646ed5762f"
+            "d75dc4ddd8c0f200cb05019d67b592f6"
+            "fc821c49479ab48640292eacb3b7c4be");
 }
 
 TEST(Shake128, IncrementalAbsorbMatchesOneShot) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <span>
 
 #include "common/rng.hpp"
 #include "pasta/cipher.hpp"
@@ -95,6 +97,89 @@ TEST(Sampler, UniformityChiSquare) {
   // 63 degrees of freedom: mean 63, std ~11.2; 120 is beyond the 0.9999
   // quantile — failures indicate real bias, not noise.
   EXPECT_LT(chi2, 120.0) << "chi2=" << chi2;
+}
+
+TEST(Sampler, RejectionRateMatchesAnalyticBound) {
+  // Property: the measured word consumption per element must match the
+  // analytic 2^ceil(log2 p) / p bound for every supported prime width —
+  // for the Fermat prime 65537 that is the paper's "≈2x" rejection rate.
+  for (const unsigned bits : {17u, 33u, 54u, 60u}) {
+    const auto params = pasta4(pasta_prime(bits));
+    FieldSampler s(params, 3, 1);
+    const int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) s.next(true);
+    const auto st = s.stats();
+    const double measured = static_cast<double>(st.words_drawn) / kSamples;
+    EXPECT_NEAR(measured, params.expected_words_per_element(),
+                0.03 * params.expected_words_per_element())
+        << "prime_bits=" << bits;
+  }
+  // The p = 65537 instance specifically sits in the paper's [1.94, 2.06]
+  // band around 2x.
+  const auto p4 = pasta4();
+  FieldSampler s(p4, 5, 6);
+  for (int i = 0; i < 20000; ++i) s.next(true);
+  const auto st = s.stats();
+  const double rate =
+      static_cast<double>(st.words_drawn) / (st.words_drawn - st.words_rejected);
+  EXPECT_GT(rate, 1.94);
+  EXPECT_LT(rate, 2.06);
+}
+
+TEST(Sampler, UniformityAggregatedAcrossSeeds) {
+  // Uniformity must hold for the stream as PASTA uses it: many independent
+  // (nonce, counter) seeds, aggregated. Also checks the first moment.
+  const auto params = pasta4();
+  constexpr int kBuckets = 32;
+  constexpr int kPerSeed = 1 << 13;
+  std::vector<int> counts(kBuckets, 0);
+  double sum = 0;
+  int total = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    FieldSampler s(params, 1000 + seed, seed * 17);
+    for (int i = 0; i < kPerSeed; ++i) {
+      const auto v = s.next(true);
+      sum += static_cast<double>(v);
+      ++counts[static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(v) * kBuckets) / params.p)];
+      ++total;
+    }
+  }
+  const double expected = static_cast<double>(total) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 31 dof: mean 31, std ~7.9; 75 is far beyond the 0.9999 quantile.
+  EXPECT_LT(chi2, 75.0) << "chi2=" << chi2;
+  // Mean of uniform [0, p) is (p-1)/2; allow 1%.
+  const double mean = sum / total;
+  EXPECT_NEAR(mean, (params.p - 1) / 2.0, 0.01 * params.p);
+}
+
+TEST(Sampler, ZeroExcludedStreamStaysUniform) {
+  // allow_zero = false (matrix first rows) must stay uniform over [1, p),
+  // not just skip zeros.
+  const auto params = pasta4();
+  FieldSampler s(params, 21, 4);
+  constexpr int kBuckets = 32;
+  constexpr int kSamples = 1 << 15;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = s.next(false);
+    ASSERT_GE(v, 1u);
+    ASSERT_LT(v, params.p);
+    ++counts[static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(v - 1) * kBuckets) / (params.p - 1))];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 75.0) << "chi2=" << chi2;
 }
 
 TEST(Cipher, CiphertextBytesLookUniform) {
@@ -422,6 +507,70 @@ TEST(Serialize, BoundaryValuesAndErrors) {
   // Out-of-range decoded element (all-ones bits >= p for the 17-bit prime).
   std::vector<std::uint8_t> ones(3, 0xFF);
   EXPECT_THROW(unpack_elements(params, ones, 1), poe::Error);
+}
+
+TEST(Serialize, TruncatedBuffersAlwaysThrow) {
+  // Any buffer shorter than ceil(count * bits / 8) must be rejected up
+  // front — the unpack loop must never index past the span.
+  const auto params = pasta4();
+  Xoshiro256 rng(101);
+  for (std::size_t len = 1; len <= 40; ++len) {
+    std::vector<std::uint64_t> elems(len);
+    for (auto& e : elems) e = rng.below(params.p);
+    const auto bytes = pack_elements(params, elems);
+    for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                  std::size_t{0}}) {
+      std::span<const std::uint8_t> truncated(bytes.data(), cut);
+      EXPECT_THROW(unpack_elements(params, truncated, len), poe::Error)
+          << "len=" << len << " cut=" << cut;
+    }
+  }
+}
+
+TEST(Serialize, HugeCountOverflowRejected) {
+  // count * bits used to be computed in size_t and could wrap, silencing
+  // the bounds check and reading out of bounds. Adversarial counts must
+  // throw, never allocate or read.
+  const auto params = pasta4();
+  const std::vector<std::uint8_t> buf(64, 0);
+  const std::size_t max = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t count :
+       {max, max / 2, max / params.prime_bits(),
+        max / params.prime_bits() + 1}) {
+    EXPECT_THROW(unpack_elements(params, buf, count), poe::Error)
+        << "count=" << count;
+  }
+}
+
+TEST(Serialize, CorruptionFuzzNeverCrashes) {
+  // Bit-flip fuzz: a corrupted wire buffer must either decode to in-field
+  // elements or throw — never crash or read out of bounds (this test is
+  // part of the ASan CI job).
+  const auto params = pasta4();
+  Xoshiro256 rng(202);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len = 1 + rng.below(50);
+    std::vector<std::uint64_t> elems(len);
+    for (auto& e : elems) e = rng.below(params.p);
+    auto bytes = pack_elements(params, elems);
+    const std::size_t bit = rng.below(bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const auto decoded = unpack_elements(params, bytes, len);
+      ASSERT_EQ(decoded.size(), len);
+      for (const auto v : decoded) ASSERT_LT(v, params.p);
+    } catch (const poe::Error&) {
+      // Rejected corrupt input: also acceptable.
+    }
+    // Random truncation on top of the corruption.
+    const std::size_t cut = rng.below(bytes.size() + 1);
+    std::span<const std::uint8_t> truncated(bytes.data(), cut);
+    const std::size_t need =
+        (len * params.prime_bits() + 7) / 8;
+    if (cut < need) {
+      EXPECT_THROW(unpack_elements(params, truncated, len), poe::Error);
+    }
+  }
 }
 
 TEST(Serialize, EncryptedWireFormatEndToEnd) {

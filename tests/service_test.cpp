@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hhe/batched_server.hpp"
+#include "service/pipeline.hpp"
+#include "service/service.hpp"
+
+namespace poe::service {
+namespace {
+
+using u64 = std::uint64_t;
+
+// The BGV evaluator and rotation keys dominate setup time, so every test
+// shares one stack (the service's shared-keys constructor exists for exactly
+// this: keys depend on the BGV secret key only, not on any client).
+struct Stack {
+  hhe::HheConfig config = hhe::HheConfig::batched_test();
+  fhe::Bgv bgv{config.bgv};
+  fhe::BatchEncoder encoder{config.bgv.n, config.bgv.t};
+  fhe::SlotLayout layout{config.bgv.n, config.bgv.t};
+  std::shared_ptr<const fhe::GaloisKeys> keys =
+      hhe::SimdBatchEngine::make_shared_rotation_keys(config, bgv);
+};
+
+Stack& stack() {
+  static Stack s;
+  return s;
+}
+
+TranscipherService make_service(ServiceConfig cfg = {}) {
+  return TranscipherService(stack().config, stack().bgv, cfg, stack().keys);
+}
+
+struct TestClient {
+  u64 id;
+  std::vector<u64> key;
+  pasta::PastaCipher cipher;
+
+  TestClient(u64 client_id, u64 seed)
+      : id(client_id),
+        key([&] {
+          Xoshiro256 rng(seed);
+          return pasta::PastaCipher::random_key(stack().config.pasta, rng);
+        }()),
+        cipher(stack().config.pasta, key) {}
+
+  fhe::Ciphertext encrypted_key() const {
+    return hhe::encrypt_key_batched(stack().config, stack().bgv,
+                                    stack().encoder, stack().layout, key);
+  }
+
+  TranscipherRequest request(u64 nonce, const std::vector<u64>& msg) const {
+    return TranscipherRequest{.client_id = id,
+                              .nonce = nonce,
+                              .symmetric_ct = cipher.encrypt(msg, nonce)};
+  }
+};
+
+std::vector<u64> random_msg(std::size_t len, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u64> msg(len);
+  for (auto& m : msg) m = rng.below(stack().config.pasta.p);
+  return msg;
+}
+
+std::vector<u64> decode_all(const TranscipherResult& result) {
+  std::vector<u64> out;
+  for (const auto& block : result.blocks) {
+    const auto vals =
+        TranscipherService::decode_block(stack().config, stack().bgv, block);
+    out.insert(out.end(), vals.begin(), vals.end());
+  }
+  return out;
+}
+
+TEST(BoundedQueue, OrderCloseAndStallAccounting) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  // Give the producer time to hit the full queue before draining it, so the
+  // push-stall is recorded deterministically (the sleeping main thread
+  // yields the CPU to the producer, which then blocks on the full queue).
+  while (q.push_stalls() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(q.pop(), 1);  // unblocks the producer
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.push(3));  // closed queue refuses new work
+  EXPECT_EQ(q.push_stalls(), 1u);
+  EXPECT_EQ(q.max_depth(), 1u);
+}
+
+TEST(TranscipherServiceTest, RoundTripMultiBlockMessage) {
+  auto service = make_service();
+  TestClient client(1, 11);
+  service.open_session(client.id, client.encrypted_key());
+  ASSERT_TRUE(service.has_session(client.id));
+
+  const auto msg = random_msg(2 * stack().config.pasta.t + 3, 12);
+  const std::vector<TranscipherRequest> reqs{client.request(77, msg)};
+  ServiceReport report;
+  const auto results = service.process(reqs, &report);
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].blocks.size(), 3u);
+  EXPECT_EQ(decode_all(results[0]), msg);
+
+  EXPECT_EQ(report.requests, 1u);
+  EXPECT_EQ(report.blocks, 3u);
+  EXPECT_EQ(report.batches, 1u);  // one client: blocks coalesce
+  EXPECT_GT(report.avg_batch_occupancy, 0.0);
+  EXPECT_LE(report.avg_batch_occupancy, 1.0);
+  EXPECT_GT(report.total_s, 0.0);
+  EXPECT_GT(report.blocks_per_s, 0.0);
+  EXPECT_GT(report.min_noise_budget_bits, 0.0);
+  ASSERT_EQ(report.request_latency_s.size(), 1u);
+  EXPECT_GT(report.request_latency_s[0], 0.0);
+  EXPECT_LE(report.request_latency_s[0], report.total_s);
+  EXPECT_GT(report.exec_ops.ct_ct_mul, 0u);
+  EXPECT_GT(report.exec_ops.ntt_forward, 0u);
+}
+
+TEST(TranscipherServiceTest, CoalescesRequestsOfOneClient) {
+  auto service = make_service();
+  TestClient client(2, 21);
+  service.open_session(client.id, client.encrypted_key());
+
+  const auto msg_a = random_msg(stack().config.pasta.t, 22);
+  const auto msg_b = random_msg(stack().config.pasta.t + 1, 23);
+  const std::vector<TranscipherRequest> reqs{client.request(1, msg_a),
+                                             client.request(2, msg_b)};
+  ServiceReport report;
+  const auto results = service.process(reqs, &report);
+
+  EXPECT_EQ(report.blocks, 3u);
+  EXPECT_EQ(report.batches, 1u);  // both requests share one SIMD batch
+  EXPECT_EQ(decode_all(results[0]), msg_a);
+  EXPECT_EQ(decode_all(results[1]), msg_b);
+}
+
+TEST(TranscipherServiceTest, ClientsDoNotShareBatches) {
+  auto service = make_service();
+  TestClient alice(3, 31), bob(4, 41);
+  service.open_session(alice.id, alice.encrypted_key());
+  service.open_session(bob.id, bob.encrypted_key());
+
+  const auto msg_a = random_msg(5, 32);
+  const auto msg_b = random_msg(7, 42);
+  const std::vector<TranscipherRequest> reqs{alice.request(9, msg_a),
+                                             bob.request(9, msg_b)};
+  ServiceReport report;
+  const auto results = service.process(reqs, &report);
+
+  // Different clients = different keys = different batches.
+  EXPECT_EQ(report.batches, 2u);
+  EXPECT_EQ(decode_all(results[0]), msg_a);
+  EXPECT_EQ(decode_all(results[1]), msg_b);
+}
+
+TEST(TranscipherServiceTest, MaxBatchBlocksSplitsBatches) {
+  auto service = make_service(ServiceConfig{.max_batch_blocks = 2});
+  EXPECT_EQ(service.batch_capacity(), 2u);
+  TestClient client(5, 51);
+  service.open_session(client.id, client.encrypted_key());
+
+  const auto msg = random_msg(4 * stack().config.pasta.t, 52);
+  ServiceReport report;
+  const auto results =
+      service.process(std::vector{client.request(3, msg)}, &report);
+
+  EXPECT_EQ(report.blocks, 4u);
+  EXPECT_EQ(report.batches, 2u);
+  EXPECT_DOUBLE_EQ(report.avg_batch_occupancy, 1.0);
+  EXPECT_EQ(decode_all(results[0]), msg);
+}
+
+TEST(TranscipherServiceTest, LruEvictionRespectsRecency) {
+  auto service = make_service(ServiceConfig{.max_sessions = 2});
+  TestClient a(10, 61), b(11, 62), c(12, 63);
+  service.open_session(a.id, a.encrypted_key());
+  service.open_session(b.id, b.encrypted_key());
+  // Re-opening A refreshes its recency: B becomes the LRU victim.
+  service.open_session(a.id, a.encrypted_key());
+  service.open_session(c.id, c.encrypted_key());
+
+  EXPECT_EQ(service.session_count(), 2u);
+  EXPECT_TRUE(service.has_session(a.id));
+  EXPECT_FALSE(service.has_session(b.id));
+  EXPECT_TRUE(service.has_session(c.id));
+  EXPECT_EQ(service.evictions(), 1u);
+}
+
+TEST(TranscipherServiceTest, UnknownClientAndEmptyRequestRejected) {
+  auto service = make_service();
+  const std::vector<TranscipherRequest> unknown{
+      TranscipherRequest{.client_id = 999, .nonce = 1, .symmetric_ct = {1}}};
+  EXPECT_THROW(service.process(unknown), poe::Error);
+
+  TestClient client(6, 71);
+  service.open_session(client.id, client.encrypted_key());
+  const std::vector<TranscipherRequest> empty{
+      TranscipherRequest{.client_id = client.id, .nonce = 2,
+                         .symmetric_ct = {}}};
+  EXPECT_THROW(service.process(empty), poe::Error);
+}
+
+TEST(TranscipherServiceTest, NonceReplayRejected) {
+  auto service = make_service();
+  TestClient client(7, 81);
+  service.open_session(client.id, client.encrypted_key());
+
+  const auto msg = random_msg(3, 82);
+  const auto results = service.process(std::vector{client.request(55, msg)});
+  EXPECT_EQ(decode_all(results[0]), msg);
+  // Same nonce again: rejected during admission, before any evaluation.
+  EXPECT_THROW(service.process(std::vector{client.request(55, msg)}),
+               poe::Error);
+}
+
+TEST(TranscipherServiceTest, PipelinedMatchesUnpipelined) {
+  auto pipelined = make_service(ServiceConfig{.pipelined = true});
+  auto sequential = make_service(ServiceConfig{.pipelined = false});
+  TestClient client(8, 91);
+  pipelined.open_session(client.id, client.encrypted_key());
+  sequential.open_session(client.id, client.encrypted_key());
+
+  const auto msg = random_msg(stack().config.pasta.t + 2, 92);
+  const auto req = std::vector{client.request(4, msg)};
+  ServiceReport rep_p, rep_s;
+  const auto out_p = pipelined.process(req, &rep_p);
+  const auto out_s = sequential.process(req, &rep_s);
+
+  EXPECT_EQ(decode_all(out_p[0]), msg);
+  EXPECT_EQ(decode_all(out_s[0]), msg);
+  EXPECT_EQ(rep_p.batches, rep_s.batches);
+  EXPECT_EQ(rep_p.blocks, rep_s.blocks);
+  EXPECT_GE(rep_p.max_queue_depth, 1u);
+  EXPECT_EQ(rep_s.max_queue_depth, 0u);  // no queue in the sequential path
+}
+
+}  // namespace
+}  // namespace poe::service
