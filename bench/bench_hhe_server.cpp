@@ -25,8 +25,10 @@ double seconds_since(Clock::time_point begin) {
 
 std::string counter_line(const CounterSnapshot& ops) {
   std::ostringstream os;
-  os << ops.ntts() << " NTTs, " << ops.key_switch << " key switches, "
-     << ops.mod_switch << " mod switches, pool hit rate "
+  os << ops.ntts() << " NTTs, " << ops.key_switch << " key switches ("
+     << ops.hoisted_rotations << " hoisted rotations, " << ops.automorphisms
+     << " automorphisms), " << ops.mod_switch
+     << " mod switches, pool hit rate "
      << fixed(100.0 * ops.pool_hit_rate(), 1) << "% (" << ops.pool_misses
      << " fresh allocations)";
   return os.str();
@@ -43,6 +45,8 @@ std::string json_record(const char* name, double seconds,
      << ", \"ntt_forward\": " << ops.ntt_forward
      << ", \"ntt_inverse\": " << ops.ntt_inverse
      << ", \"key_switches\": " << ops.key_switch
+     << ", \"automorphisms\": " << ops.automorphisms
+     << ", \"hoisted_rotations\": " << ops.hoisted_rotations
      << ", \"mod_switches\": " << ops.mod_switch
      << ", \"pool_hits\": " << ops.pool_hits
      << ", \"pool_misses\": " << ops.pool_misses
@@ -121,7 +125,7 @@ int main() {
   {
     const auto bcfg =
         full ? hhe::HheConfig::batched_demo() : hhe::HheConfig::batched_test();
-    std::cout << "\n=== Batched (SIMD) server — BSGS diagonal evaluation ===\n";
+    std::cout << "\n=== Batched (SIMD) server — hoisted diagonal evaluation ===\n";
     t0 = Clock::now();
     fhe::Bgv bbgv(bcfg.bgv);
     fhe::BatchEncoder encoder(bcfg.bgv.n, bcfg.bgv.t);

@@ -177,7 +177,10 @@ int main() {
            << ", \"min_noise_budget_bits\": "
            << fixed(r.min_noise_budget_bits, 1)
            << ", \"ntt_forward\": " << r.exec_ops.ntt_forward
-           << ", \"key_switches\": " << r.exec_ops.key_switch << "}"
+           << ", \"key_switches\": " << r.exec_ops.key_switch
+           << ", \"automorphisms\": " << r.exec_ops.automorphisms
+           << ", \"hoisted_rotations\": " << r.exec_ops.hoisted_rotations
+           << "}"
            << (i + 1 < sweep.size() ? ",\n" : "\n");
     }
     json << "  ],\n"

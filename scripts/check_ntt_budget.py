@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail if the transcipher NTT counters regress.
+
+Counter budgets are a STABLE proxy for wall-clock perf: the forward-NTT
+count of a transcipher block is deterministic for a given circuit shape
+(no runner-speed noise), so a budget breach means somebody reintroduced
+per-rotation NTT work that hoisting is supposed to amortise away
+(see ARCHITECTURE.md §3d).
+
+Usage: check_ntt_budget.py [BENCH_hhe.json]
+
+Budgets live in scripts/ntt_budget.json next to this script; update them
+deliberately (with a rationale in the PR) when the circuit changes shape.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    bench_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "BENCH_hhe.json")
+    budget_path = pathlib.Path(__file__).resolve().parent / "ntt_budget.json"
+
+    bench = json.loads(bench_path.read_text())
+    budgets = json.loads(budget_path.read_text())["ntt_forward_max"]
+
+    by_name = {b["name"]: b for b in bench.get("benchmarks", [])}
+    failures = []
+    for name, limit in budgets.items():
+        record = by_name.get(name)
+        if record is None:
+            failures.append(f"{name}: missing from {bench_path}")
+            continue
+        got = record.get("ntt_forward")
+        status = "OK" if got <= limit else "OVER BUDGET"
+        print(f"{name}: ntt_forward={got} (budget {limit}) {status}")
+        if got > limit:
+            failures.append(f"{name}: ntt_forward={got} exceeds budget {limit}")
+
+    if failures:
+        print("\nNTT budget check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("NTT budget check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ struct CounterSnapshot {
   std::uint64_t key_switch = 0;
   std::uint64_t mod_switch = 0;
   std::uint64_t encode = 0;
+  std::uint64_t automorphisms = 0;
+  std::uint64_t hoisted_rotations = 0;
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
 
@@ -41,6 +43,8 @@ struct CounterSnapshot {
                            key_switch - o.key_switch,
                            mod_switch - o.mod_switch,
                            encode - o.encode,
+                           automorphisms - o.automorphisms,
+                           hoisted_rotations - o.hoisted_rotations,
                            pool_hits - o.pool_hits,
                            pool_misses - o.pool_misses};
   }
@@ -62,6 +66,9 @@ struct OpCounters {
   std::atomic<std::uint64_t> key_switch{0};  ///< relin + Galois switches
   std::atomic<std::uint64_t> mod_switch{0};  ///< per ciphertext
   std::atomic<std::uint64_t> encode{0};      ///< batch encodes/decodes
+  std::atomic<std::uint64_t> automorphism{0};       ///< Galois applications
+  std::atomic<std::uint64_t> hoisted_rotation{0};   ///< rotations served from
+                                                    ///< a shared decomposition
 
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
     c.fetch_add(by, std::memory_order_relaxed);
@@ -95,6 +102,10 @@ class ExecContext {
     s.key_switch = counters_.key_switch.load(std::memory_order_relaxed);
     s.mod_switch = counters_.mod_switch.load(std::memory_order_relaxed);
     s.encode = counters_.encode.load(std::memory_order_relaxed);
+    s.automorphisms =
+        counters_.automorphism.load(std::memory_order_relaxed);
+    s.hoisted_rotations =
+        counters_.hoisted_rotation.load(std::memory_order_relaxed);
     s.pool_hits = pool_.hits();
     s.pool_misses = pool_.misses();
     return s;

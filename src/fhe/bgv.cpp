@@ -10,6 +10,21 @@ namespace poe::fhe {
 
 namespace {
 using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}
+
+u64 galois_elt_for_step(std::size_t n, long step) {
+  const long c = static_cast<long>(n / 2);
+  u64 e = static_cast<u64>(((step % c) + c) % c);
+  const u64 two_n = 2 * n;
+  u64 g = 1;
+  u64 base = 3 % two_n;
+  while (e != 0) {
+    if (e & 1) g = g * base % two_n;  // operands < 2n << 2^32: no overflow
+    base = base * base % two_n;
+    e >>= 1;
+  }
+  return g;
 }
 
 BgvParams BgvParams::toy() {
@@ -119,55 +134,125 @@ KswKey Bgv::make_ksw_key(const RnsPoly& target_ntt) const {
   return out;
 }
 
-void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
-                    const KswKey& key) const {
+void Bgv::decompose(
+    const RnsPoly& input_coeff, std::vector<RnsPoly>& digits,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& which) const {
   POE_ENSURE(!input_coeff.is_ntt(), "ksw input must be in coefficient form");
-  const std::size_t level = ct.level;
+  const std::size_t level = input_coeff.level();
   const unsigned dbits = params_.relin_digit_bits;
   const u64 mask = (u64{1} << dbits) - 1;
-  auto& counters = ctx_.exec().counters();
-  counters.bump(counters.key_switch);
+  which.clear();
   for (std::size_t j = 0; j < level; ++j) {
     const unsigned qbits = bit_width_u64(ctx_.prime(j));
-    const unsigned digits = (qbits + dbits - 1) / dbits;
-    POE_ENSURE(digits <= key.digits[j].size(), "missing ksw digits");
-    const auto src = input_coeff.rns(j);
-    for (unsigned d = 0; d < digits; ++d) {
-      // Digit polynomial: ((input mod q_j) >> (d*dbits)) & mask, lifted to
-      // all active primes. The digit is < 2^dbits; when that is below every
-      // active prime (always, for the shipped parameter sets) the lift is
-      // the identity, so component 0 is computed once and copied.
-      RnsPoly dig = RnsPoly::uninit(&ctx_, level, false);
-      auto first = dig.rns(0);
-      for (std::size_t idx = 0; idx < first.size(); ++idx) {
-        first[idx] = (src[idx] >> (d * dbits)) & mask;
-      }
-      const bool first_exact = mask < ctx_.mod(0).value();
-      for (std::size_t i = 0; i < level; ++i) {
-        const auto& m = ctx_.mod(i);
-        auto dst = dig.rns(i);
-        if (mask < m.value() && first_exact) {
-          if (i > 0) std::copy(first.begin(), first.end(), dst.begin());
-        } else {
-          for (std::size_t idx = 0; idx < dst.size(); ++idx) {
-            dst[idx] = ((src[idx] >> (d * dbits)) & mask) % m.value();
-          }
-        }
-      }
-      dig.to_ntt();
-      // Key components live at the top level; the fused accumulate reads
-      // only the first `level` of them — no restricted copies, no `tb`
-      // temporary.
-      ct.parts[0].add_mul_inplace(dig, key.digits[j][d].b);
-      ct.parts[1].add_mul_inplace(dig, key.digits[j][d].a);
+    const unsigned nd = (qbits + dbits - 1) / dbits;
+    for (unsigned d = 0; d < nd; ++d) {
+      which.emplace_back(static_cast<std::uint32_t>(j), d);
     }
   }
+  digits.assign(which.size(), RnsPoly{});
+  // Each digit is extracted and forward-transformed independently — this is
+  // the dominant key-switch cost (2 NTTs per prime per level), so fan it out
+  // over the thread pool. Each task writes only its own slot.
+  parallel_for(which.size(), [&](std::size_t w) {
+    const auto [j, d] = which[w];
+    const auto src = input_coeff.rns(j);
+    // Digit polynomial: ((input mod q_j) >> (d*dbits)) & mask, lifted to
+    // all active primes. The digit is < 2^dbits; when that is below every
+    // active prime (always, for the shipped parameter sets) the lift is
+    // the identity, so component 0 is computed once and copied.
+    RnsPoly dig = RnsPoly::uninit(&ctx_, level, false);
+    auto first = dig.rns(0);
+    for (std::size_t idx = 0; idx < first.size(); ++idx) {
+      first[idx] = (src[idx] >> (d * dbits)) & mask;
+    }
+    const bool first_exact = mask < ctx_.mod(0).value();
+    for (std::size_t i = 0; i < level; ++i) {
+      const auto& m = ctx_.mod(i);
+      auto dst = dig.rns(i);
+      if (mask < m.value() && first_exact) {
+        if (i > 0) std::copy(first.begin(), first.end(), dst.begin());
+      } else {
+        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
+          dst[idx] = ((src[idx] >> (d * dbits)) & mask) % m.value();
+        }
+      }
+    }
+    dig.to_ntt();
+    digits[w] = std::move(dig);
+  });
 }
 
-KswKey Bgv::make_galois_key(u64 galois_element) const {
+void Bgv::ksw_accumulate(
+    Ciphertext& ct, std::span<const RnsPoly> digits,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
+    const KswKey& key, const std::uint32_t* perm) const {
+  const std::size_t level = ct.level;
+  const std::size_t n = ctx_.n();
+  const std::size_t nd = digits.size();
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.key_switch);
+  for (const auto& [j, d] : which) {
+    POE_ENSURE(j < key.digits.size() && d < key.digits[j].size(),
+               "missing ksw digits");
+  }
+  RnsPoly& out0 = ct.parts[0];
+  RnsPoly& out1 = ct.parts[1];
+  parallel_for(level, [&](std::size_t i) {
+    const auto& m = ctx_.mod(i);
+    // Lazy accumulation: sum the raw 128-bit digit*key products and Barrett-
+    // reduce once per slot instead of once per digit. The flush interval
+    // keeps the accumulators below wrap-around for pathological (huge-prime,
+    // many-digit) parameter sets; for the shipped sets it never triggers.
+    const u128 term_max =
+        static_cast<u128>(m.value() - 1) * (m.value() - 1);
+    const std::size_t flush = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::min<u128>(~static_cast<u128>(0) / term_max - 1,
+                              ~std::size_t{0})));
+    // Key components live at the top level; only the first `level` of them
+    // are read. Hoist the per-digit span lookups out of the slot loop.
+    std::vector<const u64*> dig_ptr(nd), kb_ptr(nd), ka_ptr(nd);
+    for (std::size_t w = 0; w < nd; ++w) {
+      dig_ptr[w] = digits[w].rns(i).data();
+      const auto& dk = key.digits[which[w].first][which[w].second];
+      kb_ptr[w] = dk.b.rns(i).data();
+      ka_ptr[w] = dk.a.rns(i).data();
+    }
+    auto dst0 = out0.rns(i);
+    auto dst1 = out1.rns(i);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const std::size_t src = perm != nullptr ? perm[idx] : idx;
+      u128 acc0 = dst0[idx];
+      u128 acc1 = dst1[idx];
+      std::size_t since = 0;
+      for (std::size_t w = 0; w < nd; ++w) {
+        const u128 v = dig_ptr[w][src];
+        acc0 += v * kb_ptr[w][idx];
+        acc1 += v * ka_ptr[w][idx];
+        if (++since == flush) {
+          acc0 = m.reduce128_barrett(acc0);
+          acc1 = m.reduce128_barrett(acc1);
+          since = 0;
+        }
+      }
+      dst0[idx] = m.reduce128_barrett(acc0);
+      dst1[idx] = m.reduce128_barrett(acc1);
+    }
+  });
+}
+
+void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
+                    const KswKey& key) const {
+  POE_ENSURE(input_coeff.level() == ct.level, "ksw input level mismatch");
+  std::vector<RnsPoly> digits;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> which;
+  decompose(input_coeff, digits, which);
+  ksw_accumulate(ct, digits, which, key, nullptr);
+}
+
+KswKey Bgv::make_galois_key(u64 galois_element,
+                            const RnsPoly& s_coeff) const {
   // Key switches tau_g(s) onto s.
-  RnsPoly s_coeff = s_ntt_;
-  s_coeff.from_ntt();
   RnsPoly tau_s = s_coeff.apply_automorphism(galois_element);
   tau_s.to_ntt();
   return make_ksw_key(tau_s);
@@ -176,34 +261,73 @@ KswKey Bgv::make_galois_key(u64 galois_element) const {
 void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
                                const KswKey& key) const {
   POE_ENSURE(a.size() == 2, "automorphism requires a 2-part ciphertext");
-  // tau(ct) decrypts under tau(s); key-switch the c1 part back to s.
-  a.parts[0].from_ntt();
-  a.parts[1].from_ntt();
-  RnsPoly c0 = a.parts[0].apply_automorphism(galois_element);
-  RnsPoly c1 = a.parts[1].apply_automorphism(galois_element);
-  c0.to_ntt();
-  a.parts[0] = std::move(c0);
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.automorphism);
+  // tau(ct) decrypts under tau(s); key-switch the c1 part back to s. c0
+  // never leaves evaluation form (tau is a slot permutation there); c1 has
+  // to pass through coefficient form anyway for the digit decomposition.
+  RnsPoly c1 = std::move(a.parts[1]);
+  c1.from_ntt();
+  c1 = c1.apply_automorphism(galois_element);
+  a.parts[0] = a.parts[0].apply_automorphism_ntt(galois_element);
   a.parts[1] = RnsPoly(&ctx_, a.level, /*ntt_form=*/true);
   apply_ksw(a, c1, key);
+}
+
+HoistedCt Bgv::hoist(const Ciphertext& ct) const {
+  POE_ENSURE(ct.size() == 2, "hoisting requires a 2-part ciphertext");
+  HoistedCt h;
+  h.level = ct.level;
+  h.c0 = ct.parts[0];
+  RnsPoly c1 = ct.parts[1];
+  c1.from_ntt();
+  decompose(c1, h.digits, h.digit_of);
+  return h;
+}
+
+Ciphertext Bgv::rotate_hoisted(const HoistedCt& hoisted, long step,
+                               const GaloisKeys& keys) const {
+  const std::size_t n = ctx_.n();
+  const long c = static_cast<long>(n / 2);
+  const long s = ((step % c) + c) % c;
+  POE_ENSURE(s != 0, "rotate_hoisted requires a nonzero step");
+  const auto it = keys.keys.find(s);
+  POE_ENSURE(it != keys.keys.end(), "no rotation key for step " << s);
+  const u64 g = galois_elt_for_step(n, s);
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.automorphism);
+  counters.bump(counters.hoisted_rotation);
+  // tau distributes over the decomposition (the B^d q~_j scale factors are
+  // integers, fixed by tau), so permuting the shared NTT-form digits inside
+  // the inner product yields a valid encryption of the rotated plaintext —
+  // without a single forward NTT.
+  Ciphertext out;
+  out.level = hoisted.level;
+  out.parts.resize(2);
+  out.parts[0] = hoisted.c0.apply_automorphism_ntt(g);
+  out.parts[1] = RnsPoly(&ctx_, hoisted.level, /*ntt_form=*/true);
+  ksw_accumulate(out, hoisted.digits, hoisted.digit_of, it->second,
+                 ctx_.galois_ntt_perm(g).data());
+  return out;
 }
 
 GaloisKeys Bgv::make_rotation_keys(const std::vector<long>& steps) const {
   const std::size_t n = ctx_.n();
   GaloisKeys out;
+  RnsPoly s_coeff = s_ntt_;
+  s_coeff.from_ntt();
   for (long step : steps) {
     if (step == GaloisKeys::kRowSwap) {
       if (out.keys.count(GaloisKeys::kRowSwap) == 0) {
         out.keys.emplace(GaloisKeys::kRowSwap,
-                         make_galois_key(2 * n - 1));
+                         make_galois_key(2 * n - 1, s_coeff));
       }
       continue;
     }
     const long c = static_cast<long>(n / 2);
     const long s = ((step % c) + c) % c;
     if (out.keys.count(s) != 0 || s == 0) continue;
-    u64 g = 1;
-    for (long i = 0; i < s; ++i) g = (g * 3) % (2 * n);
-    out.keys.emplace(s, make_galois_key(g));
+    out.keys.emplace(s, make_galois_key(galois_elt_for_step(n, s), s_coeff));
   }
   return out;
 }
@@ -216,9 +340,7 @@ void Bgv::rotate_columns_inplace(Ciphertext& a, long step,
   if (s == 0) return;
   const auto it = keys.keys.find(s);
   POE_ENSURE(it != keys.keys.end(), "no rotation key for step " << s);
-  u64 g = 1;
-  for (long i = 0; i < s; ++i) g = (g * 3) % (2 * n);
-  apply_galois_inplace(a, g, it->second);
+  apply_galois_inplace(a, galois_elt_for_step(n, s), it->second);
 }
 
 void Bgv::swap_rows_inplace(Ciphertext& a, const GaloisKeys& keys) const {
@@ -417,39 +539,45 @@ void Bgv::relinearize_inplace(Ciphertext& a) const {
 
 void Bgv::mod_switch_inplace(Ciphertext& a) const {
   POE_ENSURE(a.level >= 2, "cannot switch below the last prime");
-  auto& counters = ctx_.exec().counters();
-  counters.bump(counters.mod_switch);
-  const LevelData& lvl = ctx_.level(a.level);
-  const std::size_t last = a.level - 1;
-  const u64 qlast = ctx_.prime(last);
-  const u64 qlast_half = qlast / 2;
-
-  for (auto& part : a.parts) {
-    part.from_ntt();
-    const auto clast = part.rns(last);
-    for (std::size_t i = 0; i < last; ++i) {
-      const auto& m = ctx_.mod(i);
-      const u64 t_mod = params_.t % m.value();
-      const u64 t_qlast_mod = m.mul(t_mod, qlast % m.value());
-      auto ci = part.rns(i);
-      for (std::size_t idx = 0; idx < ci.size(); ++idx) {
-        // u = [c * t^{-1}]_{q_last}, centered; delta = t * u.
-        const u64 u = ctx_.mod(last).mul(clast[idx], lvl.t_inv_mod_qlast);
-        u64 delta = m.mul(t_mod, u % m.value());
-        if (u > qlast_half) delta = m.sub(delta, t_qlast_mod);
-        // c' = (c - delta) / q_last.
-        ci[idx] = m.mul(m.sub(ci[idx], delta), lvl.qlast_inv[i]);
-      }
-    }
-    part.drop_last_component();
-    part.to_ntt();
-  }
-  --a.level;
+  mod_switch_to(a, a.level - 1);
 }
 
 void Bgv::mod_switch_to(Ciphertext& a, std::size_t level) const {
   POE_ENSURE(level >= 1 && level <= a.level, "invalid target level");
-  while (a.level > level) mod_switch_inplace(a);
+  if (level == a.level) return;
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.mod_switch, a.level - level);
+  // The whole chain of prime drops runs in coefficient form, so a k-level
+  // switch costs ONE inverse/forward transform pair per part instead of k —
+  // bit-identical to sequential switching, since the NTT round trips between
+  // drops are exact identities.
+  for (auto& part : a.parts) {
+    part.from_ntt();
+    for (std::size_t cur = a.level; cur > level; --cur) {
+      const LevelData& lvl = ctx_.level(cur);
+      const std::size_t last = cur - 1;
+      const u64 qlast = ctx_.prime(last);
+      const u64 qlast_half = qlast / 2;
+      const auto clast = part.rns(last);
+      for (std::size_t i = 0; i < last; ++i) {
+        const auto& m = ctx_.mod(i);
+        const u64 t_mod = params_.t % m.value();
+        const u64 t_qlast_mod = m.mul(t_mod, qlast % m.value());
+        auto ci = part.rns(i);
+        for (std::size_t idx = 0; idx < ci.size(); ++idx) {
+          // u = [c * t^{-1}]_{q_last}, centered; delta = t * u.
+          const u64 u = ctx_.mod(last).mul(clast[idx], lvl.t_inv_mod_qlast);
+          u64 delta = m.mul(t_mod, u % m.value());
+          if (u > qlast_half) delta = m.sub(delta, t_qlast_mod);
+          // c' = (c - delta) / q_last.
+          ci[idx] = m.mul(m.sub(ci[idx], delta), lvl.qlast_inv[i]);
+        }
+      }
+      part.drop_last_component();
+    }
+    part.to_ntt();
+  }
+  a.level = level;
 }
 
 void Bgv::match_levels(Ciphertext& a, Ciphertext& b) const {

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "fhe/poly.hpp"
@@ -74,6 +76,22 @@ struct GaloisKeys {
   static constexpr long kRowSwap = -1;
 };
 
+/// The reusable (expensive) half of a rotation — Halevi–Shoup hoisting. The
+/// digit decomposition of c1 (digit extraction + one forward NTT per digit)
+/// dominates rotation cost; it is also rotation-independent: the per-digit
+/// scale factors B^d q~_j are integers, hence fixed by every automorphism,
+/// so tau(c1) = sum_d tau(digit_d) * B^d q~_j for ANY tau. Decompose once
+/// with Bgv::hoist, then serve each step with Bgv::rotate_hoisted, which
+/// only permutes the already-NTT digits and closes the key inner product.
+struct HoistedCt {
+  RnsPoly c0;                   ///< NTT form, at `level`
+  std::vector<RnsPoly> digits;  ///< NTT form, flattened over (prime, digit)
+  /// digit_of[w] = (prime j, digit d) identifying digits[w] and the matching
+  /// key-switching key entry.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> digit_of;
+  std::size_t level = 0;
+};
+
 class Bgv {
  public:
   explicit Bgv(const BgvParams& params);
@@ -118,6 +136,19 @@ class Bgv {
   /// make_rotation_keys including GaloisKeys::kRowSwap.
   void swap_rows_inplace(Ciphertext& a, const GaloisKeys& keys) const;
 
+  /// Digit-decompose a 2-part ciphertext once, so that any number of
+  /// rotations of it can be served by rotate_hoisted at a fraction of the
+  /// usual cost. NOTE: a hoisted rotation is a different (equally valid)
+  /// encryption of the rotated plaintext than rotate_columns_inplace
+  /// produces — digit extraction does not commute with the automorphism's
+  /// coefficient sign flips — so compare decryptions, not ciphertext bits.
+  HoistedCt hoist(const Ciphertext& ct) const;
+  /// Rotated copy from a hoisted decomposition (step != 0 mod n/2): one NTT
+  /// slot permutation of c0 + a permuted key inner product over the shared
+  /// digits. No forward NTTs at all.
+  Ciphertext rotate_hoisted(const HoistedCt& hoisted, long step,
+                            const GaloisKeys& keys) const;
+
   /// Drop the last active prime (noise /= q_last).
   void mod_switch_inplace(Ciphertext& a) const;
   void mod_switch_to(Ciphertext& a, std::size_t level) const;
@@ -135,13 +166,31 @@ class Bgv {
   RnsPoly sample_t_noise() const;
   /// Key-switching key for an arbitrary target polynomial (NTT, top level).
   KswKey make_ksw_key(const RnsPoly& target_ntt) const;
-  KswKey make_galois_key(std::uint64_t galois_element) const;
+  /// `s_coeff` is the secret in coefficient form (callers generating many
+  /// keys convert it once).
+  KswKey make_galois_key(std::uint64_t galois_element,
+                         const RnsPoly& s_coeff) const;
   void apply_galois_inplace(Ciphertext& a, std::uint64_t galois_element,
                             const KswKey& key) const;
   /// parts[0] += sum_d digit_d(input) * b_d, parts[1] += ... * a_d, with
   /// `input` in coefficient form at the ciphertext's level.
   void apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
                  const KswKey& key) const;
+  /// Digit decomposition of `input_coeff`: digits[w] is the w-th digit
+  /// polynomial lifted to all active primes and forward-transformed;
+  /// which[w] = (prime, digit) names the matching key entry.
+  void decompose(const RnsPoly& input_coeff, std::vector<RnsPoly>& digits,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>>& which)
+      const;
+  /// The key inner product: parts[0/1] += sum_w perm(digits[w]) * key_w,
+  /// accumulated lazily in 128 bits (one Barrett reduction per slot instead
+  /// of per digit) and parallelised over RNS components. `perm` (nullable)
+  /// applies an NTT-slot permutation to the digits on the fly — this is how
+  /// a hoisted rotation rotates the shared decomposition for free.
+  void ksw_accumulate(
+      Ciphertext& ct, std::span<const RnsPoly> digits,
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
+      const KswKey& key, const std::uint32_t* perm) const;
 
   BgvParams params_;
   RnsContext ctx_;
@@ -155,5 +204,10 @@ class Bgv {
 
 /// Restrict an NTT-form polynomial to its first `level` RNS components.
 RnsPoly restrict_to_level(const RnsPoly& p, std::size_t level);
+
+/// Galois element 3^step mod 2n for a column rotation by `step` (normalised
+/// to [0, n/2)). One modpow — shared by key generation, rotation, and the
+/// slot layout, replacing the former O(step) repeated-multiplication loops.
+std::uint64_t galois_elt_for_step(std::size_t n, long step);
 
 }  // namespace poe::fhe

@@ -1,5 +1,7 @@
 #include "fhe/context.hpp"
 
+#include <unordered_map>
+
 #include "common/error.hpp"
 #include "modular/primes.hpp"
 
@@ -67,6 +69,56 @@ const LevelData& RnsContext::level(std::size_t num_active) const {
   POE_ENSURE(num_active >= 1 && num_active <= levels_.size(),
              "invalid level " << num_active);
   return levels_[num_active - 1];
+}
+
+void RnsContext::build_exponent_table() const {
+  // Forward-transform the monomial X in the first RNS component: slot i then
+  // holds psi^{e_i}, the root the butterflies routed there. The exponent map
+  // is structural — it depends only on n and the bit-reversed butterfly
+  // schedule — so discovering it against prime 0 is valid for every
+  // component.
+  std::vector<std::uint64_t> x(n_, 0);
+  x[1] = 1;
+  ntts_[0]->forward(x);
+  const mod::Modulus& m = mods_[0];
+  const std::uint64_t psi = mod::root_of_unity(primes_[0], 2 * n_);
+  std::unordered_map<std::uint64_t, std::uint32_t> dlog;
+  dlog.reserve(2 * n_);
+  std::uint64_t pw = 1;
+  for (std::uint32_t e = 0; e < 2 * n_; ++e) {
+    dlog.emplace(pw, e);
+    pw = m.mul(pw, psi);
+  }
+  ntt_exponent_.resize(n_);
+  index_of_exponent_.assign(2 * n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto it = dlog.find(x[i]);
+    POE_ENSURE(it != dlog.end() && it->second % 2 == 1,
+               "NTT slot value is not an odd power of psi");
+    ntt_exponent_[i] = it->second;
+    index_of_exponent_[it->second] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::span<const std::uint32_t> RnsContext::galois_ntt_perm(
+    std::uint64_t g) const {
+  const std::uint64_t two_n = 2 * n_;
+  g %= two_n;
+  POE_ENSURE(g % 2 == 1, "Galois element must be odd: " << g);
+  std::lock_guard<std::mutex> lock(perm_mu_);
+  const auto it = galois_perms_.find(g);
+  if (it != galois_perms_.end()) return it->second;
+  if (ntt_exponent_.empty()) build_exponent_table();
+  // tau_g maps slot value f(psi^e) to f(psi^{e*g}), so the slot that held
+  // exponent e*g before the automorphism supplies slot i after it.
+  std::vector<std::uint32_t> perm(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t e = (ntt_exponent_[i] * g) % two_n;
+    perm[i] = index_of_exponent_[e];
+  }
+  // Map nodes are stable and entries immutable once inserted, so the span
+  // survives the unlock.
+  return galois_perms_.emplace(g, std::move(perm)).first->second;
 }
 
 }  // namespace poe::fhe

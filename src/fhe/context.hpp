@@ -6,7 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/bignum.hpp"
@@ -54,7 +57,24 @@ class RnsContext {
   /// Level data for L active primes (1 <= L <= num_primes).
   const LevelData& level(std::size_t num_active) const;
 
+  /// The Galois automorphism X -> X^g (g odd, taken mod 2n) as a permutation
+  /// of NTT slots: applying tau_g to a polynomial in evaluation form is
+  /// out[i] = in[perm[i]], identically in every RNS component — the
+  /// negacyclic NTT evaluates at the odd powers of a 2n-th root of unity, so
+  /// tau_g only relabels which root each slot holds, and the butterfly
+  /// ordering of those roots is structural (prime-independent). Permutations
+  /// are built lazily, cached per g, and immutable once published, so the
+  /// returned span stays valid for the context's lifetime and calls are
+  /// thread-safe.
+  std::span<const std::uint32_t> galois_ntt_perm(std::uint64_t g) const;
+
  private:
+  /// Maps NTT slot i to the exponent e_i with slot value f(psi^{e_i});
+  /// discovered empirically by transforming the monomial X and taking
+  /// discrete logs base psi (the same trick SlotLayout uses for the
+  /// plaintext slot order). Caller must hold perm_mu_.
+  void build_exponent_table() const;
+
   ExecContext* exec_;
   std::size_t n_;
   std::uint64_t t_;
@@ -63,6 +83,11 @@ class RnsContext {
   std::vector<mod::Modulus> mods_;
   std::vector<std::unique_ptr<Ntt>> ntts_;
   std::vector<LevelData> levels_;  // index L-1
+
+  mutable std::mutex perm_mu_;
+  mutable std::vector<std::uint32_t> ntt_exponent_;       // slot -> exponent
+  mutable std::vector<std::uint32_t> index_of_exponent_;  // exponent -> slot
+  mutable std::map<std::uint64_t, std::vector<std::uint32_t>> galois_perms_;
 };
 
 }  // namespace poe::fhe

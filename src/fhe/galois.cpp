@@ -101,11 +101,7 @@ std::vector<std::uint64_t> SlotLayout::swap_rows(
 }
 
 std::uint64_t SlotLayout::galois_element(long step) const {
-  const long c = static_cast<long>(cols());
-  const long s = ((step % c) + c) % c;
-  std::uint64_t g = 1;
-  for (long i = 0; i < s; ++i) g = (g * 3) % (2 * n_);
-  return g;
+  return galois_elt_for_step(n_, step);
 }
 
 }  // namespace poe::fhe

@@ -171,6 +171,21 @@ RnsPoly RnsPoly::apply_automorphism(std::uint64_t g) const {
   return out;
 }
 
+RnsPoly RnsPoly::apply_automorphism_ntt(std::uint64_t g) const {
+  POE_ENSURE(ntt_form_, "apply_automorphism_ntt operates on NTT form");
+  const std::size_t n = ctx_->n();
+  const auto perm = ctx_->galois_ntt_perm(g);
+  RnsPoly out = uninit(ctx_, level_, true);
+  for (std::size_t i = 0; i < level_; ++i) {
+    const auto src = rns(i);
+    auto dst = out.rns(i);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      dst[idx] = src[perm[idx]];
+    }
+  }
+  return out;
+}
+
 void RnsPoly::drop_last_component() {
   POE_ENSURE(level_ >= 2, "cannot drop below one prime");
   --level_;

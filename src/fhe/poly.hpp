@@ -64,6 +64,11 @@ class RnsPoly {
   /// moves to i*g mod 2n with a sign flip when it wraps past n.
   RnsPoly apply_automorphism(std::uint64_t g) const;
 
+  /// The same automorphism applied directly to NTT (evaluation) form: a pure
+  /// slot permutation taken from RnsContext::galois_ntt_perm, so it costs a
+  /// gather per component instead of an inverse+forward transform pair.
+  RnsPoly apply_automorphism_ntt(std::uint64_t g) const;
+
   /// m -> centered lift of (coeffs mod t) into every RNS component.
   static RnsPoly from_plaintext(const RnsContext* ctx, std::size_t level,
                                 std::span<const std::uint64_t> coeffs_mod_t,

@@ -1,7 +1,6 @@
 #include "hhe/batched_server.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 
@@ -37,27 +36,12 @@ fhe::Ciphertext encrypt_key_batched(const HheConfig& config,
   return bgv.encrypt(encoder.encode(layout.to_slots(tile_state(layout, key))));
 }
 
-BsgsSplit bsgs_split(std::size_t state_size) {
-  BsgsSplit split;
-  split.baby =
-      static_cast<std::size_t>(std::lround(std::sqrt(double(state_size))));
-  while (state_size % split.baby != 0) ++split.baby;
-  split.giant = state_size / split.baby;
-  return split;
-}
-
 std::vector<long> BatchedHheServer::rotation_steps(const HheConfig& config) {
   const std::size_t s = config.pasta.state_size();
-  const auto split = bsgs_split(s);
   std::vector<long> steps;
-  for (std::size_t b = 1; b < split.baby; ++b) {
-    steps.push_back(static_cast<long>(b));
+  for (std::size_t k = 1; k < s; ++k) {
+    steps.push_back(static_cast<long>(k));
   }
-  for (std::size_t g = 1; g < split.giant; ++g) {
-    steps.push_back(static_cast<long>(g * split.baby));
-  }
-  steps.push_back(static_cast<long>(config.pasta.t));  // Mix half swap
-  steps.push_back(static_cast<long>(s - 1));           // Feistel shift
   return steps;
 }
 
@@ -89,9 +73,15 @@ BatchedHheServer::BatchedHheServer(
                                                        << ", n=" << config.bgv.n
                                                        << ")");
   POE_ENSURE(rotation_keys_ != nullptr, "rotation keys must be non-null");
-  const auto split = bsgs_split(s);
-  baby_ = split.baby;
-  giant_ = split.giant;
+  // Feistel wrap mask (zeros at the head of each half), encoded once here
+  // so the per-round multiplication skips the encode + forward NTT.
+  const std::size_t t = config_.pasta.t;
+  std::vector<u64> mask(s, 1);
+  mask[0] = 0;
+  mask[t] = 0;
+  feistel_mask_ntt_ = fhe::RnsPoly::from_plaintext(
+      &bgv_.rns(), bgv_.top_level(), tiled_plain(mask).coeffs,
+      /*to_ntt_form=*/true);
 }
 
 fhe::Plaintext BatchedHheServer::tiled_plain(std::span<const u64> values) const {
@@ -113,88 +103,68 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
 
   Ciphertext state = key_ct_;
 
-  // Affine layer: y = diag(M_L, M_R) x + (rc_l || rc_r), BSGS diagonals.
-  auto affine = [&](const pasta::AffineLayerData& d) {
+  // Affine layer with Mix folded in: Mix(diag(M_L, M_R) x + rc) =
+  // (Mix ∘ diag(M_L, M_R)) x + Mix(rc) — one dense matrix, applied with the
+  // full diagonal method on a HOISTED state: the digit decomposition of
+  // `state` is computed once and every diagonal rotation is served from it
+  // as a slot permutation + key inner product, with zero forward NTTs.
+  auto affine_mix = [&](const pasta::AffineLayerData& d) {
     const auto mat_l = pasta::sequential_matrix(pm, d.alpha_l);
     const auto mat_r = pasta::sequential_matrix(pm, d.alpha_r);
-    // Block-matrix entry (i, j) of diag(M_L, M_R).
+    // Entry (i, j) of Mix * diag(M_L, M_R): Mix = (2I I / I 2I), so the top
+    // rows read 2*M_L | M_R and the bottom rows M_L | 2*M_R.
     auto entry = [&](std::size_t i, std::size_t j) -> u64 {
-      if (i < t && j < t) return mat_l.at(i, j);
-      if (i >= t && j >= t) return mat_r.at(i - t, j - t);
-      return 0;
+      if (i < t) {
+        return j < t ? pm.add(mat_l.at(i, j), mat_l.at(i, j))
+                     : mat_r.at(i, j - t);
+      }
+      return j < t ? mat_l.at(i - t, j)
+                   : pm.add(mat_r.at(i - t, j - t), mat_r.at(i - t, j - t));
     };
 
-    // Baby rotations of the state.
-    std::vector<Ciphertext> rotated(baby_);
-    rotated[0] = state;
-    for (std::size_t b = 1; b < baby_; ++b) {
-      rotated[b] = state;
-      bgv_.rotate_columns_inplace(rotated[b], static_cast<long>(b),
-                                  *rotation_keys_);
-    }
-
+    const fhe::HoistedCt hoisted = bgv_.hoist(state);
     Ciphertext acc;
     bool acc_init = false;
-    for (std::size_t g = 0; g < giant_; ++g) {
-      Ciphertext inner;
-      bool inner_init = false;
-      for (std::size_t b = 0; b < baby_; ++b) {
-        const std::size_t k = g * baby_ + b;
-        // Diagonal d_k[i] = entry(i, (i + k) mod s), pre-rotated by -g*baby
-        // (u ⊙ rot_r(z) == rot_r(rot_{-r}(u) ⊙ z)) so it can be applied
-        // before the giant rotation.
-        std::vector<u64> diag(s);
-        for (std::size_t i = 0; i < s; ++i) {
-          const std::size_t ii = (i + s - (g * baby_) % s) % s;
-          diag[i] = entry(ii, (ii + k) % s);
-        }
-        Ciphertext term = rotated[b];
-        bgv_.mul_plain_inplace(term, tiled_plain(diag));
-        rep.scalar_multiplications += s;
-        if (!inner_init) {
-          inner = std::move(term);
-          inner_init = true;
-        } else {
-          bgv_.add_inplace(inner, term);
-        }
+    for (std::size_t k = 0; k < s; ++k) {
+      // Diagonal d_k[i] = entry(i, (i + k) mod s).
+      std::vector<u64> diag(s);
+      for (std::size_t i = 0; i < s; ++i) {
+        diag[i] = entry(i, (i + k) % s);
       }
-      if (g != 0) {
-        bgv_.rotate_columns_inplace(inner, static_cast<long>(g * baby_),
-                                    *rotation_keys_);
-      }
+      Ciphertext term =
+          k == 0 ? state
+                 : bgv_.rotate_hoisted(hoisted, static_cast<long>(k),
+                                       *rotation_keys_);
+      bgv_.mul_plain_inplace(term, tiled_plain(diag));
+      rep.scalar_multiplications += s;
       if (!acc_init) {
-        acc = std::move(inner);
+        acc = std::move(term);
         acc_init = true;
       } else {
-        bgv_.add_inplace(acc, inner);
+        bgv_.add_inplace(acc, term);
       }
     }
 
-    // Round constants.
+    // Mix-composed round constants: 2*rc_l + rc_r || rc_l + 2*rc_r.
     std::vector<u64> rc(s);
-    std::copy(d.rc_l.begin(), d.rc_l.end(), rc.begin());
-    std::copy(d.rc_r.begin(), d.rc_r.end(), rc.begin() + static_cast<long>(t));
+    for (std::size_t i = 0; i < t; ++i) {
+      rc[i] = pm.add(pm.add(d.rc_l[i], d.rc_l[i]), d.rc_r[i]);
+      rc[t + i] = pm.add(d.rc_l[i], pm.add(d.rc_r[i], d.rc_r[i]));
+    }
     bgv_.add_plain_inplace(acc, tiled_plain(rc));
     state = std::move(acc);
-  };
-
-  auto mix = [&] {
-    // new = 2*state + rotate_by_t(state)  ==  (2L+R || L+2R).
-    Ciphertext swapped = state;
-    bgv_.rotate_columns_inplace(swapped, static_cast<long>(t),
-                                *rotation_keys_);
-    bgv_.mul_scalar_inplace(state, 2);
-    bgv_.add_inplace(state, swapped);
   };
 
   // Dense-diagonal plaintext multiplications inflate the noise by
   // ~||pt|| * n per affine layer on top of the squaring, so each ct-ct
   // multiplication must shed THREE primes to clamp the noise back to the
-  // floor (the coefficient-wise server only needs two).
+  // floor (the coefficient-wise server only needs two). The drops happen
+  // BEFORE relinearisation: one fused switch on the 3-part tensor, so the
+  // relin digit decomposition runs three levels lower.
   auto square_reduced = [&](const Ciphertext& x) {
-    Ciphertext sq = bgv_.multiply_relin(x, x);
-    bgv_.mod_switch_inplace(sq);
-    bgv_.mod_switch_inplace(sq);
+    Ciphertext sq = bgv_.multiply(x, x);
+    bgv_.mod_switch_to(sq, sq.level - 3);
+    bgv_.relinearize_inplace(sq);
     ++rep.ct_ct_multiplications;
     return sq;
   };
@@ -202,11 +172,9 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   auto feistel = [&] {
     Ciphertext sq = square_reduced(state);
     bgv_.rotate_columns_inplace(sq, static_cast<long>(s - 1), *rotation_keys_);
-    // Mask out the wrap positions 0 (head of L) and t (head of R).
-    std::vector<u64> mask(s, 1);
-    mask[0] = 0;
-    mask[t] = 0;
-    bgv_.mul_plain_inplace(sq, tiled_plain(mask));
+    // Mask out the wrap positions 0 (head of L) and t (head of R); the mask
+    // was encoded once at construction, mul_inplace restricts it.
+    for (auto& part : sq.parts) part.mul_inplace(feistel_mask_ntt_);
     bgv_.mod_switch_to(state, sq.level);
     bgv_.add_inplace(state, sq);
   };
@@ -214,23 +182,22 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   auto cube = [&] {
     Ciphertext sq = square_reduced(state);
     bgv_.mod_switch_to(state, sq.level);
-    state = bgv_.multiply_relin(sq, state);
-    bgv_.mod_switch_inplace(state);
-    bgv_.mod_switch_inplace(state);
+    Ciphertext prod = bgv_.multiply(sq, state);
+    bgv_.mod_switch_to(prod, prod.level - 3);
+    bgv_.relinearize_inplace(prod);
+    state = std::move(prod);
     ++rep.ct_ct_multiplications;
   };
 
   for (std::size_t round = 0; round < params.rounds; ++round) {
-    affine(rnd.layers[round]);
-    mix();
+    affine_mix(rnd.layers[round]);
     if (round == params.rounds - 1) {
       cube();
     } else {
       feistel();
     }
   }
-  affine(rnd.layers.back());
-  mix();
+  affine_mix(rnd.layers.back());
 
   rep.final_level = state.level;
   rep.exec_ops = bgv_.rns().exec().snapshot() - before;

@@ -4,12 +4,17 @@
 // The whole 2t-element PASTA state lives in ONE ciphertext: the state is
 // tiled periodically across the columns of the 2 x (n/2) slot grid, so a
 // column rotation by k acts as a cyclic rotation of the state vector by k.
-// Per affine layer the block matrix diag(M_L, M_R) is applied with the
-// baby-step/giant-step diagonal method (2*sqrt(2t) rotations instead of
-// t^2 scalar multiplications); Mix is one rotation by t (half swap) plus
-// additions; the Feistel S-box is ONE ciphertext squaring for the whole
-// state plus a rotate-by-(2t-1) and a mask — 5 ct-ct multiplications for
-// all of PASTA-4 instead of 250 in the coefficient-wise evaluation.
+// Per round, Mix is folded into the affine matrix (one dense 2t x 2t matrix
+// per layer) and the product is evaluated with the full diagonal method on
+// a HOISTED state: the digit decomposition of the state ciphertext is
+// computed once (Bgv::hoist) and every one of the 2t-1 diagonal rotations
+// is served from it as a slot permutation + key inner product
+// (Bgv::rotate_hoisted). With hoisting, 2t cheap rotations beat the
+// baby-step/giant-step split — BSGS's giant rotations would each need a
+// fresh decomposition, which is the cost hoisting exists to amortise. The
+// Feistel S-box is ONE ciphertext squaring for the whole state plus a
+// rotate-by-(2t-1) and a mask — 5 ct-ct multiplications for all of PASTA-4
+// instead of 250 in the coefficient-wise evaluation.
 #pragma once
 
 #include <cstdint>
@@ -30,18 +35,10 @@ fhe::Ciphertext encrypt_key_batched(const HheConfig& config,
                                     const fhe::SlotLayout& layout,
                                     std::span<const std::uint64_t> key);
 
-/// Baby-step/giant-step factorisation of the 2t state diagonals:
-/// baby * giant == 2t with baby ~ sqrt(2t).
-struct BsgsSplit {
-  std::size_t baby = 0;
-  std::size_t giant = 0;
-};
-BsgsSplit bsgs_split(std::size_t state_size);
-
 class BatchedHheServer {
  public:
-  /// Generates the rotation keys it needs (baby/giant steps, half swap,
-  /// Feistel shift) via the evaluator.
+  /// Generates the rotation keys it needs (all 2t-1 diagonal steps, which
+  /// cover the Feistel shift) via the evaluator.
   BatchedHheServer(const HheConfig& config, const fhe::Bgv& bgv,
                    fhe::Ciphertext encrypted_key);
 
@@ -52,8 +49,9 @@ class BatchedHheServer {
                    fhe::Ciphertext encrypted_key,
                    std::shared_ptr<const fhe::GaloisKeys> shared_keys);
 
-  /// The rotation steps the batched circuit uses (baby steps, giant steps,
-  /// Mix half swap, Feistel shift).
+  /// The rotation steps the batched circuit uses: 1 .. 2t-1 (every hoisted
+  /// diagonal of the Mix-composed affine matrices; 2t-1 doubles as the
+  /// Feistel shift).
   static std::vector<long> rotation_steps(const HheConfig& config);
   static std::shared_ptr<const fhe::GaloisKeys> make_shared_rotation_keys(
       const HheConfig& config, const fhe::Bgv& bgv);
@@ -84,8 +82,9 @@ class BatchedHheServer {
   fhe::SlotLayout layout_;
   std::shared_ptr<const fhe::GaloisKeys> rotation_keys_;
   fhe::Ciphertext key_ct_;
-  std::size_t baby_;   ///< baby-step count g1
-  std::size_t giant_;  ///< giant-step count g2 (g1*g2 = 2t)
+  /// Feistel wrap mask (zeros at logical 0 and t), encoded once at the top
+  /// level; mul_inplace restricts it to whatever level the round runs at.
+  fhe::RnsPoly feistel_mask_ntt_;
 };
 
 }  // namespace poe::hhe

@@ -16,18 +16,13 @@ using u64 = std::uint64_t;
 std::vector<long> SimdBatchEngine::rotation_steps(const HheConfig& config) {
   const std::size_t s = config.pasta.state_size();
   const std::size_t cols = config.bgv.n / 2;
-  const auto split = bsgs_split(s);
   std::set<long> steps;
-  for (std::size_t b = 1; b < split.baby; ++b) {
-    steps.insert(static_cast<long>(b));
+  for (std::size_t k = 1; k < s; ++k) {
+    steps.insert(static_cast<long>(k));  // hoisted diagonal rotations
   }
-  for (std::size_t g = 0; g < split.giant; ++g) {
-    const std::size_t G = g * split.baby;
-    if (g != 0) steps.insert(static_cast<long>(G));
-    // Wrap variant of the giant step: rot_{G - s} == rot_{cols - s + G}.
-    const std::size_t wrap = (cols + G - s) % cols;
-    if (wrap != 0) steps.insert(static_cast<long>(wrap));
-  }
+  // Closing rotation of the wrap accumulator: rot_{-s} == rot_{cols - s}.
+  const std::size_t wrap = (cols - s) % cols;
+  if (wrap != 0) steps.insert(static_cast<long>(wrap));
   steps.insert(static_cast<long>(cols - 1));  // Feistel shift rot_{-1}
   return {steps.begin(), steps.end()};
 }
@@ -55,9 +50,6 @@ SimdBatchEngine::SimdBatchEngine(
                                                        << ")");
   POE_ENSURE(shared_keys != nullptr, "rotation keys must be non-null");
   rotation_keys_ = std::move(shared_keys);
-  const auto split = bsgs_split(s);
-  baby_ = split.baby;
-  giant_ = split.giant;
   capacity_ = layout_.cols() / s;
 }
 
@@ -127,45 +119,42 @@ PreparedSimdBatch SimdBatchEngine::prepare(
     }
   }
 
-  // Mask-folded BSGS diagonals. Diagonal k of the tile-local matrix product
+  // Mask-folded diagonals. Diagonal k of the tile-local matrix product
   // (D_k(col) = M^{(tile)}(off, (off+k) mod s)) splits into the in-tile part
-  // A (off < s-k, read via rot_k) and the wrap part B (off >= s-k, read via
-  // rot_{k-s}); both are pre-rotated so they apply BEFORE the giant
-  // rotation: uA(col) = (D_k*A_k)(col - G), uB(col) = (D_k*B_k)(col - G + s).
+  // A (off < s-k, read directly off rot_k(state)) and the wrap part B
+  // (off >= s-k, logically read via rot_{k-s}); the wrap parts are
+  // pre-rotated by +s (uB(col) = (D_k*B_k)(col + s)) so every one of them
+  // applies to the SAME hoisted rot_k output and the whole wrap accumulator
+  // takes a single closing rotation by cols - s.
   batch.diags.resize(layers);
   batch.rc.resize(layers);
   for (std::size_t l = 0; l < layers; ++l) {
     batch.diags[l].resize(s);
-    for (std::size_t g = 0; g < giant_; ++g) {
-      const std::size_t G = g * baby_;
-      for (std::size_t b = 0; b < baby_; ++b) {
-        const std::size_t k = G + b;
-        std::vector<u64> ua(cols, 0), ub(cols, 0);
-        bool any_a = false, any_b = false;
-        for (std::size_t col = 0; col < cols; ++col) {
-          {
-            const std::size_t src = (col + cols - G) % cols;
-            const std::size_t m = src / s, off = src % s;
-            if (m < blocks && off + k < s) {
-              const u64 v = comp[m][l][off * s + off + k];
-              ua[col] = v;
-              any_a = any_a || v != 0;
-            }
-          }
-          {
-            const std::size_t src = (col + cols + s - G) % cols;
-            const std::size_t m = src / s, off = src % s;
-            if (m < blocks && off + k >= s) {
-              const u64 v = comp[m][l][off * s + off + k - s];
-              ub[col] = v;
-              any_b = any_b || v != 0;
-            }
+    for (std::size_t k = 0; k < s; ++k) {
+      std::vector<u64> ua(cols, 0), ub(cols, 0);
+      bool any_a = false, any_b = false;
+      for (std::size_t col = 0; col < cols; ++col) {
+        {
+          const std::size_t m = col / s, off = col % s;
+          if (m < blocks && off + k < s) {
+            const u64 v = comp[m][l][off * s + off + k];
+            ua[col] = v;
+            any_a = any_a || v != 0;
           }
         }
-        auto& pair = batch.diags[l][k];
-        if (any_a) pair[0] = encode_cols(ua);
-        if (any_b) pair[1] = encode_cols(ub);
+        {
+          const std::size_t src = (col + s) % cols;
+          const std::size_t m = src / s, off = src % s;
+          if (m < blocks && off + k >= s) {
+            const u64 v = comp[m][l][off * s + off + k - s];
+            ub[col] = v;
+            any_b = any_b || v != 0;
+          }
+        }
       }
+      auto& pair = batch.diags[l][k];
+      if (any_a) pair[0] = encode_cols(ua);
+      if (any_b) pair[1] = encode_cols(ub);
     }
     std::vector<u64> rcv(cols, 0);
     for (std::size_t col = 0; col < cols; ++col) {
@@ -185,7 +174,9 @@ PreparedSimdBatch SimdBatchEngine::prepare(
     if (off != 0 && off != t) mask[col] = 1;
     if (off < batch.lens[m]) msg[col] = requests[m].symmetric_ct[off];
   }
-  batch.feistel_mask = encode_cols(mask);
+  batch.feistel_mask_ntt = fhe::RnsPoly::from_plaintext(
+      &bgv_.rns(), bgv_.top_level(), encode_cols(mask).coeffs,
+      /*to_ntt_form=*/true);
   batch.message_plain = encode_cols(msg);
   return batch;
 }
@@ -208,66 +199,70 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
 
   Ciphertext state = key_ct;
 
-  // One Mix-composed affine layer, BSGS over the mask-folded diagonals.
+  // One Mix-composed affine layer: full diagonal method over a hoisted
+  // state. The in-tile parts accumulate directly; the wrap parts (already
+  // pre-rotated by +s in prepare()) accumulate separately and take ONE
+  // closing rotation by cols - s.
   auto affine = [&](std::size_t l) {
-    std::vector<Ciphertext> rotated(baby_);
-    rotated[0] = state;
-    for (std::size_t b = 1; b < baby_; ++b) {
-      rotated[b] = state;
-      bgv_.rotate_columns_inplace(rotated[b], static_cast<long>(b),
-                                  *rotation_keys_);
+    const fhe::HoistedCt hoisted = bgv_.hoist(state);
+    Ciphertext inner_a, inner_b;
+    bool init_a = false, init_b = false;
+    for (std::size_t k = 0; k < s; ++k) {
+      const auto& pair = batch.diags[l][k];
+      const bool have_a = !pair[0].coeffs.empty();
+      const bool have_b = !pair[1].coeffs.empty();
+      if (!have_a && !have_b) continue;
+      Ciphertext rot =
+          k == 0 ? state
+                 : bgv_.rotate_hoisted(hoisted, static_cast<long>(k),
+                                       *rotation_keys_);
+      for (int variant = 0; variant < 2; ++variant) {
+        if (pair[variant].coeffs.empty()) continue;
+        const bool last = variant == 1 || !have_b;
+        Ciphertext term = last ? std::move(rot) : rot;
+        bgv_.mul_plain_inplace(term, pair[variant]);
+        rep.scalar_multiplications += s;
+        Ciphertext& inner = variant == 0 ? inner_a : inner_b;
+        bool& init = variant == 0 ? init_a : init_b;
+        if (!init) {
+          inner = std::move(term);
+          init = true;
+        } else {
+          bgv_.add_inplace(inner, term);
+        }
+      }
     }
-
+    POE_ENSURE(init_a || init_b, "affine layer produced no terms");
     Ciphertext acc;
     bool acc_init = false;
-    auto accumulate = [&](Ciphertext&& inner, std::size_t step) {
-      if (step % cols != 0) {
-        bgv_.rotate_columns_inplace(inner, static_cast<long>(step % cols),
+    if (init_a) {
+      acc = std::move(inner_a);
+      acc_init = true;
+    }
+    if (init_b) {
+      const std::size_t wrap = (cols - s) % cols;
+      if (wrap != 0) {
+        bgv_.rotate_columns_inplace(inner_b, static_cast<long>(wrap),
                                     *rotation_keys_);
       }
       if (!acc_init) {
-        acc = std::move(inner);
-        acc_init = true;
+        acc = std::move(inner_b);
       } else {
-        bgv_.add_inplace(acc, inner);
+        bgv_.add_inplace(acc, inner_b);
       }
-    };
-
-    for (std::size_t g = 0; g < giant_; ++g) {
-      const std::size_t G = g * baby_;
-      Ciphertext inner_a, inner_b;
-      bool init_a = false, init_b = false;
-      for (std::size_t b = 0; b < baby_; ++b) {
-        const auto& pair = batch.diags[l][G + b];
-        for (int variant = 0; variant < 2; ++variant) {
-          if (pair[variant].coeffs.empty()) continue;
-          Ciphertext term = rotated[b];
-          bgv_.mul_plain_inplace(term, pair[variant]);
-          rep.scalar_multiplications += s;
-          Ciphertext& inner = variant == 0 ? inner_a : inner_b;
-          bool& init = variant == 0 ? init_a : init_b;
-          if (!init) {
-            inner = std::move(term);
-            init = true;
-          } else {
-            bgv_.add_inplace(inner, term);
-          }
-        }
-      }
-      if (init_a) accumulate(std::move(inner_a), G);
-      if (init_b) accumulate(std::move(inner_b), cols + G - s);
     }
-    POE_ENSURE(acc_init, "affine layer produced no terms");
     bgv_.add_plain_inplace(acc, batch.rc[l]);
     state = std::move(acc);
   };
 
   // Same 3-prime squaring schedule as the single-block batched server: the
-  // dense diagonals inflate the noise by ~||pt|| * n per layer.
+  // dense diagonals inflate the noise by ~||pt|| * n per layer. The drops
+  // run fused on the 3-part tensor BEFORE relinearising, so the relin digit
+  // decomposition works three levels lower.
   auto square_reduced = [&](const Ciphertext& x) {
-    Ciphertext sq = bgv_.multiply_relin(x, x);
-    bgv_.mod_switch_inplace(sq);
-    bgv_.mod_switch_inplace(sq);
+    Ciphertext sq = bgv_.multiply(x, x);
+    bgv_.mod_switch_to(sq, sq.level - 3);
+    bgv_.relinearize_inplace(sq);
     ++rep.ct_ct_multiplications;
     return sq;
   };
@@ -277,7 +272,7 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
     // Tile-local shift by -1; the cross-tile leak at offset 0 is masked.
     bgv_.rotate_columns_inplace(sq, static_cast<long>(cols - 1),
                                 *rotation_keys_);
-    bgv_.mul_plain_inplace(sq, batch.feistel_mask);
+    for (auto& part : sq.parts) part.mul_inplace(batch.feistel_mask_ntt);
     bgv_.mod_switch_to(state, sq.level);
     bgv_.add_inplace(state, sq);
   };
@@ -285,9 +280,10 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
   auto cube = [&] {
     Ciphertext sq = square_reduced(state);
     bgv_.mod_switch_to(state, sq.level);
-    state = bgv_.multiply_relin(sq, state);
-    bgv_.mod_switch_inplace(state);
-    bgv_.mod_switch_inplace(state);
+    Ciphertext prod = bgv_.multiply(sq, state);
+    bgv_.mod_switch_to(prod, prod.level - 3);
+    bgv_.relinearize_inplace(prod);
+    state = std::move(prod);
     ++rep.ct_ct_multiplications;
   };
 

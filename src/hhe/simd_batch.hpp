@@ -15,9 +15,16 @@
 //    boundaries; the tile-local rotation decomposes as
 //      rho_k(x) = A_k ⊙ rot_k(x) + B_k ⊙ rot_{k-2t}(x)
 //    with complementary masks A_k(col) = [off(col) < 2t-k]. Both masks are
-//    FOLDED INTO the BSGS diagonals (u ⊙ rot_r(z) = rot_r(rot_{-r}(u) ⊙ z)),
-//    so the affine layer costs the same plaintext multiplications as the
-//    single-block circuit — each giant step just gains a second rotation.
+//    FOLDED INTO the diagonals (u ⊙ rot_r(z) = rot_r(rot_{-r}(u) ⊙ z)): the
+//    in-tile parts apply directly to rot_k(state), the wrap parts collect
+//    into one accumulator that takes a single closing rotation by cols-2t.
+//
+// Like the single-block batched server, the affine layer runs the FULL
+// diagonal method on a hoisted state: Bgv::hoist digit-decomposes the state
+// once and all 2t-1 rotations are served from it by Bgv::rotate_hoisted
+// (slot permutation + key inner product, no forward NTTs) — with hoisting,
+// 2t shared-decomposition rotations are cheaper than a baby/giant split
+// whose giant steps would each redo the decomposition.
 //  * The linear Mix layer is folded into the preceding affine matrix
 //    (M = Mix · diag(M_L, M_R), rc = Mix(rc_l || rc_r)), removing the
 //    rotate-by-t half swap entirely.
@@ -53,18 +60,22 @@ struct SimdBlockRequest {
 };
 
 /// Everything evaluate() needs, built ahead of time by prepare(): the
-/// mask-folded BSGS diagonals and round constants of every affine layer
+/// mask-folded diagonals and round constants of every affine layer
 /// (Mix pre-composed), the Feistel tile-head mask and the symmetric
 /// ciphertext values, all encoded as slot plaintexts.
 struct PreparedSimdBatch {
   std::size_t blocks = 0;                    ///< occupied tiles
   std::vector<std::size_t> lens;             ///< message length per block
   std::vector<std::uint64_t> nonces, counters;
-  /// diags[layer][g * baby + b] = {uA, uB} for diagonal k = g*baby + b.
-  /// A Plaintext with empty coeffs means "identically zero — skip".
+  /// diags[layer][k] = {uA, uB}: in-tile and wrap mask-folded parts of
+  /// diagonal k. A Plaintext with empty coeffs means "identically zero —
+  /// skip".
   std::vector<std::vector<std::array<fhe::Plaintext, 2>>> diags;
   std::vector<fhe::Plaintext> rc;            ///< per affine layer
-  fhe::Plaintext feistel_mask;
+  /// Feistel mask pre-encoded in NTT form at the top level (it is reused in
+  /// every round; mul_inplace restricts it to the round's level), shifting
+  /// that encode work onto the prepare thread.
+  fhe::RnsPoly feistel_mask_ntt;
   fhe::Plaintext message_plain;              ///< symmetric ct, tile-wise
 };
 
@@ -76,7 +87,8 @@ class SimdBatchEngine {
   SimdBatchEngine(const HheConfig& config, const fhe::Bgv& bgv,
                   std::shared_ptr<const fhe::GaloisKeys> shared_keys);
 
-  /// Baby steps, giant steps (both wrap variants) and the Feistel shift.
+  /// All 2t-1 hoisted diagonal steps, the wrap closing step (cols - 2t) and
+  /// the Feistel shift (cols - 1).
   static std::vector<long> rotation_steps(const HheConfig& config);
   static std::shared_ptr<const fhe::GaloisKeys> make_shared_rotation_keys(
       const HheConfig& config, const fhe::Bgv& bgv);
@@ -112,8 +124,6 @@ class SimdBatchEngine {
   fhe::BatchEncoder encoder_;
   fhe::SlotLayout layout_;
   std::shared_ptr<const fhe::GaloisKeys> rotation_keys_;
-  std::size_t baby_ = 0;
-  std::size_t giant_ = 0;
   std::size_t capacity_ = 0;
 };
 

@@ -27,12 +27,41 @@ class Modulus {
     k_ = k;
     // Barrett constant floor(2^(2k+1) / p); fits 64 bits since p >= 2^(k-1).
     mu_ = static_cast<u64>((static_cast<u128>(1) << (2 * k_ + 1)) / p);
+    // Wide Barrett constant floor(2^128 / p), split into two 64-bit words.
+    // 2^128 = (2^128 - 1) + 1, so the quotient is (2^128-1)/p, plus one
+    // exactly when p divides 2^128 (never, p >= 2).
+    const u128 all_ones = ~static_cast<u128>(0);
+    u128 wide = all_ones / p;
+    if (all_ones % p == p - 1) ++wide;
+    ratio_lo_ = static_cast<u64>(wide);
+    ratio_hi_ = static_cast<u64>(wide >> 64);
   }
 
   u64 value() const { return p_; }
 
   u64 reduce(u64 x) const { return x % p_; }
   u64 reduce128(u128 x) const { return static_cast<u64>(x % p_); }
+
+  /// Full 128-bit Barrett reduction: x mod p for ANY 128-bit x (unlike
+  /// `mul`, whose estimate is only valid for products of reduced operands).
+  /// This is what lets the key-switch inner product accumulate many
+  /// digit*key products into a raw 128-bit sum and reduce once per slot
+  /// instead of once per digit. Estimates q = floor(x * ratio / 2^128)
+  /// with ratio = floor(2^128/p); the estimate undershoots the true
+  /// quotient by at most 3 (one from each truncated cross product, one
+  /// from ratio itself), so the remainder lands below 4p < 2^64.
+  u64 reduce128_barrett(u128 x) const {
+    const u64 xlo = static_cast<u64>(x);
+    const u64 xhi = static_cast<u64>(x >> 64);
+    const u64 c1 = static_cast<u64>(
+        (static_cast<u128>(xlo) * ratio_lo_) >> 64);
+    const u128 mid = static_cast<u128>(xlo) * ratio_hi_ +
+                     static_cast<u128>(xhi) * ratio_lo_ + c1;
+    const u64 q = xhi * ratio_hi_ + static_cast<u64>(mid >> 64);
+    u64 r = xlo - q * p_;  // exact value of x - q*p, since it is < 2^64
+    while (r >= p_) r -= p_;
+    return r;
+  }
 
   u64 add(u64 a, u64 b) const {
     u64 s = a + b;
@@ -86,8 +115,10 @@ class Modulus {
 
  private:
   u64 p_;
-  u64 mu_;      ///< Barrett constant floor(2^(2k+1) / p)
-  unsigned k_;  ///< bit width of p
+  u64 mu_;        ///< Barrett constant floor(2^(2k+1) / p)
+  u64 ratio_lo_;  ///< low word of floor(2^128 / p)
+  u64 ratio_hi_;  ///< high word of floor(2^128 / p)
+  unsigned k_;    ///< bit width of p
 };
 
 /// Add-shift reduction for Fermat-structured primes p = 2^k + 1, mirroring

@@ -281,6 +281,33 @@ TEST(SimdBatchDifferential, FullCapacityRoundTrip) {
   }
 }
 
+// ------------------------------------- hoisted == unhoisted rotation path
+
+TEST(HoistedRotationDifferential, AgreesWithUnhoistedAcrossStepsAndLevels) {
+  auto& s = batched();
+  Xoshiro256 rng(424242);
+  const auto logical = random_msg(rng, s.config.bgv.t, s.config.bgv.n);
+  auto ct = s.bgv.encrypt(s.encoder.encode(s.layout.to_slots(logical)));
+
+  for (int drop = 0; drop < 2; ++drop) {
+    if (drop == 1) s.bgv.mod_switch_inplace(ct);
+    const fhe::HoistedCt hoisted = s.bgv.hoist(ct);
+    for (const long step : hhe::BatchedHheServer::rotation_steps(s.config)) {
+      fhe::Ciphertext unhoisted = ct;
+      s.bgv.rotate_columns_inplace(unhoisted, step, *s.server_keys);
+      const fhe::Ciphertext via_hoist =
+          s.bgv.rotate_hoisted(hoisted, step, *s.server_keys);
+      // The two paths produce DIFFERENT ciphertext bits for the same
+      // plaintext (digit decomposition does not commute with the
+      // automorphism), so agreement is on decryptions, not parts.
+      EXPECT_EQ(s.bgv.decrypt(via_hoist).coeffs,
+                s.bgv.decrypt(unhoisted).coeffs)
+          << "step " << step << " drop " << drop;
+      EXPECT_GT(s.bgv.noise_budget_bits(via_hoist), 0.0) << "step " << step;
+    }
+  }
+}
+
 // ------------------------------------------------- service == direct path
 
 TEST(ServiceDifferential, ServiceAgreesWithCoefficientWiseServer) {

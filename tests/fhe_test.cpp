@@ -451,6 +451,106 @@ TEST(Poly, AutomorphismIsRingHomomorphism) {
   }
 }
 
+TEST(Poly, AutomorphismNttMatchesCoefficientPath) {
+  // In NTT form tau_g is a pure slot permutation (X^i evaluates to psi-power
+  // slots; tau_g permutes which power lands where), so forward-NTT followed
+  // by apply_automorphism_ntt must be bit-identical to the coefficient-domain
+  // automorphism followed by forward-NTT — for every odd Galois element, at
+  // every level, in every RNS component.
+  const std::size_t n = 64;
+  const auto primes = mod::ntt_prime_chain(3, 40, n);
+  RnsContext ctx(n, 65537, primes);
+  Xoshiro256 rng(29);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t level = 1 + static_cast<std::size_t>(trial) % 3;
+    const std::uint64_t g = 2 * rng.below(n) + 1;  // random odd elt of Z_2n
+    std::vector<std::int64_t> c(n);
+    for (auto& x : c) x = static_cast<std::int64_t>(rng.below(5000));
+    const RnsPoly f = RnsPoly::from_signed_coeffs(&ctx, level, c);
+
+    RnsPoly ref = f.apply_automorphism(g);
+    ref.to_ntt();
+    RnsPoly fn = f;
+    fn.to_ntt();
+    const RnsPoly got = fn.apply_automorphism_ntt(g);
+
+    ASSERT_TRUE(got.is_ntt());
+    for (std::size_t i = 0; i < level; ++i) {
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        ASSERT_EQ(got.rns(i)[idx], ref.rns(i)[idx])
+            << "g=" << g << " level=" << level << " component=" << i;
+      }
+    }
+  }
+}
+
+TEST(Galois, EltForStepMatchesIteratedGenerator) {
+  // galois_elt_for_step computes 3^step mod 2n by square-and-multiply; pin
+  // it against the plain iterated product and the step normalisation rules.
+  const std::size_t n = 256;
+  std::uint64_t e = 1;
+  for (long step = 0; step < static_cast<long>(n / 2); ++step) {
+    EXPECT_EQ(galois_elt_for_step(n, step), e) << "step " << step;
+    e = (e * 3) % (2 * n);
+  }
+  EXPECT_EQ(galois_elt_for_step(n, 0), 1u);
+  EXPECT_EQ(galois_elt_for_step(n, -3),
+            galois_elt_for_step(n, static_cast<long>(n / 2) - 3));
+  EXPECT_EQ(galois_elt_for_step(n, static_cast<long>(n / 2) + 5),
+            galois_elt_for_step(n, 5));
+}
+
+TEST(BgvRotation, HoistedMatchesReferenceWithZeroForwardNtts) {
+  const auto params = BgvParams::toy();
+  Bgv bgv(params);
+  BatchEncoder encoder(params.n, params.t);
+  SlotLayout layout(params.n, params.t);
+  const auto keys = bgv.make_rotation_keys({1, 3, 7});
+
+  const auto logical = random_values(params.n, params.t, 41);
+  auto ct = bgv.encrypt(encoder.encode(layout.to_slots(logical)));
+  const HoistedCt hoisted = bgv.hoist(ct);
+
+  // All rotations are served from the one shared decomposition; none of
+  // them may run a forward NTT — that is the point of hoisting.
+  const auto before = bgv.rns().exec().snapshot();
+  std::vector<Ciphertext> rotated;
+  for (long step : {1L, 3L, 7L}) {
+    rotated.push_back(bgv.rotate_hoisted(hoisted, step, keys));
+  }
+  const auto delta = bgv.rns().exec().snapshot() - before;
+  EXPECT_EQ(delta.ntt_forward, 0u);
+  EXPECT_EQ(delta.hoisted_rotations, 3u);
+  EXPECT_EQ(delta.automorphisms, 3u);
+
+  std::size_t i = 0;
+  for (long step : {1L, 3L, 7L}) {
+    EXPECT_GT(bgv.noise_budget_bits(rotated[i]), 0.0) << "step " << step;
+    EXPECT_EQ(layout.from_slots(encoder.decode(bgv.decrypt(rotated[i]))),
+              layout.rotate_columns(logical, step))
+        << "step " << step;
+    ++i;
+  }
+
+  // Hoisting works at lower levels too (keys restrict per level).
+  bgv.mod_switch_inplace(ct);
+  const HoistedCt lower = bgv.hoist(ct);
+  const auto rot = bgv.rotate_hoisted(lower, 3, keys);
+  EXPECT_EQ(layout.from_slots(encoder.decode(bgv.decrypt(rot))),
+            layout.rotate_columns(logical, 3));
+}
+
+TEST(BgvRotation, HoistedRejectsZeroStepAndMissingKey) {
+  const auto params = BgvParams::toy();
+  Bgv bgv(params);
+  BatchEncoder encoder(params.n, params.t);
+  const auto keys = bgv.make_rotation_keys({1});
+  const auto ct = bgv.encrypt(encoder.encode({1, 2, 3}));
+  const HoistedCt hoisted = bgv.hoist(ct);
+  EXPECT_THROW(bgv.rotate_hoisted(hoisted, 0, keys), poe::Error);
+  EXPECT_THROW(bgv.rotate_hoisted(hoisted, 2, keys), poe::Error);
+}
+
 TEST(NoiseEstimator, BoundIsSoundOverRandomCircuits) {
   // Property: the static (no-secret-key) noise bound never claims more
   // budget than the true, secret-key-measured budget — and whenever it

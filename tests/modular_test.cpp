@@ -41,6 +41,39 @@ TEST(Modulus, RangeChecked) {
   EXPECT_NO_THROW(Modulus((1ull << 62) - 1));
 }
 
+TEST(Modulus, Reduce128BarrettMatchesSlowPath) {
+  // The lazy key-switch inner product feeds FULL-RANGE u128 sums (not just
+  // single products) into reduce128_barrett, so the cross-check must cover
+  // arbitrary 128-bit inputs across small, Fermat and near-2^62 moduli.
+  Xoshiro256 rng(11);
+  const std::vector<u64> moduli = {2,
+                                   3,
+                                   17,
+                                   65537,
+                                   poe::pasta::pasta_prime(60),
+                                   (1ull << 62) - 57,
+                                   (1ull << 62) - 1};
+  for (const u64 p : moduli) {
+    Modulus m(p);
+    EXPECT_EQ(m.reduce128_barrett(0), 0u) << "p=" << p;
+    EXPECT_EQ(m.reduce128_barrett(p), 0u) << "p=" << p;
+    EXPECT_EQ(m.reduce128_barrett(p - 1), p - 1) << "p=" << p;
+    const u128 max_prod = static_cast<u128>(p - 1) * (p - 1);
+    EXPECT_EQ(m.reduce128_barrett(max_prod), m.reduce128(max_prod))
+        << "p=" << p;
+    const u128 all_ones = ~static_cast<u128>(0);
+    EXPECT_EQ(m.reduce128_barrett(all_ones), m.reduce128(all_ones))
+        << "p=" << p;
+    for (int i = 0; i < 2000; ++i) {
+      const u64 hi = rng.next();
+      const u64 lo = rng.next();
+      const u128 x = (static_cast<u128>(hi) << 64) | lo;
+      ASSERT_EQ(m.reduce128_barrett(x), m.reduce128(x))
+          << "p=" << p << " hi=" << hi << " lo=" << lo;
+    }
+  }
+}
+
 TEST(FermatReduce, MatchesGenericReduction) {
   const unsigned k = 16;
   const u64 p = 65537;
