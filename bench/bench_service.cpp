@@ -89,8 +89,17 @@ int main() {
     SweepPoint point;
     point.clients = n;
     const auto results = svc.process(reqs, &point.report);
-    // Verify every block round-trips before trusting the numbers.
+    // Verify every request succeeded and every block round-trips before
+    // trusting the numbers (the robustness layer degrades per request
+    // instead of throwing, so a silent failure would otherwise skew the
+    // sweep).
     for (std::size_t c = 0; c < n; ++c) {
+      if (!results[c].ok()) {
+        std::cerr << "request for client " << c + 1 << " degraded: "
+                  << to_string(results[c].status) << " ("
+                  << results[c].error << ")\n";
+        return 1;
+      }
       std::vector<std::uint64_t> got;
       for (const auto& block : results[c].blocks) {
         const auto vals =
@@ -101,6 +110,14 @@ int main() {
         std::cerr << "MISMATCH for client " << c + 1 << "\n";
         return 1;
       }
+    }
+    // No injector is registered: the fault points are on the hot path at
+    // their unarmed cost (one pointer load each), and the counters must
+    // read all-quiet.
+    if (point.report.faults.ok != n || point.report.faults.injected != 0 ||
+        point.report.faults.retries != 0) {
+      std::cerr << "unexpected fault accounting in a fault-free run\n";
+      return 1;
     }
     sweep.push_back(std::move(point));
   }
@@ -176,6 +193,11 @@ int main() {
            << ", \"max_queue_depth\": " << r.max_queue_depth
            << ", \"min_noise_budget_bits\": "
            << fixed(r.min_noise_budget_bits, 1)
+           << ", \"requests_ok\": " << r.faults.ok
+           << ", \"requests_degraded\": "
+           << (r.requests - r.faults.ok)
+           << ", \"stage_retries\": " << r.faults.retries
+           << ", \"faults_injected\": " << r.faults.injected
            << ", \"ntt_forward\": " << r.exec_ops.ntt_forward
            << ", \"key_switches\": " << r.exec_ops.key_switch
            << ", \"automorphisms\": " << r.exec_ops.automorphisms

@@ -16,7 +16,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
+#include <string_view>
 
+#include "common/fault.hpp"
 #include "common/pool.hpp"
 #include "common/thread_pool.hpp"
 
@@ -94,6 +97,18 @@ class ExecContext {
   ThreadPool& threads() { return *threads_; }
   OpCounters& counters() { return counters_; }
 
+  /// Register (or clear, with nullptr) a chaos-test fault injector. The
+  /// injector is also handed to the pool so allocation sites can fail.
+  /// Unarmed (the default), every fault point reduces to one relaxed
+  /// null-pointer load — see the free helpers below.
+  void set_fault_injector(FaultInjector* f) {
+    fault_.store(f, std::memory_order_release);
+    pool_.set_fault_injector(f);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+
   CounterSnapshot snapshot() const {
     CounterSnapshot s;
     s.ntt_forward = counters_.ntt_forward.load(std::memory_order_relaxed);
@@ -115,6 +130,63 @@ class ExecContext {
   BufferPool pool_;
   ThreadPool* threads_;
   mutable OpCounters counters_;
+  std::atomic<FaultInjector*> fault_{nullptr};
 };
+
+// --- Fault-point helpers -----------------------------------------------
+// The instrumentation the serving stack sprinkles through its hot path.
+// Unarmed they cost one predictable-branch pointer load; defining
+// POE_NO_FAULT_INJECTION (CMake -DPOE_FAULT_INJECTION=OFF) compiles them
+// out entirely.
+
+#ifdef POE_NO_FAULT_INJECTION
+
+inline void fault_point(const ExecContext&, std::string_view) {}
+inline double fault_stall_s(const ExecContext&, std::string_view) {
+  return 0;
+}
+inline bool fault_forced(const ExecContext&, std::string_view) {
+  return false;
+}
+inline bool fault_corrupt(const ExecContext&, std::string_view,
+                          std::span<std::uint64_t>) {
+  return false;
+}
+
+#else
+
+/// Throws FaultInjectedError when a kThrow/kAllocFail fault is armed here.
+inline void fault_point(const ExecContext& exec, std::string_view site) {
+  if (FaultInjector* f = exec.fault_injector()) [[unlikely]] {
+    f->visit(site);
+  }
+}
+
+/// Seconds of injected virtual stall to charge to the current stage.
+inline double fault_stall_s(const ExecContext& exec, std::string_view site) {
+  if (FaultInjector* f = exec.fault_injector()) [[unlikely]] {
+    return f->stall_s(site);
+  }
+  return 0;
+}
+
+/// True when a kForce fault (saturation/truncation) fires here.
+inline bool fault_forced(const ExecContext& exec, std::string_view site) {
+  if (FaultInjector* f = exec.fault_injector()) [[unlikely]] {
+    return f->forced(site);
+  }
+  return false;
+}
+
+/// Mangles words when a kCorrupt fault fires here; returns true if it did.
+inline bool fault_corrupt(const ExecContext& exec, std::string_view site,
+                          std::span<std::uint64_t> words) {
+  if (FaultInjector* f = exec.fault_injector()) [[unlikely]] {
+    return f->corrupt(site, words);
+  }
+  return false;
+}
+
+#endif  // POE_NO_FAULT_INJECTION
 
 }  // namespace poe

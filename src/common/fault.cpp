@@ -1,0 +1,161 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace poe {
+
+namespace {
+// Real sleep cap for kStall: long enough to shuffle thread interleavings,
+// short enough that a chaos sweep stays fast. The full arg_ms is charged as
+// virtual stage time regardless (see TranscipherService's stage runner).
+constexpr std::uint64_t kMaxRealStallMs = 50;
+}  // namespace
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kThrow: return "throw";
+    case FaultClass::kAllocFail: return "alloc_fail";
+    case FaultClass::kStall: return "stall";
+    case FaultClass::kCorrupt: return "corrupt";
+    case FaultClass::kForce: return "force";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(FaultSpec spec) {
+  POE_ENSURE(!spec.site.empty(), "fault site must be named");
+  POE_ENSURE(spec.count >= 1, "fault count must be >= 1");
+  std::lock_guard lock(mu_);
+  sites_[spec.site].armed.push_back(std::move(spec));
+}
+
+const FaultSpec* FaultInjector::step(std::string_view site,
+                                     std::initializer_list<FaultClass> kinds) {
+  // Arrivals are counted even at unarmed sites so schedules composed later
+  // can target "the k-th arrival" meaningfully.
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  const std::uint64_t index = state.arrivals++;
+  for (const FaultSpec& spec : state.armed) {
+    if (std::find(kinds.begin(), kinds.end(), spec.kind) == kinds.end()) {
+      continue;
+    }
+    if (index >= spec.after && index < spec.after + spec.count) {
+      ++state.fired;
+      ++fired_by_class_[static_cast<std::size_t>(spec.kind)];
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+void FaultInjector::visit(std::string_view site) {
+  const FaultSpec* spec = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    spec = step(site, {FaultClass::kThrow, FaultClass::kAllocFail});
+  }
+  if (spec != nullptr) {
+    std::ostringstream os;
+    os << "injected " << to_string(spec->kind) << " fault at " << site;
+    throw FaultInjectedError(os.str());
+  }
+}
+
+double FaultInjector::stall_s(std::string_view site) {
+  std::uint64_t charge_ms = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (const FaultSpec* spec = step(site, {FaultClass::kStall})) {
+      charge_ms = spec->arg;
+    }
+  }
+  if (charge_ms == 0) return 0;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::min(charge_ms, kMaxRealStallMs)));
+  return static_cast<double>(charge_ms) / 1000.0;
+}
+
+bool FaultInjector::forced(std::string_view site) {
+  std::lock_guard lock(mu_);
+  return step(site, {FaultClass::kForce}) != nullptr;
+}
+
+bool FaultInjector::corrupt(std::string_view site,
+                            std::span<std::uint64_t> words) {
+  std::lock_guard lock(mu_);
+  const FaultSpec* spec = step(site, {FaultClass::kCorrupt});
+  if (spec == nullptr || words.empty()) return spec != nullptr;
+  const std::uint64_t n = std::max<std::uint64_t>(1, spec->arg);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Seeded positions; the top bit guarantees the word leaves the RNS
+    // coefficient range of every supported prime (q < 2^62), so the
+    // decrypt-free plausibility check is certain to flag it.
+    words[rng_.below(words.size())] =
+        rng_.next() | (std::uint64_t{1} << 63);
+  }
+  return true;
+}
+
+std::uint64_t FaultInjector::fired(FaultClass c) const {
+  std::lock_guard lock(mu_);
+  return fired_by_class_[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t FaultInjector::fired_total() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : fired_by_class_) total += f;
+  return total;
+}
+
+std::uint64_t FaultInjector::arrivals(std::string_view site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.arrivals;
+}
+
+std::map<std::string, std::uint64_t> FaultInjector::fired_by_site() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [site, state] : sites_) {
+    if (state.fired > 0) out[site] = state.fired;
+  }
+  return out;
+}
+
+std::vector<FaultSpec> FaultInjector::random_schedule(
+    std::uint64_t seed, std::span<const MenuEntry> menu, std::size_t n) {
+  POE_ENSURE(!menu.empty(), "empty fault menu");
+  Xoshiro256 rng(seed);
+  std::vector<FaultSpec> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MenuEntry& entry = menu[rng.below(menu.size())];
+    FaultSpec spec;
+    spec.site = std::string(entry.site);
+    spec.kind = entry.kind;
+    spec.after = rng.below(8);
+    spec.count = 1 + rng.below(2);
+    switch (entry.kind) {
+      case FaultClass::kStall:
+        spec.arg = 2500 + rng.below(2000);  // ms; trips a ~2 s stage timeout
+        break;
+      case FaultClass::kCorrupt:
+        spec.arg = 1 + rng.below(4);  // words to mangle
+        break;
+      default:
+        spec.arg = 0;
+    }
+    schedule.push_back(std::move(spec));
+  }
+  return schedule;
+}
+
+}  // namespace poe

@@ -19,6 +19,7 @@
 namespace poe {
 
 class BufferPool;
+class FaultInjector;
 
 /// Move-only RAII handle to a 64-byte-aligned uint64_t slab drawn from a
 /// BufferPool. Returns its storage to the owning pool on destruction, so a
@@ -86,10 +87,19 @@ class BufferPool {
   /// Free every cached slab (outstanding slabs are unaffected).
   void trim();
 
+  /// Chaos testing: acquire() consults the injector's "pool.acquire" site
+  /// and throws FaultInjectedError when an allocation-failure fault fires.
+  /// Wired by ExecContext::set_fault_injector; nullptr (the default) keeps
+  /// the check to a single relaxed pointer load.
+  void set_fault_injector(FaultInjector* f) {
+    fault_.store(f, std::memory_order_release);
+  }
+
  private:
   friend class PolyBuffer;
   void release(std::uint64_t* data, std::size_t words) noexcept;
 
+  std::atomic<FaultInjector*> fault_{nullptr};
   mutable std::mutex mu_;
   std::map<std::size_t, std::vector<std::uint64_t*>> free_;  // by word count
   std::atomic<std::uint64_t> hits_{0};

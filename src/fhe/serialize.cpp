@@ -68,6 +68,51 @@ std::uint64_t ciphertext_wire_bytes(const RnsContext& ctx, std::size_t level,
   return 16 + parts * bits / 8;  // 16-byte header
 }
 
+std::optional<std::string> validate_ciphertext(const RnsContext& ctx,
+                                               const Ciphertext& ct) {
+  std::ostringstream os;
+  if (ct.size() < 2 || ct.size() > 3) {
+    os << "bad part count " << ct.size();
+    return os.str();
+  }
+  if (ct.level < 1 || ct.level > ctx.num_primes()) {
+    os << "level " << ct.level << " outside chain of "
+       << ctx.num_primes();
+    return os.str();
+  }
+  for (std::size_t p = 0; p < ct.size(); ++p) {
+    const RnsPoly& part = ct.parts[p];
+    if (part.context() != &ctx) {
+      os << "part " << p << " bound to a different context";
+      return os.str();
+    }
+    if (!part.is_ntt()) {
+      os << "part " << p << " not in NTT form";
+      return os.str();
+    }
+    if (part.level() < ct.level) {
+      os << "part " << p << " at level " << part.level()
+         << " below ciphertext level " << ct.level;
+      return os.str();
+    }
+    for (std::size_t i = 0; i < ct.level; ++i) {
+      const std::uint64_t q = ctx.prime(i);
+      for (const std::uint64_t c : part.rns(i)) {
+        if (c >= q) {
+          os << "part " << p << " component " << i
+             << " coefficient out of range (" << c << " >= " << q << ")";
+          return os.str();
+        }
+      }
+    }
+  }
+  // The serialized form must have a sane, exactly-determined size — the
+  // same arithmetic a wire ingest path would use to pre-check an upload.
+  const std::uint64_t wire = ciphertext_wire_bytes(ctx, ct.level, ct.size());
+  if (wire < 16) return std::string("implausible wire size");
+  return std::nullopt;
+}
+
 std::vector<std::uint8_t> serialize_ciphertext(const RnsContext& ctx,
                                                const Ciphertext& ct) {
   POE_ENSURE(ct.size() >= 2 && ct.level >= 1, "malformed ciphertext");

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "fhe/bgv.hpp"
@@ -15,6 +17,16 @@ namespace poe::fhe {
 /// Exact wire size of a ciphertext at the given level/part count.
 std::uint64_t ciphertext_wire_bytes(const RnsContext& ctx, std::size_t level,
                                     std::size_t parts);
+
+/// Decrypt-free plausibility check of a ciphertext against its context:
+/// shape (2-3 NTT-form parts at a level within the chain, each part at the
+/// ciphertext's level), every RNS coefficient in range for its prime, and a
+/// finite wire size per ciphertext_wire_bytes. Catches truncated uploads
+/// and corrupted ciphertext words without touching any secret material —
+/// the service's poison-pill quarantine gate. Returns std::nullopt when
+/// plausible, else a description of the first violation.
+std::optional<std::string> validate_ciphertext(const RnsContext& ctx,
+                                               const Ciphertext& ct);
 
 std::vector<std::uint8_t> serialize_ciphertext(const RnsContext& ctx,
                                                const Ciphertext& ct);

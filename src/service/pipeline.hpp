@@ -4,6 +4,13 @@
 // backpressure: the prepare stage can run at most `capacity` batches ahead
 // of the evaluator, bounding memory for encoded diagonal plaintexts.
 //
+// Push results are typed (PushStatus) so the robustness layer can tell a
+// shutdown apart from saturation: close() while a producer is blocked in
+// push wakes it with kClosed (the shutdown-race regression test in
+// service_test pins this), and push_for() gives the producer a bounded
+// wait so a saturated queue degrades to load shedding (kTimedOut ->
+// Overloaded) instead of blocking the pipeline indefinitely.
+//
 // The queue counts its stalls (pushes that found it full, pops that found
 // it empty) and the high-water depth, which the service surfaces in its
 // ServiceReport — a full queue means evaluation is the bottleneck (prepare
@@ -11,15 +18,23 @@
 // is too slow to keep the evaluator busy.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace poe::service {
+
+/// Typed outcome of a queue push. kClosed is the shutdown signal (the queue
+/// refused the value and never will accept one again); kTimedOut means the
+/// bounded wait of push_for elapsed with the queue still saturated.
+enum class PushStatus { kOk = 0, kClosed, kTimedOut };
 
 template <typename T>
 class BoundedQueue {
@@ -28,17 +43,32 @@ class BoundedQueue {
     POE_ENSURE(capacity >= 1, "queue capacity must be >= 1");
   }
 
-  /// Blocks while the queue is full. Returns false if the queue was closed.
-  bool push(T value) {
+  /// Blocks while the queue is full. Returns kClosed if the queue was (or
+  /// becomes, while blocked) closed — close() wakes every blocked producer.
+  PushStatus push(T value) {
     std::unique_lock lock(mu_);
     if (items_.size() >= capacity_ && !closed_) ++push_stalls_;
     cv_not_full_.wait(lock,
                       [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    max_depth_ = std::max(max_depth_, items_.size());
-    cv_not_empty_.notify_one();
-    return true;
+    if (closed_) return PushStatus::kClosed;
+    enqueue_locked(std::move(value));
+    return PushStatus::kOk;
+  }
+
+  /// Like push, but waits at most `timeout` for space: kTimedOut leaves the
+  /// queue untouched, letting the caller shed the load instead of stalling.
+  template <typename Rep, typename Period>
+  PushStatus push_for(T value,
+                      std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) ++push_stalls_;
+    const bool ready = cv_not_full_.wait_for(lock, timeout, [&] {
+      return items_.size() < capacity_ || closed_;
+    });
+    if (closed_) return PushStatus::kClosed;
+    if (!ready) return PushStatus::kTimedOut;
+    enqueue_locked(std::move(value));
+    return PushStatus::kOk;
   }
 
   /// Blocks while the queue is empty. Returns nullopt once the queue is
@@ -54,12 +84,18 @@ class BoundedQueue {
     return value;
   }
 
-  /// No further pushes succeed; pops drain the remaining items.
+  /// No further pushes succeed; pops drain the remaining items. Producers
+  /// blocked in push/push_for wake immediately with kClosed.
   void close() {
     std::lock_guard lock(mu_);
     closed_ = true;
     cv_not_full_.notify_all();
     cv_not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
   }
 
   std::size_t push_stalls() const {
@@ -76,6 +112,12 @@ class BoundedQueue {
   }
 
  private:
+  void enqueue_locked(T value) {
+    items_.push_back(std::move(value));
+    max_depth_ = std::max(max_depth_, items_.size());
+    cv_not_empty_.notify_one();
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_not_full_, cv_not_empty_;

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
+#include "fhe/serialize.hpp"
 #include "service/pipeline.hpp"
 
 namespace poe::service {
@@ -18,6 +20,20 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 }  // namespace
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kUnknownSession: return "unknown_session";
+    case RequestStatus::kNonceReplay: return "nonce_replay";
+    case RequestStatus::kInvalidRequest: return "invalid_request";
+    case RequestStatus::kOverloaded: return "overloaded";
+    case RequestStatus::kQuarantined: return "quarantined";
+    case RequestStatus::kTimedOut: return "timed_out";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "?";
+}
 
 TranscipherService::TranscipherService(
     const hhe::HheConfig& config, const fhe::Bgv& bgv,
@@ -34,6 +50,8 @@ TranscipherService::TranscipherService(
   POE_ENSURE(service_config_.max_sessions >= 1, "need at least one session");
   POE_ENSURE(service_config_.pipeline_depth >= 1,
              "pipeline depth must be >= 1");
+  POE_ENSURE(service_config_.max_stage_attempts >= 1,
+             "need at least one stage attempt");
   max_batch_ = engine_.capacity();
   if (service_config_.max_batch_blocks != 0) {
     max_batch_ = std::min(max_batch_, service_config_.max_batch_blocks);
@@ -61,6 +79,28 @@ void TranscipherService::open_session(u64 client_id, fhe::Ciphertext key_ct) {
   sessions_.emplace(client_id, std::move(session));
 }
 
+bool TranscipherService::open_session_wire(u64 client_id,
+                                           std::span<const std::uint8_t> bytes,
+                                           std::string* error) {
+  // The chaos harness models a lossy/hostile uplink by truncating the
+  // upload here; organically short buffers take the same rejection path.
+  if (fault_forced(bgv_.rns().exec(), "service.wire.truncate")) {
+    bytes = bytes.first(bytes.size() / 2);
+  }
+  try {
+    fhe::Ciphertext ct = fhe::deserialize_ciphertext(bgv_.rns(), bytes);
+    if (auto why = fhe::validate_ciphertext(bgv_.rns(), ct)) {
+      if (error != nullptr) *error = "implausible key upload: " + *why;
+      return false;
+    }
+    open_session(client_id, std::move(ct));
+    return true;
+  } catch (const poe::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
 bool TranscipherService::has_session(u64 client_id) const {
   return sessions_.contains(client_id);
 }
@@ -75,17 +115,23 @@ std::vector<TranscipherResult> TranscipherService::process(
   ServiceReport local;
   ServiceReport& rep = report != nullptr ? *report : local;
   rep = ServiceReport{};
-  const CounterSnapshot before = bgv_.rns().exec().snapshot();
+  ExecContext& exec = bgv_.rns().exec();
+  const CounterSnapshot before = exec.snapshot();
+  FaultInjector* injector = exec.fault_injector();
+  const u64 fired_before = injector != nullptr ? injector->fired_total() : 0;
   const std::size_t t = config_.pasta.t;
 
   std::vector<TranscipherResult> results(requests.size());
   rep.request_latency_s.assign(requests.size(), 0);
+  rep.requests = requests.size();
   if (requests.empty()) {
     rep.session_evictions = evictions_;
     return results;
   }
 
-  // ---- Admission: session lookup, nonce replay, block splitting. --------
+  // ---- Admission: session lookup, nonce replay, request sanity, load
+  // ---- shedding, block splitting. Rejections are typed per request —
+  // ---- hostile input degrades that request, never the batch.
   struct BlockRef {
     std::size_t request = 0;
     std::size_t block = 0;
@@ -98,17 +144,45 @@ std::vector<TranscipherResult> TranscipherService::process(
   std::vector<BatchJob> jobs;
   // Per client: the job that still has free tiles (coalescing point).
   std::unordered_map<u64, std::size_t> open_job;
+  std::size_t admitted_blocks = 0;
 
   for (std::size_t r = 0; r < requests.size(); ++r) {
     const auto& req = requests[r];
+    TranscipherResult& res = results[r];
+    res.client_id = req.client_id;
+    res.nonce = req.nonce;
+
     auto it = sessions_.find(req.client_id);
-    POE_ENSURE(it != sessions_.end(),
-               "no session for client " << req.client_id);
+    if (it == sessions_.end()) {
+      res.status = RequestStatus::kUnknownSession;
+      res.error = "no session for client";
+      continue;
+    }
     Session& session = it->second;
-    POE_ENSURE(!session.nonce_set.contains(req.nonce),
-               "nonce replay for client " << req.client_id << ": "
-                                          << req.nonce);
-    POE_ENSURE(!req.symmetric_ct.empty(), "empty request");
+    if (req.symmetric_ct.empty()) {
+      res.status = RequestStatus::kInvalidRequest;
+      res.error = "empty request";
+      continue;
+    }
+    if (req.symmetric_ct.size() > service_config_.max_request_elems) {
+      res.status = RequestStatus::kInvalidRequest;
+      res.error = "request exceeds max_request_elems";
+      continue;
+    }
+    if (session.nonce_set.contains(req.nonce)) {
+      res.status = RequestStatus::kNonceReplay;
+      res.error = "nonce replay";
+      continue;
+    }
+    const std::size_t nblocks = (req.symmetric_ct.size() + t - 1) / t;
+    if (service_config_.max_pending_blocks != 0 &&
+        admitted_blocks + nblocks > service_config_.max_pending_blocks) {
+      // Shed BEFORE the nonce is recorded, so the client can resubmit the
+      // same request once load drops.
+      res.status = RequestStatus::kOverloaded;
+      res.error = "admission load shed";
+      continue;
+    }
     session.nonce_set.insert(req.nonce);
     session.nonce_order.push_back(req.nonce);
     if (session.nonce_order.size() > service_config_.max_tracked_nonces) {
@@ -116,11 +190,9 @@ std::vector<TranscipherResult> TranscipherService::process(
       session.nonce_order.pop_front();
     }
     touch(req.client_id, session);
+    admitted_blocks += nblocks;
 
-    results[r].client_id = req.client_id;
-    results[r].nonce = req.nonce;
-    const std::size_t nblocks = (req.symmetric_ct.size() + t - 1) / t;
-    results[r].blocks.resize(nblocks);
+    res.blocks.resize(nblocks);
     for (std::size_t b = 0; b < nblocks; ++b) {
       const std::size_t begin = b * t;
       const std::size_t len = std::min(t, req.symmetric_ct.size() - begin);
@@ -145,32 +217,122 @@ std::vector<TranscipherResult> TranscipherService::process(
       ++rep.blocks;
     }
   }
-  rep.requests = requests.size();
   rep.batches = jobs.size();
 
-  // ---- Two-stage pipeline: prepare (CPU) -> evaluate (BGV). -------------
+  // ---- Two-stage pipeline: prepare (CPU) -> evaluate (BGV), each stage
+  // ---- under a virtual-time timeout with bounded backoff retry. Producer
+  // ---- and consumer only ever touch a job's outcome on their own side of
+  // ---- the queue handoff, so outcomes needs no lock.
   struct Prepared {
     std::size_t job = 0;
     hhe::PreparedSimdBatch batch;
+  };
+  enum class BatchState {
+    kPending, kDone, kShed, kQuarantined, kTimedOut, kFailed
+  };
+  struct BatchOutcome {
+    BatchState state = BatchState::kPending;
+    std::string error;
+    std::size_t retries = 0;
+    std::size_t timeouts = 0;
+    bool recovered = false;
     double prepare_s = 0;
+    double eval_s = 0;
+  };
+  std::vector<BatchOutcome> outcomes(jobs.size());
+
+  // Run `body` with retry/backoff under the stage timeout. Injected stalls
+  // charge virtual time (FaultInjector sleeps a bounded real slice), so a
+  // "slow stage" is reproducible without slow tests. True on success.
+  auto run_stage = [&](std::string_view site, std::string_view stall_site,
+                       auto&& body, BatchOutcome& out,
+                       double& stage_s) -> bool {
+    const std::size_t max_attempts = service_config_.max_stage_attempts;
+    const double timeout_s = service_config_.stage_timeout_s;
+    bool last_was_timeout = false;
+    std::string last_error;
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        ++out.retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            service_config_.backoff_base_s *
+            static_cast<double>(1ull << (attempt - 2))));
+      }
+      const auto t0 = Clock::now();
+      try {
+        const double charged = fault_stall_s(exec, stall_site);
+        fault_point(exec, site);
+        body();
+        const double elapsed = seconds_since(t0) + charged;
+        if (timeout_s > 0 && elapsed > timeout_s) {
+          ++out.timeouts;
+          last_was_timeout = true;
+          last_error = "stage exceeded timeout";
+          continue;
+        }
+        stage_s += elapsed;
+        if (attempt > 1) out.recovered = true;
+        return true;
+      } catch (const poe::Error& e) {
+        last_was_timeout = false;
+        last_error = e.what();
+      } catch (const std::bad_alloc&) {
+        last_was_timeout = false;
+        last_error = "allocation failure";
+      }
+    }
+    out.state =
+        last_was_timeout ? BatchState::kTimedOut : BatchState::kFailed;
+    out.error = last_error;
+    return false;
   };
 
   std::vector<std::size_t> missing(requests.size());
   for (std::size_t r = 0; r < requests.size(); ++r) {
     missing[r] = results[r].blocks.size();
   }
-  rep.min_noise_budget_bits = 1e9;
+  double min_noise = 1e9;
+  std::size_t evaluated_batches = 0;
 
-  auto evaluate_one = [&](Prepared prepared) {
-    const BatchJob& job = jobs[prepared.job];
-    const auto t0 = Clock::now();
-    hhe::ServerReport server_report;
-    auto ct = std::make_shared<const fhe::Ciphertext>(engine_.evaluate(
-        sessions_.at(job.client_id).key_ct, prepared.batch, &server_report));
-    rep.eval_s += seconds_since(t0);
-    rep.prepare_s += prepared.prepare_s;
-    rep.min_noise_budget_bits = std::min(rep.min_noise_budget_bits,
-                                         server_report.min_noise_budget_bits);
+  auto prepare_one = [&](std::size_t j, Prepared& prepared) -> bool {
+    prepared.job = j;
+    return run_stage(
+        "service.prepare", "service.prepare.stall",
+        [&] { prepared.batch = engine_.prepare(jobs[j].blocks); },
+        outcomes[j], outcomes[j].prepare_s);
+  };
+
+  // Consumer side: poison-pill gate + evaluation of one prepared batch.
+  auto consume_one = [&](Prepared prepared) {
+    const std::size_t j = prepared.job;
+    const BatchJob& job = jobs[j];
+    Session& session = sessions_.at(job.client_id);
+    if (service_config_.validate_sessions) {
+      if (!session.key_ct.parts.empty()) {
+        fault_corrupt(exec, "service.key.corrupt",
+                      session.key_ct.parts[0].rns(0));
+      }
+      if (auto why = fhe::validate_ciphertext(bgv_.rns(), session.key_ct)) {
+        outcomes[j].state = BatchState::kQuarantined;
+        outcomes[j].error = "session key implausible: " + *why;
+        return;
+      }
+    }
+    std::shared_ptr<const fhe::Ciphertext> ct;
+    double batch_noise = 0;
+    const bool ok = run_stage(
+        "service.evaluate", "service.evaluate.stall",
+        [&] {
+          hhe::ServerReport server_report;
+          ct = std::make_shared<const fhe::Ciphertext>(engine_.evaluate(
+              session.key_ct, prepared.batch, &server_report));
+          batch_noise = server_report.min_noise_budget_bits;
+        },
+        outcomes[j], outcomes[j].eval_s);
+    if (!ok) return;
+    outcomes[j].state = BatchState::kDone;
+    min_noise = std::min(min_noise, batch_noise);
+    ++evaluated_batches;
     for (std::size_t i = 0; i < job.refs.size(); ++i) {
       const BlockRef& ref = job.refs[i];
       results[ref.request].blocks[ref.block] =
@@ -181,22 +343,32 @@ std::vector<TranscipherResult> TranscipherService::process(
     }
   };
 
-  auto prepare_one = [&](std::size_t j) {
-    const auto t0 = Clock::now();
-    Prepared prepared;
-    prepared.job = j;
-    prepared.batch = engine_.prepare(jobs[j].blocks);
-    prepared.prepare_s = seconds_since(t0);
-    return prepared;
-  };
-
-  if (service_config_.pipelined) {
+  if (service_config_.pipelined && !jobs.empty()) {
     BoundedQueue<Prepared> queue(service_config_.pipeline_depth);
     std::exception_ptr prepare_error;
     std::thread producer([&] {
       try {
         for (std::size_t j = 0; j < jobs.size(); ++j) {
-          if (!queue.push(prepare_one(j))) break;
+          Prepared prepared;
+          if (!prepare_one(j, prepared)) continue;
+          if (fault_forced(exec, "service.queue.full")) {
+            outcomes[j].state = BatchState::kShed;
+            outcomes[j].error = "pipeline queue saturated (injected)";
+            continue;
+          }
+          PushStatus st;
+          if (service_config_.queue_push_timeout_s > 0) {
+            st = queue.push_for(std::move(prepared),
+                                std::chrono::duration<double>(
+                                    service_config_.queue_push_timeout_s));
+          } else {
+            st = queue.push(std::move(prepared));
+          }
+          if (st == PushStatus::kClosed) break;  // consumer shut down
+          if (st == PushStatus::kTimedOut) {
+            outcomes[j].state = BatchState::kShed;
+            outcomes[j].error = "pipeline queue saturated beyond timeout";
+          }
         }
       } catch (...) {
         prepare_error = std::current_exception();
@@ -204,7 +376,7 @@ std::vector<TranscipherResult> TranscipherService::process(
       queue.close();
     });
     try {
-      while (auto prepared = queue.pop()) evaluate_one(std::move(*prepared));
+      while (auto prepared = queue.pop()) consume_one(std::move(*prepared));
     } catch (...) {
       queue.close();  // unblock the producer before re-throwing
       producer.join();
@@ -217,20 +389,88 @@ std::vector<TranscipherResult> TranscipherService::process(
     rep.max_queue_depth = queue.max_depth();
   } else {
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      evaluate_one(prepare_one(j));
+      Prepared prepared;
+      if (!prepare_one(j, prepared)) continue;
+      consume_one(std::move(prepared));
+    }
+  }
+
+  // ---- Degrade requests of unfinished batches to their typed status; a
+  // ---- request spanning several batches takes the first failure.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const BatchOutcome& out = outcomes[j];
+    rep.prepare_s += out.prepare_s;
+    rep.eval_s += out.eval_s;
+    rep.faults.retries += out.retries;
+    rep.faults.stage_timeouts += out.timeouts;
+    if (out.recovered && out.state == BatchState::kDone) {
+      ++rep.faults.recovered_batches;
+    }
+    if (out.state == BatchState::kDone) continue;
+    RequestStatus degraded = RequestStatus::kFailed;
+    switch (out.state) {
+      case BatchState::kShed: degraded = RequestStatus::kOverloaded; break;
+      case BatchState::kQuarantined:
+        degraded = RequestStatus::kQuarantined;
+        break;
+      case BatchState::kTimedOut: degraded = RequestStatus::kTimedOut; break;
+      default: degraded = RequestStatus::kFailed; break;
+    }
+    for (const BlockRef& ref : jobs[j].refs) {
+      TranscipherResult& res = results[ref.request];
+      if (res.status == RequestStatus::kOk) {
+        res.status = degraded;
+        res.error = out.error.empty() ? "pipeline aborted" : out.error;
+      }
+    }
+  }
+
+  // ---- Terminal accounting: the status buckets partition the requests.
+  for (TranscipherResult& res : results) {
+    switch (res.status) {
+      case RequestStatus::kOk:
+        ++rep.faults.ok;
+        break;
+      case RequestStatus::kUnknownSession:
+      case RequestStatus::kNonceReplay:
+      case RequestStatus::kInvalidRequest:
+        ++rep.faults.rejected;
+        res.blocks.clear();
+        break;
+      case RequestStatus::kOverloaded:
+        ++rep.faults.shed;
+        res.blocks.clear();
+        break;
+      case RequestStatus::kQuarantined:
+        ++rep.faults.quarantined;
+        res.blocks.clear();
+        break;
+      case RequestStatus::kTimedOut:
+        ++rep.faults.timed_out;
+        res.blocks.clear();
+        break;
+      case RequestStatus::kFailed:
+        ++rep.faults.failed;
+        res.blocks.clear();
+        break;
     }
   }
 
   rep.total_s = seconds_since(t_start);
+  rep.min_noise_budget_bits = evaluated_batches > 0 ? min_noise : 0;
   rep.avg_batch_occupancy = 0;
-  for (const auto& job : jobs) {
-    rep.avg_batch_occupancy +=
-        double(job.blocks.size()) / double(max_batch_);
+  if (!jobs.empty()) {
+    for (const auto& job : jobs) {
+      rep.avg_batch_occupancy +=
+          double(job.blocks.size()) / double(max_batch_);
+    }
+    rep.avg_batch_occupancy /= double(jobs.size());
   }
-  rep.avg_batch_occupancy /= double(jobs.size());
   rep.blocks_per_s = rep.total_s > 0 ? double(rep.blocks) / rep.total_s : 0;
   rep.session_evictions = evictions_;
-  rep.exec_ops = bgv_.rns().exec().snapshot() - before;
+  rep.faults.injected =
+      injector != nullptr ? injector->fired_total() - fired_before : 0;
+  rep.exec_ops = exec.snapshot() - before;
   return results;
 }
 

@@ -5,7 +5,8 @@
 //  * Sessions. Each client uploads its BGV-encrypted PASTA key once
 //    (encrypt_key_batched form); the service caches it with per-session
 //    nonce replay tracking and evicts the least-recently-used session when
-//    the capacity bound is hit.
+//    the capacity bound is hit. open_session_wire ingests the serialized
+//    form, validating it before it can touch a batch.
 //  * Coalescing. A request carries a whole message; the service splits it
 //    into PASTA blocks (block i uses counter i, matching
 //    pasta::PastaCipher::encrypt) and coalesces blocks of the SAME client
@@ -16,6 +17,18 @@
 //    dedicated thread feeding a bounded queue; the caller's thread drains
 //    it with BGV evaluation. Preparation of batch N+1 overlaps evaluation
 //    of batch N — Fig. 3's MatGen latency hiding in software.
+//  * Robustness. HHE is exactly the setting where the server ingests
+//    untrusted bytes from the edge, so hostile or corrupt input is the
+//    normal case: per-request admission returns typed rejections instead
+//    of throwing (unknown session, nonce replay, malformed or oversized
+//    message, load shed); each pipeline stage runs under a virtual-time
+//    timeout with bounded exponential-backoff retry; a saturated pipeline
+//    queue degrades to a typed Overloaded rejection; and a decrypt-free
+//    plausibility check (fhe::validate_ciphertext) quarantines poison-pill
+//    session keys per batch instead of killing the whole process() call.
+//    Every fault point is instrumented for the chaos harness
+//    (tests/fault_test.cpp) via the FaultInjector on the evaluator's
+//    ExecContext; unarmed, each point is one pointer load.
 //
 // All rotation keys are built ONCE in the constructor and shared by every
 // session (they depend only on the BGV key, not the PASTA key).
@@ -26,6 +39,7 @@
 #include <list>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -42,6 +56,26 @@ struct ServiceConfig {
   std::size_t pipeline_depth = 2;   ///< prepared batches buffered ahead
   bool pipelined = true;            ///< false: prepare+evaluate in sequence
   std::size_t max_tracked_nonces = 1024;  ///< replay window per session
+
+  // --- Robustness knobs (defaults keep the fault-free fast path intact).
+  std::size_t max_request_elems = 1u << 16;  ///< admission bound per request
+  /// Admission-level load shedding: blocks admitted per process() call
+  /// beyond this are rejected kOverloaded. 0 = unbounded.
+  std::size_t max_pending_blocks = 0;
+  /// Attempts per pipeline stage per batch (1 = no retry).
+  std::size_t max_stage_attempts = 3;
+  /// A stage (prepare or evaluate of one batch) slower than this — real
+  /// time plus any injected virtual stall — counts as a timeout and is
+  /// retried; exhausted attempts degrade the batch to kTimedOut. 0 = off.
+  double stage_timeout_s = 0;
+  /// Exponential backoff before retry k sleeps backoff_base_s * 2^(k-1).
+  double backoff_base_s = 0.0005;
+  /// Bounded producer wait on a saturated pipeline queue; on expiry the
+  /// batch is shed as kOverloaded. 0 = block indefinitely (no shedding).
+  double queue_push_timeout_s = 0;
+  /// Decrypt-free plausibility check of the session key before each batch
+  /// evaluation; failures quarantine the batch (kQuarantined).
+  bool validate_sessions = true;
 };
 
 /// One client request: transcipher a whole PASTA-encrypted message.
@@ -59,10 +93,46 @@ struct PlacedBlock {
   std::size_t len = 0;
 };
 
+/// Typed terminal state of one request. Everything except kOk is a
+/// degradation the caller can act on; process() itself no longer throws on
+/// hostile input — a poison-pill request must not kill its batchmates.
+enum class RequestStatus {
+  kOk = 0,
+  kUnknownSession,   ///< no session for client_id
+  kNonceReplay,      ///< nonce inside the session's replay window
+  kInvalidRequest,   ///< empty or oversized message
+  kOverloaded,       ///< load shed (admission bound or saturated queue)
+  kQuarantined,      ///< session key failed the plausibility check
+  kTimedOut,         ///< stage timeout persisted through every retry
+  kFailed,           ///< stage error persisted through every retry
+};
+
+const char* to_string(RequestStatus s);
+
 struct TranscipherResult {
   std::uint64_t client_id = 0;
   std::uint64_t nonce = 0;
-  std::vector<PlacedBlock> blocks;  ///< in message order
+  RequestStatus status = RequestStatus::kOk;
+  std::string error;                ///< detail for status != kOk
+  std::vector<PlacedBlock> blocks;  ///< in message order; empty unless kOk
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+/// Per-fault-class accounting for one process() call. The terminal-status
+/// counters partition the call's requests:
+///   requests == ok + rejected + shed + quarantined + timed_out + failed.
+struct FaultStats {
+  std::size_t ok = 0;
+  std::size_t rejected = 0;     ///< unknown session / replay / invalid
+  std::size_t shed = 0;         ///< kOverloaded
+  std::size_t quarantined = 0;  ///< kQuarantined
+  std::size_t timed_out = 0;    ///< kTimedOut
+  std::size_t failed = 0;       ///< kFailed
+  std::size_t retries = 0;      ///< stage attempts beyond the first
+  std::size_t stage_timeouts = 0;  ///< stage runs that exceeded the timeout
+  std::size_t recovered_batches = 0;  ///< batches that succeeded on a retry
+  std::size_t injected = 0;     ///< FaultInjector fires during the call
 };
 
 /// Aggregate diagnostics for one process() call.
@@ -81,6 +151,7 @@ struct ServiceReport {
   double min_noise_budget_bits = 0;  ///< worst batch output
   std::size_t session_evictions = 0; ///< lifetime total at call end
   std::vector<double> request_latency_s;  ///< per request, call start -> done
+  FaultStats faults;         ///< robustness-layer accounting
   /// ExecContext counter delta over the whole call (NTTs, key switches, ...).
   CounterSnapshot exec_ops;
 };
@@ -99,6 +170,14 @@ class TranscipherService {
   /// least-recently-used other session if the capacity bound is reached.
   void open_session(std::uint64_t client_id, fhe::Ciphertext key_ct);
 
+  /// Wire ingest: deserialize + validate an untrusted key upload before it
+  /// can reach a session. Returns false (with `error` describing why)
+  /// on truncated, corrupt, or structurally implausible bytes — never
+  /// throws, never partially registers a session.
+  bool open_session_wire(std::uint64_t client_id,
+                         std::span<const std::uint8_t> bytes,
+                         std::string* error = nullptr);
+
   bool has_session(std::uint64_t client_id) const;
   std::size_t session_count() const { return sessions_.size(); }
   std::size_t evictions() const { return evictions_; }
@@ -108,8 +187,10 @@ class TranscipherService {
   const hhe::SimdBatchEngine& engine() const { return engine_; }
 
   /// Transcipher a group of requests: coalesce into batches, run the
-  /// two-stage pipeline, return one result per request (same order).
-  /// Rejects requests for unknown sessions and replayed nonces.
+  /// two-stage pipeline, return one result per request (same order). Every
+  /// per-request problem — unknown session, replayed nonce, malformed
+  /// message, shed load, poisoned key, exhausted retries — lands as a typed
+  /// status on that request's result; healthy requests are unaffected.
   std::vector<TranscipherResult> process(
       std::span<const TranscipherRequest> requests,
       ServiceReport* report = nullptr);

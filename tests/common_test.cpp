@@ -15,6 +15,7 @@
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
 namespace poe {
 namespace {
@@ -328,6 +329,128 @@ TEST(Table, Formatters) {
   EXPECT_EQ(with_commas(999), "999");
   EXPECT_EQ(fixed(3.14159, 2), "3.14");
   EXPECT_EQ(percent(0.333, 1), "33.3%");
+}
+
+TEST(FaultInjector, FiresInsideArrivalWindowOnly) {
+  FaultInjector fi;
+  fi.arm(FaultSpec{.site = "x", .after = 2, .count = 2});
+  fi.visit("x");  // arrival 0
+  fi.visit("x");  // arrival 1
+  EXPECT_THROW(fi.visit("x"), FaultInjectedError);  // 2
+  EXPECT_THROW(fi.visit("x"), FaultInjectedError);  // 3
+  fi.visit("x");  // 4: window exhausted
+  EXPECT_EQ(fi.arrivals("x"), 5u);
+  EXPECT_EQ(fi.fired(FaultClass::kThrow), 2u);
+  EXPECT_EQ(fi.fired_total(), 2u);
+  EXPECT_EQ(fi.fired_by_site().at("x"), 2u);
+  // Other sites are counted but never fire.
+  fi.visit("y");
+  EXPECT_EQ(fi.arrivals("y"), 1u);
+  EXPECT_EQ(fi.fired_total(), 2u);
+}
+
+TEST(FaultInjector, ClassesAreIndependentPerSite) {
+  FaultInjector fi;
+  // Arrival counters are per SITE, shared by every hook type: the kThrow
+  // visit below consumes arrival 0, so the stall is armed for arrival 1.
+  fi.arm(FaultSpec{.site = "s", .kind = FaultClass::kStall, .after = 1,
+                   .arg = 1500});
+  fi.arm(FaultSpec{.site = "f", .kind = FaultClass::kForce, .after = 1});
+  // A kThrow visit at a site armed only with kStall does not fire.
+  fi.visit("s");
+  EXPECT_EQ(fi.fired_total(), 0u);
+  // stall_s charges the full arg in seconds (real sleep is bounded).
+  EXPECT_DOUBLE_EQ(fi.stall_s("s"), 1.5);
+  EXPECT_DOUBLE_EQ(fi.stall_s("s"), 0.0);  // count=1: second arrival is clean
+  EXPECT_FALSE(fi.forced("f"));  // arrival 0, armed after=1
+  EXPECT_TRUE(fi.forced("f"));   // arrival 1
+  EXPECT_FALSE(fi.forced("f"));
+  EXPECT_EQ(fi.fired(FaultClass::kStall), 1u);
+  EXPECT_EQ(fi.fired(FaultClass::kForce), 1u);
+}
+
+TEST(FaultInjector, CorruptMarksWordsOutOfRnsRange) {
+  FaultInjector fi(99);
+  fi.arm(FaultSpec{.site = "c", .kind = FaultClass::kCorrupt, .arg = 3});
+  std::vector<std::uint64_t> words(16, 7);
+  ASSERT_TRUE(fi.corrupt("c", words));
+  std::size_t mangled = 0;
+  for (const std::uint64_t w : words) {
+    if (w == 7) continue;
+    ++mangled;
+    // The top bit guarantees the word exceeds any supported RNS prime.
+    EXPECT_GE(w, std::uint64_t{1} << 63);
+  }
+  EXPECT_GE(mangled, 1u);
+  EXPECT_LE(mangled, 3u);  // seeded positions may collide
+  EXPECT_FALSE(fi.corrupt("c", words));  // window exhausted
+}
+
+TEST(FaultInjector, RandomScheduleIsDeterministicAndOnMenu) {
+  constexpr FaultInjector::MenuEntry menu[] = {
+      {"a", FaultClass::kThrow},
+      {"b", FaultClass::kStall},
+      {"c", FaultClass::kCorrupt},
+  };
+  const auto s1 = FaultInjector::random_schedule(31337, menu, 8);
+  const auto s2 = FaultInjector::random_schedule(31337, menu, 8);
+  ASSERT_EQ(s1.size(), 8u);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].site, s2[i].site);
+    EXPECT_EQ(s1[i].kind, s2[i].kind);
+    EXPECT_EQ(s1[i].after, s2[i].after);
+    EXPECT_EQ(s1[i].count, s2[i].count);
+    EXPECT_EQ(s1[i].arg, s2[i].arg);
+    bool on_menu = false;
+    for (const auto& m : menu) {
+      on_menu |= s1[i].site == m.site && s1[i].kind == m.kind;
+    }
+    EXPECT_TRUE(on_menu) << s1[i].site;
+    EXPECT_LT(s1[i].after, 8u);
+    EXPECT_GE(s1[i].count, 1u);
+  }
+  // A different seed produces a different schedule.
+  const auto s3 = FaultInjector::random_schedule(31338, menu, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    any_diff |= s1[i].site != s3[i].site || s1[i].after != s3[i].after ||
+                s1[i].arg != s3[i].arg;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, ExecContextHelpersRespectRegistration) {
+  ExecContext exec;
+  // Unregistered: helpers are inert.
+  fault_point(exec, "z");
+  EXPECT_DOUBLE_EQ(fault_stall_s(exec, "z"), 0.0);
+  EXPECT_FALSE(fault_forced(exec, "z"));
+
+  FaultInjector fi;
+  fi.arm(FaultSpec{.site = "z", .kind = FaultClass::kForce});
+  exec.set_fault_injector(&fi);
+#ifdef POE_NO_FAULT_INJECTION
+  EXPECT_FALSE(fault_forced(exec, "z"));  // compiled out entirely
+#else
+  EXPECT_TRUE(fault_forced(exec, "z"));
+#endif
+  exec.set_fault_injector(nullptr);
+  EXPECT_FALSE(fault_forced(exec, "z"));
+}
+
+TEST(FaultInjector, ArmedPoolAcquireSimulatesAllocationFailure) {
+  ExecContext exec;
+  FaultInjector fi;
+  fi.arm(FaultSpec{.site = "pool.acquire", .kind = FaultClass::kAllocFail});
+  exec.set_fault_injector(&fi);
+#ifndef POE_NO_FAULT_INJECTION
+  EXPECT_THROW(exec.pool().acquire(64), FaultInjectedError);
+#endif
+  // The failure is transient: the next acquire succeeds and the slab is
+  // usable.
+  auto slab = exec.pool().acquire(64);
+  EXPECT_GE(slab.size(), 64u);
+  exec.set_fault_injector(nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+// Serialization fuzz regression suite.
+//
+// Replays the checked-in corpus (tests/corpus/, path injected as
+// POE_CORPUS_DIR) against the two deserializers that eat untrusted wire
+// bytes, then byte-mutates every corpus entry plus freshly generated valid
+// artifacts with a seeded RNG. The contract under fuzzing: throw a clean
+// poe::Error or produce a structurally valid result — never crash, never
+// read out of bounds (this binary is part of the sanitizer CI job).
+// POE_FAULT_SEED reseeds the mutations; POE_FUZZ_ITERS lengthens the run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fhe/bgv.hpp"
+#include "fhe/serialize.hpp"
+#include "pasta/params.hpp"
+#include "pasta/serialize.hpp"
+
+namespace poe {
+namespace {
+
+using u64 = std::uint64_t;
+
+struct Entry {
+  std::string name;
+  std::string kind;    // "pasta" | "bgv"
+  u64 count = 0;       // pasta: elements demanded on unpack
+  std::string expect;  // "roundtrip" | "error"
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<std::uint8_t> parse_hex(const std::string& hex) {
+  POE_ENSURE(hex.size() % 2 == 0, "odd hex length in corpus");
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return out;
+}
+
+std::vector<Entry> load_corpus() {
+  std::vector<Entry> entries;
+  for (const auto& file :
+       std::filesystem::directory_iterator(POE_CORPUS_DIR)) {
+    if (file.path().extension() != ".txt") continue;
+    Entry e;
+    e.name = file.path().filename().string();
+    std::ifstream in(file.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string key, value;
+      ls >> key >> value;
+      if (key == "kind") e.kind = value;
+      else if (key == "count") e.count = std::strtoull(value.c_str(), nullptr, 10);
+      else if (key == "expect") e.expect = value;
+      else if (key == "hex") e.bytes = parse_hex(value);
+    }
+    POE_ENSURE(e.kind == "pasta" || e.kind == "bgv",
+               "corpus entry with unknown kind: " + e.name);
+    POE_ENSURE(e.expect == "roundtrip" || e.expect == "error",
+               "corpus entry with unknown expectation: " + e.name);
+    entries.push_back(std::move(e));
+  }
+  POE_ENSURE(!entries.empty(), "empty fuzz corpus at " POE_CORPUS_DIR);
+  return entries;
+}
+
+// Shared toy BGV stack for the "bgv" entries (matches the corpus README).
+fhe::Bgv& toy_bgv() {
+  static fhe::Bgv bgv(fhe::BgvParams::toy());
+  return bgv;
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// One decode attempt under the fuzz contract. Returns true if it decoded.
+bool try_decode(const Entry& e, std::span<const std::uint8_t> bytes) {
+  if (e.kind == "pasta") {
+    const auto params = pasta::pasta4();
+    const auto decoded = pasta::unpack_elements(params, bytes, e.count);
+    EXPECT_EQ(decoded.size(), e.count) << e.name;
+    for (const u64 v : decoded) EXPECT_LT(v, params.p) << e.name;
+    return true;
+  }
+  const fhe::Ciphertext ct =
+      fhe::deserialize_ciphertext(toy_bgv().rns(), bytes);
+  // Anything the deserializer accepts must also pass the decrypt-free
+  // plausibility check — the two untrusted-input gates agree by design.
+  const auto why = fhe::validate_ciphertext(toy_bgv().rns(), ct);
+  EXPECT_FALSE(why.has_value()) << e.name << ": " << *why;
+  return true;
+}
+
+TEST(SerializeFuzz, CorpusReplaysVerbatim) {
+  for (const Entry& e : load_corpus()) {
+    SCOPED_TRACE(e.name);
+    if (e.expect == "error") {
+      EXPECT_THROW(try_decode(e, e.bytes), poe::Error);
+      continue;
+    }
+    ASSERT_TRUE(try_decode(e, e.bytes));
+    // Roundtrip entries re-encode to the exact corpus bytes.
+    if (e.kind == "pasta") {
+      const auto params = pasta::pasta4();
+      EXPECT_EQ(pasta::pack_elements(
+                    params, pasta::unpack_elements(params, e.bytes, e.count)),
+                e.bytes);
+    } else {
+      EXPECT_EQ(fhe::serialize_ciphertext(
+                    toy_bgv().rns(),
+                    fhe::deserialize_ciphertext(toy_bgv().rns(), e.bytes)),
+                e.bytes);
+    }
+  }
+}
+
+TEST(SerializeFuzz, MutatedCorpusNeverCrashes) {
+  auto seeds = load_corpus();
+
+  // Add freshly generated valid artifacts as mutation seeds: a real toy BGV
+  // ciphertext (too large to check in) and a two-block PASTA buffer.
+  {
+    fhe::Plaintext pt;
+    pt.coeffs.assign(16, 0);
+    for (std::size_t i = 0; i < pt.coeffs.size(); ++i) pt.coeffs[i] = i + 1;
+    Entry e;
+    e.name = "<generated toy bgv ct>";
+    e.kind = "bgv";
+    e.expect = "roundtrip";
+    e.bytes = fhe::serialize_ciphertext(toy_bgv().rns(),
+                                        toy_bgv().encrypt(pt));
+    seeds.push_back(std::move(e));
+
+    const auto params = pasta::pasta4();
+    Xoshiro256 elem_rng(11);
+    std::vector<u64> elems(2 * params.t);
+    for (auto& v : elems) v = elem_rng.below(params.p);
+    Entry p;
+    p.name = "<generated pasta buffer>";
+    p.kind = "pasta";
+    p.count = elems.size();
+    p.expect = "roundtrip";
+    p.bytes = pasta::pack_elements(params, elems);
+    seeds.push_back(std::move(p));
+  }
+
+  const u64 seed = env_u64("POE_FAULT_SEED", 4242);
+  const u64 iters = env_u64("POE_FUZZ_ITERS", 120);
+  Xoshiro256 rng(seed);
+
+  std::size_t decoded = 0, rejected = 0;
+  for (const Entry& e : seeds) {
+    SCOPED_TRACE(e.name);
+    for (u64 it = 0; it < iters; ++it) {
+      auto bytes = e.bytes;
+      // Flip a few bytes; sometimes truncate; sometimes append garbage.
+      const u64 flips = 1 + rng.below(4);
+      for (u64 f = 0; f < flips && !bytes.empty(); ++f) {
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      if (!bytes.empty() && rng.below(4) == 0) {
+        bytes.resize(rng.below(bytes.size() + 1));
+      }
+      if (rng.below(8) == 0) {
+        const u64 extra = 1 + rng.below(8);
+        for (u64 x = 0; x < extra; ++x) {
+          bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        }
+      }
+      try {
+        if (try_decode(e, bytes)) ++decoded;
+      } catch (const poe::Error&) {
+        ++rejected;  // clean rejection is the other acceptable outcome
+      }
+    }
+  }
+  // The mutator must exercise both sides of the contract.
+  EXPECT_GT(decoded, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(SerializeFuzz, EmptyAndZeroEdges) {
+  const auto params = pasta::pasta4();
+  // Zero elements from an empty buffer is a valid, empty decode.
+  EXPECT_TRUE(pasta::unpack_elements(params, {}, 0).empty());
+  EXPECT_TRUE(pasta::pack_elements(params, {}).empty());
+  // An empty BGV stream is a truncated header.
+  EXPECT_THROW(fhe::deserialize_ciphertext(toy_bgv().rns(), {}), poe::Error);
+}
+
+}  // namespace
+}  // namespace poe

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fhe/serialize.hpp"
 #include "hhe/batched_server.hpp"
 #include "service/pipeline.hpp"
 #include "service/service.hpp"
@@ -78,10 +79,21 @@ std::vector<u64> decode_all(const TranscipherResult& result) {
   return out;
 }
 
+// The serialized bytes of every block's batch ciphertext, in request order —
+// the strongest "same output" comparison two runs can be held to.
+std::vector<std::vector<std::uint8_t>> wire_blocks(
+    const TranscipherResult& result) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const auto& block : result.blocks) {
+    out.push_back(fhe::serialize_ciphertext(stack().bgv.rns(), *block.ct));
+  }
+  return out;
+}
+
 TEST(BoundedQueue, OrderCloseAndStallAccounting) {
   BoundedQueue<int> q(1);
-  ASSERT_TRUE(q.push(1));
-  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  ASSERT_EQ(q.push(1), PushStatus::kOk);
+  std::thread producer([&] { EXPECT_EQ(q.push(2), PushStatus::kOk); });
   // Give the producer time to hit the full queue before draining it, so the
   // push-stall is recorded deterministically (the sleeping main thread
   // yields the CPU to the producer, which then blocks on the full queue).
@@ -92,10 +104,44 @@ TEST(BoundedQueue, OrderCloseAndStallAccounting) {
   producer.join();
   EXPECT_EQ(q.pop(), 2);
   q.close();
+  EXPECT_TRUE(q.closed());
   EXPECT_FALSE(q.pop().has_value());
-  EXPECT_FALSE(q.push(3));  // closed queue refuses new work
+  EXPECT_EQ(q.push(3), PushStatus::kClosed);  // closed queue refuses work
   EXPECT_EQ(q.push_stalls(), 1u);
   EXPECT_EQ(q.max_depth(), 1u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  // Shutdown race regression: a producer blocked in push() on a full queue
+  // must wake with kClosed when the consumer closes the queue, instead of
+  // sleeping forever on a condition nobody will ever signal.
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(1), PushStatus::kOk);
+  PushStatus blocked_result = PushStatus::kOk;
+  std::thread producer([&] { blocked_result = q.push(2); });
+  while (q.push_stalls() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  q.close();  // producer is parked in push(); this must wake it
+  producer.join();
+  EXPECT_EQ(blocked_result, PushStatus::kClosed);
+  // The item enqueued before the close still drains.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PushForTimesOutWhenSaturated) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(1), PushStatus::kOk);
+  // Saturated queue + bounded wait: the value is refused, not enqueued.
+  EXPECT_EQ(q.push_for(2, std::chrono::milliseconds(5)),
+            PushStatus::kTimedOut);
+  EXPECT_EQ(q.pop(), 1);
+  // With space available the bounded push behaves like push().
+  EXPECT_EQ(q.push_for(3, std::chrono::milliseconds(5)), PushStatus::kOk);
+  EXPECT_EQ(q.pop(), 3);
+  q.close();
+  EXPECT_EQ(q.push_for(4, std::chrono::milliseconds(5)), PushStatus::kClosed);
 }
 
 TEST(TranscipherServiceTest, RoundTripMultiBlockMessage) {
@@ -110,6 +156,7 @@ TEST(TranscipherServiceTest, RoundTripMultiBlockMessage) {
   const auto results = service.process(reqs, &report);
 
   ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
   ASSERT_EQ(results[0].blocks.size(), 3u);
   EXPECT_EQ(decode_all(results[0]), msg);
 
@@ -126,6 +173,10 @@ TEST(TranscipherServiceTest, RoundTripMultiBlockMessage) {
   EXPECT_LE(report.request_latency_s[0], report.total_s);
   EXPECT_GT(report.exec_ops.ct_ct_mul, 0u);
   EXPECT_GT(report.exec_ops.ntt_forward, 0u);
+  // Fault-free run: every robustness counter is quiet.
+  EXPECT_EQ(report.faults.ok, 1u);
+  EXPECT_EQ(report.faults.retries, 0u);
+  EXPECT_EQ(report.faults.injected, 0u);
 }
 
 TEST(TranscipherServiceTest, CoalescesRequestsOfOneClient) {
@@ -198,31 +249,245 @@ TEST(TranscipherServiceTest, LruEvictionRespectsRecency) {
   EXPECT_EQ(service.evictions(), 1u);
 }
 
+TEST(TranscipherServiceTest, EvictedClientReOnboardsIdentically) {
+  // LRU eviction must be invisible to the evicted client after it
+  // re-uploads its key: the transciphered output is bit-identical.
+  auto service = make_service(ServiceConfig{.max_sessions = 2});
+  TestClient a(13, 64), b(14, 65), c(15, 66);
+  // One fixed key upload reused for both onboardings (BGV encryption is
+  // randomized, so a fresh encrypt would yield different — still correct —
+  // ciphertext bytes; the wire round-trip pins the upload exactly).
+  const auto key_wire =
+      fhe::serialize_ciphertext(stack().bgv.rns(), a.encrypted_key());
+
+  ASSERT_TRUE(service.open_session_wire(a.id, key_wire));
+  const auto msg = random_msg(stack().config.pasta.t + 5, 67);
+  const auto first = service.process(std::vector{a.request(100, msg)});
+  ASSERT_TRUE(first[0].ok());
+  EXPECT_EQ(decode_all(first[0]), msg);
+  const auto first_wire = wire_blocks(first[0]);
+
+  service.open_session(b.id, b.encrypted_key());
+  service.open_session(c.id, c.encrypted_key());
+  ASSERT_FALSE(service.has_session(a.id));  // A was evicted (with its
+                                            // nonce-replay window)
+
+  std::string error;
+  ASSERT_TRUE(service.open_session_wire(a.id, key_wire, &error)) << error;
+  // Same nonce as before the eviction: the fresh session accepts it, and
+  // the deterministic evaluation reproduces the exact output bytes.
+  const auto second = service.process(std::vector{a.request(100, msg)});
+  ASSERT_TRUE(second[0].ok());
+  EXPECT_EQ(decode_all(second[0]), msg);
+  EXPECT_EQ(wire_blocks(second[0]), first_wire);
+}
+
 TEST(TranscipherServiceTest, UnknownClientAndEmptyRequestRejected) {
   auto service = make_service();
   const std::vector<TranscipherRequest> unknown{
       TranscipherRequest{.client_id = 999, .nonce = 1, .symmetric_ct = {1}}};
-  EXPECT_THROW(service.process(unknown), poe::Error);
+  ServiceReport report;
+  auto results = service.process(unknown, &report);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RequestStatus::kUnknownSession);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_TRUE(results[0].blocks.empty());
+  EXPECT_EQ(report.faults.rejected, 1u);
+  EXPECT_EQ(report.batches, 0u);  // rejected before any evaluation
 
   TestClient client(6, 71);
   service.open_session(client.id, client.encrypted_key());
   const std::vector<TranscipherRequest> empty{
       TranscipherRequest{.client_id = client.id, .nonce = 2,
                          .symmetric_ct = {}}};
-  EXPECT_THROW(service.process(empty), poe::Error);
+  results = service.process(empty);
+  EXPECT_EQ(results[0].status, RequestStatus::kInvalidRequest);
+
+  const std::vector<TranscipherRequest> oversized{TranscipherRequest{
+      .client_id = client.id, .nonce = 3,
+      .symmetric_ct = std::vector<u64>(9, 1)}};
+  auto small = make_service(ServiceConfig{.max_request_elems = 8});
+  small.open_session(client.id, client.encrypted_key());
+  results = small.process(oversized);
+  EXPECT_EQ(results[0].status, RequestStatus::kInvalidRequest);
 }
 
-TEST(TranscipherServiceTest, NonceReplayRejected) {
+TEST(TranscipherServiceTest, NonceReplayRejectedWithoutHarmingBatchmates) {
   auto service = make_service();
   TestClient client(7, 81);
   service.open_session(client.id, client.encrypted_key());
 
   const auto msg = random_msg(3, 82);
   const auto results = service.process(std::vector{client.request(55, msg)});
+  ASSERT_TRUE(results[0].ok());
   EXPECT_EQ(decode_all(results[0]), msg);
-  // Same nonce again: rejected during admission, before any evaluation.
-  EXPECT_THROW(service.process(std::vector{client.request(55, msg)}),
-               poe::Error);
+
+  // Same nonce again, bundled with a healthy request: the replay is
+  // rejected during admission and the healthy request is untouched.
+  const auto msg2 = random_msg(4, 83);
+  const std::vector<TranscipherRequest> reqs{client.request(55, msg),
+                                             client.request(56, msg2)};
+  ServiceReport report;
+  const auto mixed = service.process(reqs, &report);
+  EXPECT_EQ(mixed[0].status, RequestStatus::kNonceReplay);
+  ASSERT_TRUE(mixed[1].ok());
+  EXPECT_EQ(decode_all(mixed[1]), msg2);
+  EXPECT_EQ(report.faults.rejected, 1u);
+  EXPECT_EQ(report.faults.ok, 1u);
+}
+
+TEST(TranscipherServiceTest, NonceWindowSlidesOldReplaysOut) {
+  // The replay window is bounded: once max_tracked_nonces fresh nonces have
+  // passed, the oldest nonce falls out of the window and is accepted again
+  // (the documented trade-off of a bounded window, pinned here).
+  auto service = make_service(
+      ServiceConfig{.pipelined = false, .max_tracked_nonces = 3});
+  TestClient client(16, 84);
+  service.open_session(client.id, client.encrypted_key());
+  const auto msg = random_msg(2, 85);
+
+  for (const u64 nonce : {1, 2, 3}) {
+    ASSERT_TRUE(service.process(std::vector{client.request(nonce, msg)})[0]
+                    .ok());
+  }
+  // Window now {1,2,3}: nonce 1 is still a replay.
+  auto replay = service.process(std::vector{client.request(1, msg)});
+  EXPECT_EQ(replay[0].status, RequestStatus::kNonceReplay);
+  // Nonce 4 slides nonce 1 out of the window...
+  ASSERT_TRUE(service.process(std::vector{client.request(4, msg)})[0].ok());
+  // ...so a second presentation of nonce 1 is admitted.
+  auto slid = service.process(std::vector{client.request(1, msg)});
+  EXPECT_TRUE(slid[0].ok());
+  EXPECT_EQ(decode_all(slid[0]), msg);
+}
+
+TEST(TranscipherServiceTest, AdmissionLoadShedIsTypedAndRetriable) {
+  auto service = make_service(
+      ServiceConfig{.pipelined = false, .max_pending_blocks = 2});
+  TestClient client(17, 86);
+  service.open_session(client.id, client.encrypted_key());
+  const auto msg = random_msg(2, 87);  // 1 block per request
+
+  const std::vector<TranscipherRequest> reqs{client.request(10, msg),
+                                             client.request(11, msg),
+                                             client.request(12, msg)};
+  ServiceReport report;
+  const auto results = service.process(reqs, &report);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(results[2].status, RequestStatus::kOverloaded);
+  EXPECT_EQ(report.faults.shed, 1u);
+  EXPECT_EQ(report.blocks, 2u);  // the shed block was never admitted
+
+  // Shedding happens before the nonce is recorded: the same request is
+  // accepted verbatim once there is capacity again.
+  const auto retry = service.process(std::vector{client.request(12, msg)});
+  ASSERT_TRUE(retry[0].ok());
+  EXPECT_EQ(decode_all(retry[0]), msg);
+}
+
+TEST(TranscipherServiceTest, ReportAccountingConsistent) {
+  // One mixed multi-client call: the terminal-status buckets must
+  // partition the requests, and every other counter must stay consistent
+  // with what actually ran.
+  auto service = make_service(
+      ServiceConfig{.pipelined = false, .max_pending_blocks = 3});
+  TestClient alice(20, 88), bob(21, 89), carol(22, 90);
+  service.open_session(alice.id, alice.encrypted_key());
+  service.open_session(bob.id, bob.encrypted_key());
+  service.open_session(carol.id, carol.encrypted_key());
+
+  const auto msg_a = random_msg(3, 91);
+  const auto msg_b = random_msg(4, 92);
+  const auto msg_c = random_msg(5, 93);
+  const std::vector<TranscipherRequest> reqs{
+      alice.request(1, msg_a),  // ok
+      alice.request(2, msg_a),  // ok
+      bob.request(1, msg_b),    // ok
+      TranscipherRequest{.client_id = 999, .nonce = 1,
+                         .symmetric_ct = {1}},           // unknown session
+      TranscipherRequest{.client_id = alice.id, .nonce = 3,
+                         .symmetric_ct = {}},            // invalid (empty)
+      alice.request(1, msg_a),  // nonce replay (of request 0)
+      carol.request(1, msg_c),  // shed: 4th block > max_pending_blocks
+  };
+  ServiceReport rep;
+  const auto results = service.process(reqs, &rep);
+
+  EXPECT_EQ(results[0].status, RequestStatus::kOk);
+  EXPECT_EQ(results[1].status, RequestStatus::kOk);
+  EXPECT_EQ(results[2].status, RequestStatus::kOk);
+  EXPECT_EQ(results[3].status, RequestStatus::kUnknownSession);
+  EXPECT_EQ(results[4].status, RequestStatus::kInvalidRequest);
+  EXPECT_EQ(results[5].status, RequestStatus::kNonceReplay);
+  EXPECT_EQ(results[6].status, RequestStatus::kOverloaded);
+
+  // The partition invariant.
+  EXPECT_EQ(rep.requests, reqs.size());
+  EXPECT_EQ(rep.faults.ok + rep.faults.rejected + rep.faults.shed +
+                rep.faults.quarantined + rep.faults.timed_out +
+                rep.faults.failed,
+            rep.requests);
+  EXPECT_EQ(rep.faults.ok, 3u);
+  EXPECT_EQ(rep.faults.rejected, 3u);
+  EXPECT_EQ(rep.faults.shed, 1u);
+  EXPECT_EQ(rep.faults.quarantined, 0u);
+  EXPECT_EQ(rep.faults.timed_out, 0u);
+  EXPECT_EQ(rep.faults.failed, 0u);
+  // No faults were injected and nothing needed a retry.
+  EXPECT_EQ(rep.faults.retries, 0u);
+  EXPECT_EQ(rep.faults.stage_timeouts, 0u);
+  EXPECT_EQ(rep.faults.recovered_batches, 0u);
+  EXPECT_EQ(rep.faults.injected, 0u);
+
+  // Admitted work: 3 blocks (alice 1 + 1 coalesced, bob 1) in 2 batches.
+  EXPECT_EQ(rep.blocks, 3u);
+  EXPECT_EQ(rep.batches, 2u);
+  EXPECT_GT(rep.prepare_s, 0.0);
+  EXPECT_GT(rep.eval_s, 0.0);
+  EXPECT_GT(rep.min_noise_budget_bits, 0.0);
+
+  // Latency is recorded exactly for the requests that completed.
+  ASSERT_EQ(rep.request_latency_s.size(), reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    if (results[r].ok()) {
+      EXPECT_GT(rep.request_latency_s[r], 0.0) << "request " << r;
+      EXPECT_LE(rep.request_latency_s[r], rep.total_s);
+    } else {
+      EXPECT_EQ(rep.request_latency_s[r], 0.0) << "request " << r;
+      EXPECT_TRUE(results[r].blocks.empty());
+      EXPECT_FALSE(results[r].error.empty());
+    }
+  }
+  EXPECT_EQ(decode_all(results[0]), msg_a);
+  EXPECT_EQ(decode_all(results[1]), msg_a);
+  EXPECT_EQ(decode_all(results[2]), msg_b);
+}
+
+TEST(TranscipherServiceTest, OpenSessionWireRejectsHostileBytes) {
+  auto service = make_service();
+  TestClient client(23, 94);
+  const auto wire =
+      fhe::serialize_ciphertext(stack().bgv.rns(), client.encrypted_key());
+
+  // Truncation and header corruption must be rejected without a session.
+  std::string error;
+  EXPECT_FALSE(service.open_session_wire(
+      client.id, std::span(wire).first(wire.size() / 2), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(service.has_session(client.id));
+
+  auto bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(service.open_session_wire(client.id, bad_magic, &error));
+  EXPECT_FALSE(service.has_session(client.id));
+
+  // The untouched upload is accepted and serves requests.
+  ASSERT_TRUE(service.open_session_wire(client.id, wire, &error)) << error;
+  const auto msg = random_msg(3, 95);
+  const auto results = service.process(std::vector{client.request(7, msg)});
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(decode_all(results[0]), msg);
 }
 
 TEST(TranscipherServiceTest, PipelinedMatchesUnpipelined) {
