@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail if cross-tenant batch occupancy regresses.
+
+Occupancy (blocks per batch / SIMD tile capacity) is the quantity the
+cross-tenant packing scheduler exists to maximise: per-client batching
+idled at 0.125 with 8 single-tenant batches, packing fills one shared
+batch to 1.0 (see ARCHITECTURE.md §3f). It is a deterministic function of
+the scheduler's packing decisions for a fixed workload — no runner-speed
+noise — so a breach means somebody broke batch formation, not that CI was
+slow. The packed-vs-unpacked speedup floor is wall-clock based and
+deliberately loose; it guards against packing silently becoming a no-op.
+
+Usage: check_occupancy_budget.py [BENCH_service.json]
+
+Budgets live in scripts/occupancy_budget.json next to this script; update
+them deliberately (with a rationale in the PR) when the workload shape
+changes.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    bench_path = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json")
+    budget_path = pathlib.Path(__file__).resolve().parent / "occupancy_budget.json"
+
+    bench = json.loads(bench_path.read_text())
+    budgets = json.loads(budget_path.read_text())
+
+    by_clients = {str(p["clients"]): p for p in bench.get("sweep", [])}
+    failures = []
+    for clients, floor in budgets["occupancy_min_by_clients"].items():
+        point = by_clients.get(clients)
+        if point is None:
+            failures.append(f"{clients} clients: missing from {bench_path}")
+            continue
+        got = point.get("avg_batch_occupancy")
+        status = "OK" if got >= floor else "UNDER FLOOR"
+        print(f"{clients} clients: avg_batch_occupancy={got} "
+              f"(floor {floor}) {status}")
+        if got < floor:
+            failures.append(
+                f"{clients} clients: occupancy {got} below floor {floor}")
+
+    speedup_floor = budgets.get("packed_vs_unpacked_speedup_min")
+    if speedup_floor is not None:
+        got = bench.get("packed_vs_unpacked_speedup")
+        if got is None:
+            failures.append(f"packed_vs_unpacked_speedup: missing from {bench_path}")
+        else:
+            status = "OK" if got >= speedup_floor else "UNDER FLOOR"
+            print(f"packed_vs_unpacked_speedup={got} "
+                  f"(floor {speedup_floor}) {status}")
+            if got < speedup_floor:
+                failures.append(
+                    f"packed_vs_unpacked_speedup {got} below floor {speedup_floor}")
+
+    if failures:
+        print("\nOccupancy budget check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("Occupancy budget check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

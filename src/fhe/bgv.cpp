@@ -274,6 +274,50 @@ void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
   apply_ksw(a, c1, key);
 }
 
+KswKey Bgv::make_ingest_key(const Bgv& tenant) const {
+  POE_ENSURE(tenant.ctx_.n() == ctx_.n(), "ingest requires matching rings");
+  POE_ENSURE(tenant.ctx_.num_primes() == ctx_.num_primes(),
+             "ingest requires matching RNS chains");
+  POE_ENSURE(tenant.params_.t == params_.t,
+             "ingest requires matching plaintext moduli");
+  for (std::size_t j = 0; j < ctx_.num_primes(); ++j) {
+    POE_ENSURE(tenant.ctx_.prime(j) == ctx_.prime(j),
+               "ingest requires identical RNS primes");
+  }
+  // Same ring + same primes => identical NTT tables, so the tenant's secret
+  // (NTT form, foreign context) is read span-for-span.
+  return make_ksw_key(tenant.s_ntt_);
+}
+
+Ciphertext Bgv::ingest_switch(const Ciphertext& ct,
+                              const KswKey& ingest_key) const {
+  POE_ENSURE(ct.size() == 2, "ingest switch requires a 2-part ciphertext");
+  const std::size_t level = ct.level;
+  POE_ENSURE(level >= 1 && level <= ctx_.num_primes(),
+             "ingest switch: bad level");
+  // Rebind both parts into this evaluator's context (the upload was built
+  // over the same ring by the tenant's own Bgv, so the raw RNS data carries
+  // over verbatim); then c0 stays, c1 is key-switched from the tenant's
+  // secret onto ours — the exact shape of apply_galois_inplace with the
+  // identity automorphism.
+  RnsPoly c1 = RnsPoly::uninit(&ctx_, level, /*ntt_form=*/true);
+  Ciphertext out;
+  out.level = level;
+  out.parts.push_back(RnsPoly::uninit(&ctx_, level, /*ntt_form=*/true));
+  for (std::size_t i = 0; i < level; ++i) {
+    const auto s0 = ct.parts[0].rns(i);
+    const auto s1 = ct.parts[1].rns(i);
+    auto d0 = out.parts[0].rns(i);
+    auto d1 = c1.rns(i);
+    std::copy(s0.begin(), s0.end(), d0.begin());
+    std::copy(s1.begin(), s1.end(), d1.begin());
+  }
+  c1.from_ntt();
+  out.parts.emplace_back(&ctx_, level, /*ntt_form=*/true);  // zero
+  apply_ksw(out, c1, ingest_key);
+  return out;
+}
+
 HoistedCt Bgv::hoist(const Ciphertext& ct) const {
   POE_ENSURE(ct.size() == 2, "hoisting requires a 2-part ciphertext");
   HoistedCt h;

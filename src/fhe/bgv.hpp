@@ -149,6 +149,21 @@ class Bgv {
   Ciphertext rotate_hoisted(const HoistedCt& hoisted, long step,
                             const GaloisKeys& keys) const;
 
+  // --- Cross-domain ingest (multi-tenant serving).
+  /// Key-switching key that moves a 2-part ciphertext encrypted under
+  /// `tenant`'s secret onto THIS evaluator's secret ("key-switch on
+  /// ingest"). Both instances must share the ring exactly (n and the RNS
+  /// prime chain); the plaintext modulus t must match too. In the real
+  /// protocol the tenant derives this from the evaluator's public key-switch
+  /// material; here the tenant Bgv carries its secret, so the helper reads
+  /// it directly — the same trust shape as decrypt living on Bgv.
+  KswKey make_ingest_key(const Bgv& tenant) const;
+  /// Re-encrypt `ct` (2 parts, any level) from the tenant's domain into this
+  /// evaluator's domain without decrypting: the result decrypts under THIS
+  /// secret. Costs one key switch of noise; the plaintext is unchanged.
+  Ciphertext ingest_switch(const Ciphertext& ct, const KswKey& ingest_key)
+      const;
+
   /// Drop the last active prime (noise /= q_last).
   void mod_switch_inplace(Ciphertext& a) const;
   void mod_switch_to(Ciphertext& a, std::size_t level) const;

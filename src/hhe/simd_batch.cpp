@@ -307,6 +307,45 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
   return state;
 }
 
+fhe::Plaintext SimdBatchEngine::tile_mask(
+    std::span<const std::size_t> tiles) const {
+  const std::size_t s = config_.pasta.state_size();
+  std::vector<u64> mask(layout_.cols(), 0);
+  for (const std::size_t tile : tiles) {
+    POE_ENSURE((tile + 1) * s <= layout_.cols(), "tile out of range");
+    for (std::size_t off = 0; off < s; ++off) mask[tile * s + off] = 1;
+  }
+  return encode_cols(mask);
+}
+
+Ciphertext SimdBatchEngine::merge_tenant_keys(
+    std::span<const TenantTiles> tenants) const {
+  POE_ENSURE(!tenants.empty(), "merge requires at least one tenant");
+  Ciphertext merged;
+  bool first = true;
+  for (const auto& tenant : tenants) {
+    POE_ENSURE(tenant.key_ct != nullptr, "merge: null tenant key");
+    POE_ENSURE(!tenant.tiles.empty(), "merge: tenant owns no tiles");
+    Ciphertext masked = *tenant.key_ct;
+    bgv_.mul_plain_inplace(masked, tile_mask(tenant.tiles));
+    if (first) {
+      merged = std::move(masked);
+      first = false;
+    } else {
+      bgv_.match_levels(merged, masked);
+      bgv_.add_inplace(merged, masked);
+    }
+  }
+  return merged;
+}
+
+Ciphertext SimdBatchEngine::extract_tiles(
+    const Ciphertext& ct, std::span<const std::size_t> tiles) const {
+  Ciphertext out = ct;
+  bgv_.mul_plain_inplace(out, tile_mask(tiles));
+  return out;
+}
+
 std::vector<u64> SimdBatchEngine::decode_block(const HheConfig& config,
                                                const fhe::Bgv& bgv,
                                                const Ciphertext& ct,

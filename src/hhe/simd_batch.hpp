@@ -79,6 +79,15 @@ struct PreparedSimdBatch {
   fhe::Plaintext message_plain;              ///< symmetric ct, tile-wise
 };
 
+/// One tenant's contribution to a cross-tenant packed batch: its tiled key
+/// ciphertext (encrypt_key_batched puts the key in EVERY tile, so any tile
+/// subset works) and the tiles the scheduler assigned to it. Tiles need not
+/// be contiguous — interleaved submissions produce scattered ownership.
+struct TenantTiles {
+  const fhe::Ciphertext* key_ct = nullptr;
+  std::vector<std::size_t> tiles;
+};
+
 class SimdBatchEngine {
  public:
   SimdBatchEngine(const HheConfig& config, const fhe::Bgv& bgv);
@@ -108,6 +117,23 @@ class SimdBatchEngine {
                            const PreparedSimdBatch& batch,
                            ServerReport* report = nullptr) const;
 
+  /// Cross-tenant slot packing: restrict each tenant's tiled key to its
+  /// assigned tiles with a 0/1 column mask and sum, so tile m of the merged
+  /// ciphertext holds exactly the key of the tenant owning tile m. Tiles
+  /// owned by nobody end up with an all-zero key (their output tiles carry
+  /// well-defined garbage that extract_tiles discards). Because the whole
+  /// keystream circuit is tile-local, tenant A's output slots are
+  /// independent of what any other tile's key is — dropping (quarantining)
+  /// a tenant from the merge cannot perturb co-packed tenants.
+  fhe::Ciphertext merge_tenant_keys(std::span<const TenantTiles> tenants)
+      const;
+
+  /// Masked extraction on output: zero every slot outside `tiles`, so the
+  /// ciphertext returned to one tenant carries no other tenant's plaintext.
+  /// Costs one plaintext multiplication of noise at the output level.
+  fhe::Ciphertext extract_tiles(const fhe::Ciphertext& ct,
+                                std::span<const std::size_t> tiles) const;
+
   /// Client-side: read block `tile`'s message back out.
   static std::vector<std::uint64_t> decode_block(const HheConfig& config,
                                                  const fhe::Bgv& bgv,
@@ -118,6 +144,8 @@ class SimdBatchEngine {
  private:
   /// Encode a per-column vector (duplicated into both slot-grid rows).
   fhe::Plaintext encode_cols(const std::vector<std::uint64_t>& per_col) const;
+  /// 0/1 column mask selecting exactly the slots of `tiles`.
+  fhe::Plaintext tile_mask(std::span<const std::size_t> tiles) const;
 
   const HheConfig& config_;
   const fhe::Bgv& bgv_;

@@ -79,6 +79,12 @@ void TranscipherService::open_session(u64 client_id, fhe::Ciphertext key_ct) {
   sessions_.emplace(client_id, std::move(session));
 }
 
+void TranscipherService::open_session_switched(
+    u64 client_id, const fhe::Ciphertext& tenant_key_ct,
+    const fhe::KswKey& ingest_key) {
+  open_session(client_id, bgv_.ingest_switch(tenant_key_ct, ingest_key));
+}
+
 bool TranscipherService::open_session_wire(u64 client_id,
                                            std::span<const std::uint8_t> bytes,
                                            std::string* error) {
@@ -137,12 +143,28 @@ std::vector<TranscipherResult> TranscipherService::process(
     std::size_t block = 0;
   };
   struct BatchJob {
-    u64 client_id = 0;
+    u64 client_id = 0;  ///< legacy per-client path only
     std::vector<hhe::SimdBlockRequest> blocks;
     std::vector<BlockRef> refs;
+    std::vector<u64> tenants;  ///< tile -> owning client (packed path)
   };
   std::vector<BatchJob> jobs;
-  // Per client: the job that still has free tiles (coalescing point).
+  const bool packing = service_config_.cross_tenant_packing;
+
+  // Packed path: the deadline-aware scheduler owns batch formation (tile
+  // assignment, flush causes, backlog bound); payloads wait in a side
+  // array indexed by the scheduler handle. Time is the offset from call
+  // start, so the scheduler's virtual clock lines up with request_latency_s.
+  BatchScheduler scheduler(SchedulerConfig{
+      .batch_capacity = max_batch_,
+      .deadline_s = service_config_.batch_deadline_s,
+      .max_pending_blocks = service_config_.max_pending_blocks});
+  struct PendingBlock {
+    hhe::SimdBlockRequest block;
+    BlockRef ref;
+  };
+  std::vector<PendingBlock> pend;
+  // Legacy path — per client: the job that still has free tiles.
   std::unordered_map<u64, std::size_t> open_job;
   std::size_t admitted_blocks = 0;
 
@@ -175,8 +197,12 @@ std::vector<TranscipherResult> TranscipherService::process(
       continue;
     }
     const std::size_t nblocks = (req.symmetric_ct.size() + t - 1) / t;
-    if (service_config_.max_pending_blocks != 0 &&
-        admitted_blocks + nblocks > service_config_.max_pending_blocks) {
+    const bool overloaded =
+        packing ? !scheduler.can_accept(nblocks)
+                : service_config_.max_pending_blocks != 0 &&
+                      admitted_blocks + nblocks >
+                          service_config_.max_pending_blocks;
+    if (overloaded) {
       // Shed BEFORE the nonce is recorded, so the client can resubmit the
       // same request once load drops.
       res.status = RequestStatus::kOverloaded;
@@ -196,25 +222,52 @@ std::vector<TranscipherResult> TranscipherService::process(
     for (std::size_t b = 0; b < nblocks; ++b) {
       const std::size_t begin = b * t;
       const std::size_t len = std::min(t, req.symmetric_ct.size() - begin);
-      auto open = open_job.find(req.client_id);
-      if (open == open_job.end() ||
-          jobs[open->second].blocks.size() >= max_batch_) {
-        open_job[req.client_id] = jobs.size();
-        BatchJob job;
-        job.client_id = req.client_id;
-        jobs.push_back(std::move(job));
-        open = open_job.find(req.client_id);
-      }
-      BatchJob& job = jobs[open->second];
       hhe::SimdBlockRequest block;
       block.nonce = req.nonce;
       block.counter = b;  // block i of a message uses counter i
       block.symmetric_ct.assign(
           req.symmetric_ct.begin() + static_cast<long>(begin),
           req.symmetric_ct.begin() + static_cast<long>(begin + len));
-      job.blocks.push_back(std::move(block));
-      job.refs.push_back(BlockRef{.request = r, .block = b});
+      if (packing) {
+        const double now = seconds_since(t_start);
+        const bool accepted = scheduler.submit(
+            ScheduledBlock{.tenant = req.client_id,
+                           .handle = pend.size(),
+                           .arrival_s = now},
+            now);
+        POE_ENSURE(accepted, "scheduler refused a pre-admitted block");
+        pend.push_back(
+            PendingBlock{std::move(block), BlockRef{.request = r, .block = b}});
+      } else {
+        auto open = open_job.find(req.client_id);
+        if (open == open_job.end() ||
+            jobs[open->second].blocks.size() >= max_batch_) {
+          open_job[req.client_id] = jobs.size();
+          BatchJob job;
+          job.client_id = req.client_id;
+          jobs.push_back(std::move(job));
+          open = open_job.find(req.client_id);
+        }
+        BatchJob& job = jobs[open->second];
+        job.blocks.push_back(std::move(block));
+        job.refs.push_back(BlockRef{.request = r, .block = b});
+      }
       ++rep.blocks;
+    }
+  }
+  if (packing) {
+    // End of the admission stream: flush whatever is still forming and
+    // materialise the formed batches (tile i = blocks[i], arrival order).
+    scheduler.drain(seconds_since(t_start));
+    while (auto formed = scheduler.next()) {
+      BatchJob job;
+      job.blocks.reserve(formed->blocks.size());
+      for (const ScheduledBlock& sb : formed->blocks) {
+        job.blocks.push_back(std::move(pend[sb.handle].block));
+        job.refs.push_back(pend[sb.handle].ref);
+        job.tenants.push_back(sb.tenant);
+      }
+      jobs.push_back(std::move(job));
     }
   }
   rep.batches = jobs.size();
@@ -303,7 +356,101 @@ std::vector<TranscipherResult> TranscipherService::process(
   };
 
   // Consumer side: poison-pill gate + evaluation of one prepared batch.
+  // Packed batches may span several tenants: each tenant is validated
+  // separately, quarantined tenants are dropped from the key merge (their
+  // tiles get an all-zero key and their requests degrade to kQuarantined),
+  // and every survivor receives a masked extraction of the shared output.
+  // The keystream circuit is tile-local, so the survivors' slots decode
+  // bit-identical to a run without the quarantined tenant.
+  auto consume_packed = [&](Prepared& prepared) {
+    const std::size_t j = prepared.job;
+    const BatchJob& job = jobs[j];
+    // Tiles grouped by tenant, in first-arrival order — the fault sites
+    // below fire in deterministic tenant order for the chaos harness.
+    std::vector<u64> tenant_order;
+    std::unordered_map<u64, std::vector<std::size_t>> tiles_of;
+    for (std::size_t i = 0; i < job.tenants.size(); ++i) {
+      auto [pos, fresh] = tiles_of.try_emplace(job.tenants[i]);
+      if (fresh) tenant_order.push_back(job.tenants[i]);
+      pos->second.push_back(i);
+    }
+    std::vector<hhe::TenantTiles> live;
+    std::vector<u64> live_ids;
+    std::unordered_set<u64> dead;
+    for (const u64 tenant : tenant_order) {
+      Session& session = sessions_.at(tenant);
+      if (service_config_.validate_sessions) {
+        if (!session.key_ct.parts.empty()) {
+          fault_corrupt(exec, "service.key.corrupt",
+                        session.key_ct.parts[0].rns(0));
+          if (tenant_order.size() > 1) {
+            // Packed-batch-specific site: poison a key mid-pack (arm with
+            // `after` to hit the second or later tenant of the batch).
+            fault_corrupt(exec, "service.pack.key.corrupt",
+                          session.key_ct.parts[0].rns(0));
+          }
+        }
+        if (auto why = fhe::validate_ciphertext(bgv_.rns(), session.key_ct)) {
+          dead.insert(tenant);
+          for (const std::size_t i : tiles_of[tenant]) {
+            TranscipherResult& res = results[job.refs[i].request];
+            if (res.status == RequestStatus::kOk) {
+              res.status = RequestStatus::kQuarantined;
+              res.error = "session key implausible: " + *why;
+            }
+          }
+          continue;
+        }
+      }
+      live.push_back(hhe::TenantTiles{&session.key_ct, tiles_of[tenant]});
+      live_ids.push_back(tenant);
+    }
+    if (live.empty()) {
+      outcomes[j].state = BatchState::kQuarantined;
+      outcomes[j].error = "every tenant of the batch was quarantined";
+      return;
+    }
+    std::unordered_map<u64, std::shared_ptr<const fhe::Ciphertext>> out_of;
+    double batch_noise = 0;
+    const bool ok = run_stage(
+        "service.evaluate", "service.evaluate.stall",
+        [&] {
+          const fhe::Ciphertext packed_key = engine_.merge_tenant_keys(live);
+          hhe::ServerReport server_report;
+          const fhe::Ciphertext batch_out =
+              engine_.evaluate(packed_key, prepared.batch, &server_report);
+          out_of.clear();
+          batch_noise = 1e9;
+          for (std::size_t v = 0; v < live.size(); ++v) {
+            auto ct = std::make_shared<const fhe::Ciphertext>(
+                engine_.extract_tiles(batch_out, live[v].tiles));
+            // The extraction mask costs noise: report the deliverable's
+            // budget, not the pre-mask batch output's.
+            batch_noise = std::min(batch_noise, bgv_.noise_budget_bits(*ct));
+            out_of[live_ids[v]] = std::move(ct);
+          }
+        },
+        outcomes[j], outcomes[j].eval_s);
+    if (!ok) return;
+    outcomes[j].state = BatchState::kDone;
+    min_noise = std::min(min_noise, batch_noise);
+    ++evaluated_batches;
+    for (std::size_t i = 0; i < job.refs.size(); ++i) {
+      if (dead.contains(job.tenants[i])) continue;
+      const BlockRef& ref = job.refs[i];
+      results[ref.request].blocks[ref.block] =
+          PlacedBlock{out_of.at(job.tenants[i]), i, prepared.batch.lens[i]};
+      if (--missing[ref.request] == 0) {
+        rep.request_latency_s[ref.request] = seconds_since(t_start);
+      }
+    }
+  };
+
   auto consume_one = [&](Prepared prepared) {
+    if (packing) {
+      consume_packed(prepared);
+      return;
+    }
     const std::size_t j = prepared.job;
     const BatchJob& job = jobs[j];
     Session& session = sessions_.at(job.client_id);
@@ -467,6 +614,14 @@ std::vector<TranscipherResult> TranscipherService::process(
     rep.avg_batch_occupancy /= double(jobs.size());
   }
   rep.blocks_per_s = rep.total_s > 0 ? double(rep.blocks) / rep.total_s : 0;
+  if (packing) {
+    const SchedulerStats& sched = scheduler.stats();
+    rep.full_flushes = sched.full_flushes;
+    rep.deadline_flushes = sched.deadline_flushes;
+    rep.drain_flushes = sched.drain_flushes;
+    rep.cross_tenant_batches = sched.cross_tenant_batches;
+    rep.max_batch_wait_s = sched.max_wait_s;
+  }
   rep.session_evictions = evictions_;
   rep.faults.injected =
       injector != nullptr ? injector->fired_total() - fired_before : 0;

@@ -7,11 +7,18 @@
 //    nonce replay tracking and evicts the least-recently-used session when
 //    the capacity bound is hit. open_session_wire ingests the serialized
 //    form, validating it before it can touch a batch.
-//  * Coalescing. A request carries a whole message; the service splits it
-//    into PASTA blocks (block i uses counter i, matching
-//    pasta::PastaCipher::encrypt) and coalesces blocks of the SAME client
-//    into SIMD batches of up to batch_capacity() tiles — blocks of
-//    different clients use different keys, so they never share a batch.
+//  * Cross-tenant packing. A request carries a whole message; the service
+//    splits it into PASTA blocks (block i uses counter i, matching
+//    pasta::PastaCipher::encrypt) and a deadline-aware BatchScheduler packs
+//    blocks of DIFFERENT clients into one SIMD batch of up to
+//    batch_capacity() tiles. Each tenant's tiled key is restricted to its
+//    assigned tiles by a 0/1 mask and the masked keys are summed into one
+//    packed key ciphertext (SimdBatchEngine::merge_tenant_keys); on output
+//    each tenant receives a masked extraction carrying only its own slots.
+//    Keys uploaded under a tenant's own BGV secret are key-switched into
+//    the service's evaluation domain on ingest (open_session_switched).
+//    ServiceConfig::cross_tenant_packing = false restores per-client
+//    batching, kept as the reference path for differential tests.
 //  * Pipelining. Batch preparation (SHAKE squeeze, rejection sampling,
 //    matrix generation, diagonal encoding — pure CPU work) runs on a
 //    dedicated thread feeding a bounded queue; the caller's thread drains
@@ -47,6 +54,7 @@
 #include "common/exec_context.hpp"
 #include "fhe/bgv.hpp"
 #include "hhe/simd_batch.hpp"
+#include "service/scheduler.hpp"
 
 namespace poe::service {
 
@@ -56,6 +64,17 @@ struct ServiceConfig {
   std::size_t pipeline_depth = 2;   ///< prepared batches buffered ahead
   bool pipelined = true;            ///< false: prepare+evaluate in sequence
   std::size_t max_tracked_nonces = 1024;  ///< replay window per session
+
+  /// Pack blocks of DIFFERENT clients into one SIMD batch (per-tenant slot
+  /// ranges, merged keys, masked extraction on output). false restores
+  /// per-client batching — the reference path for differential tests.
+  bool cross_tenant_packing = true;
+  /// Deadline-aware flush: a forming batch whose OLDEST block has waited
+  /// longer than this is flushed partially full, bounding packing latency.
+  /// 0 = flush only when full or at end-of-call drain. (Only meaningful
+  /// with cross_tenant_packing; exercised under virtual time in
+  /// tests/scheduler_test.cpp.)
+  double batch_deadline_s = 0;
 
   // --- Robustness knobs (defaults keep the fault-free fast path intact).
   std::size_t max_request_elems = 1u << 16;  ///< admission bound per request
@@ -148,6 +167,13 @@ struct ServiceReport {
   std::size_t max_queue_depth = 0;
   double avg_batch_occupancy = 0;  ///< mean fill fraction of the batches
   double blocks_per_s = 0;
+  // --- Batch-scheduler accounting (all zero with cross_tenant_packing
+  // --- off): why each batch left the forming stage, and the packing reach.
+  std::size_t full_flushes = 0;      ///< batches flushed at capacity
+  std::size_t deadline_flushes = 0;  ///< partial batches flushed on deadline
+  std::size_t drain_flushes = 0;     ///< partial batches flushed at drain
+  std::size_t cross_tenant_batches = 0;  ///< batches packing >1 tenant
+  double max_batch_wait_s = 0;  ///< worst block arrival -> flush wait
   double min_noise_budget_bits = 0;  ///< worst batch output
   std::size_t session_evictions = 0; ///< lifetime total at call end
   std::vector<double> request_latency_s;  ///< per request, call start -> done
@@ -169,6 +195,15 @@ class TranscipherService {
   /// Register (or replace) a client's encrypted PASTA key. Evicts the
   /// least-recently-used other session if the capacity bound is reached.
   void open_session(std::uint64_t client_id, fhe::Ciphertext key_ct);
+
+  /// Ingest a key that was encrypted under the TENANT's own BGV secret:
+  /// key-switch it into this service's evaluation domain
+  /// (fhe::Bgv::ingest_switch) and register the switched key. Obtain
+  /// `ingest_key` from bgv.make_ingest_key(tenant_bgv). This is how tenants
+  /// with independent key material share one packed evaluation domain.
+  void open_session_switched(std::uint64_t client_id,
+                             const fhe::Ciphertext& tenant_key_ct,
+                             const fhe::KswKey& ingest_key);
 
   /// Wire ingest: deserialize + validate an untrusted key upload before it
   /// can reach a session. Returns false (with `error` describing why)

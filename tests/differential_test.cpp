@@ -342,5 +342,165 @@ TEST(ServiceDifferential, ServiceAgreesWithCoefficientWiseServer) {
   EXPECT_EQ(via_service, via_coeff);
 }
 
+// ------------------------------------------- cross-tenant packed batches
+
+// Satellite of the cross-tenant packing PR: one packed batch holding THREE
+// tenants with distinct PASTA keys and ragged fills (1, 3 and 7 blocks)
+// must decode bit-identical per tenant to (a) the per-client-batched
+// service path and (b) the coefficient-wise server — the same transcipher
+// answer through three entirely different evaluation shapes.
+TEST(TenantIsolationDifferential, PackedMatchesPerClientAndCoeffRaggedFills) {
+  auto& sb = batched();
+  auto& sc = coeff();
+  ASSERT_EQ(sb.config.pasta.t, sc.config.pasta.t);
+  const std::size_t t = sb.config.pasta.t;
+  Xoshiro256 rng(20260808);
+
+  const std::size_t kTenants = 3;
+  const std::size_t kBlocksOf[kTenants] = {1, 3, 7};
+  std::vector<std::vector<u64>> keys(kTenants), msgs(kTenants);
+  std::vector<service::TranscipherRequest> reqs;
+  for (std::size_t c = 0; c < kTenants; ++c) {
+    keys[c] = pasta::PastaCipher::random_key(sb.config.pasta, rng);
+    // Ragged: the tenant's LAST block is also partially filled.
+    msgs[c] = random_msg(rng, sb.config.pasta.p, kBlocksOf[c] * t - 2);
+    pasta::PastaCipher sw(sb.config.pasta, keys[c]);
+    reqs.push_back(service::TranscipherRequest{
+        .client_id = c + 1,
+        .nonce = 900 + c,
+        .symmetric_ct = sw.encrypt(msgs[c], 900 + c)});
+  }
+
+  // Path 1: one packed cross-tenant batch (1 + 3 + 7 = 11 of 32 tiles).
+  service::ServiceReport packed_rep;
+  std::vector<std::vector<u64>> via_packed(kTenants);
+  {
+    service::TranscipherService svc(sb.config, sb.bgv, {}, sb.simd_keys);
+    for (std::size_t c = 0; c < kTenants; ++c) {
+      svc.open_session(c + 1, hhe::encrypt_key_batched(sb.config, sb.bgv,
+                                                       sb.encoder, sb.layout,
+                                                       keys[c]));
+    }
+    const auto results = svc.process(reqs, &packed_rep);
+    ASSERT_EQ(packed_rep.batches, 1u);
+    ASSERT_EQ(packed_rep.cross_tenant_batches, 1u);
+    for (std::size_t c = 0; c < kTenants; ++c) {
+      ASSERT_TRUE(results[c].ok()) << results[c].error;
+      ASSERT_EQ(results[c].blocks.size(), kBlocksOf[c]);
+      for (const auto& block : results[c].blocks) {
+        const auto vals = service::TranscipherService::decode_block(
+            sb.config, sb.bgv, block);
+        via_packed[c].insert(via_packed[c].end(), vals.begin(), vals.end());
+      }
+    }
+  }
+
+  // Path 2: the per-client-batched reference (packing disabled).
+  std::vector<std::vector<u64>> via_per_client(kTenants);
+  {
+    service::TranscipherService svc(
+        sb.config, sb.bgv,
+        service::ServiceConfig{.cross_tenant_packing = false}, sb.simd_keys);
+    for (std::size_t c = 0; c < kTenants; ++c) {
+      svc.open_session(c + 1, hhe::encrypt_key_batched(sb.config, sb.bgv,
+                                                       sb.encoder, sb.layout,
+                                                       keys[c]));
+    }
+    service::ServiceReport rep;
+    const auto results = svc.process(reqs, &rep);
+    ASSERT_EQ(rep.batches, kTenants);  // one batch per tenant
+    EXPECT_EQ(rep.cross_tenant_batches, 0u);
+    for (std::size_t c = 0; c < kTenants; ++c) {
+      ASSERT_TRUE(results[c].ok()) << results[c].error;
+      for (const auto& block : results[c].blocks) {
+        const auto vals = service::TranscipherService::decode_block(
+            sb.config, sb.bgv, block);
+        via_per_client[c].insert(via_per_client[c].end(), vals.begin(),
+                                 vals.end());
+      }
+    }
+  }
+
+  // Path 3: the coefficient-wise server (multi-block, ragged tail).
+  for (std::size_t c = 0; c < kTenants; ++c) {
+    hhe::HheClient client(sc.config, sc.bgv, keys[c]);
+    hhe::HheServer server(sc.config, sc.bgv, client.encrypt_key());
+    const auto via_coeff = client.decrypt_result(
+        server.transcipher(reqs[c].symmetric_ct, reqs[c].nonce));
+
+    EXPECT_EQ(via_packed[c], msgs[c]) << "tenant " << c;
+    EXPECT_EQ(via_per_client[c], msgs[c]) << "tenant " << c;
+    EXPECT_EQ(via_coeff, msgs[c]) << "tenant " << c;
+    EXPECT_EQ(via_packed[c], via_per_client[c]) << "tenant " << c;
+    EXPECT_EQ(via_packed[c], via_coeff) << "tenant " << c;
+  }
+}
+
+// Key-switch-on-ingest: a tenant with its OWN BGV secret (same ring)
+// uploads a key encrypted in its own domain; the service switches it into
+// the shared evaluation domain and packs it with a native tenant. Both
+// must transcipher exactly.
+TEST(TenantIsolationDifferential, IngestSwitchedTenantPacksWithNativeTenant) {
+  auto& sb = batched();
+  Xoshiro256 rng(606060);
+
+  // The foreign tenant's evaluator: identical ring, different secret.
+  fhe::BgvParams foreign_params = sb.config.bgv;
+  foreign_params.seed = sb.config.bgv.seed + 17;
+  fhe::Bgv foreign_bgv(foreign_params);
+  const fhe::KswKey ingest_key = sb.bgv.make_ingest_key(foreign_bgv);
+
+  const auto foreign_key =
+      pasta::PastaCipher::random_key(sb.config.pasta, rng);
+  const auto native_key =
+      pasta::PastaCipher::random_key(sb.config.pasta, rng);
+  const auto msg_f = random_msg(rng, sb.config.pasta.p, sb.config.pasta.t);
+  const auto msg_n =
+      random_msg(rng, sb.config.pasta.p, sb.config.pasta.t + 2);
+
+  service::TranscipherService svc(sb.config, sb.bgv, {}, sb.simd_keys);
+  // The foreign upload is tiled with the foreign evaluator (same encoder
+  // and layout: both are parameter-only), then switched on ingest.
+  svc.open_session_switched(
+      1,
+      hhe::encrypt_key_batched(sb.config, foreign_bgv, sb.encoder, sb.layout,
+                               foreign_key),
+      ingest_key);
+  svc.open_session(2, hhe::encrypt_key_batched(sb.config, sb.bgv, sb.encoder,
+                                               sb.layout, native_key));
+
+  pasta::PastaCipher sw_f(sb.config.pasta, foreign_key);
+  pasta::PastaCipher sw_n(sb.config.pasta, native_key);
+  service::ServiceReport rep;
+  const auto results = svc.process(
+      std::vector{
+          service::TranscipherRequest{.client_id = 1,
+                                      .nonce = 71,
+                                      .symmetric_ct = sw_f.encrypt(msg_f, 71)},
+          service::TranscipherRequest{.client_id = 2,
+                                      .nonce = 72,
+                                      .symmetric_ct =
+                                          sw_n.encrypt(msg_n, 72)}},
+      &rep);
+
+  ASSERT_EQ(rep.batches, 1u);
+  EXPECT_EQ(rep.cross_tenant_batches, 1u);
+  EXPECT_GT(rep.min_noise_budget_bits, 0.0);
+  for (const auto& res : results) ASSERT_TRUE(res.ok()) << res.error;
+  std::vector<u64> via_f, via_n;
+  for (const auto& block : results[0].blocks) {
+    const auto vals =
+        service::TranscipherService::decode_block(sb.config, sb.bgv, block);
+    via_f.insert(via_f.end(), vals.begin(), vals.end());
+  }
+  for (const auto& block : results[1].blocks) {
+    const auto vals =
+        service::TranscipherService::decode_block(sb.config, sb.bgv, block);
+    via_n.insert(via_n.end(), vals.begin(), vals.end());
+  }
+  EXPECT_EQ(via_f, msg_f);
+  EXPECT_EQ(via_n, msg_n);
+}
+
 }  // namespace
 }  // namespace poe

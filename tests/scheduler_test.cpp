@@ -1,0 +1,184 @@
+// Unit tests for the deadline-aware cross-tenant BatchScheduler (ctest
+// label: tier1). Everything here runs under VIRTUAL time — the scheduler
+// takes `now` as a parameter — so deadline expiry, partial flushes and
+// saturation shedding are pinned exactly, without a single sleep. The
+// end-to-end service behaviour (kOverloaded mapping, packed evaluation) is
+// covered by service_test.cpp and fault_test.cpp; this file pins the
+// formation logic itself.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "service/scheduler.hpp"
+
+namespace poe::service {
+namespace {
+
+ScheduledBlock block(std::uint64_t tenant, std::size_t handle, double t) {
+  return ScheduledBlock{.tenant = tenant, .handle = handle, .arrival_s = t};
+}
+
+TEST(BatchScheduler, FullBatchFlushesImmediately) {
+  BatchScheduler sched(SchedulerConfig{.batch_capacity = 3});
+  EXPECT_TRUE(sched.submit(block(1, 0, 0.0), 0.0));
+  EXPECT_TRUE(sched.submit(block(2, 1, 0.0), 0.0));
+  EXPECT_FALSE(sched.next().has_value());  // still forming
+  EXPECT_TRUE(sched.submit(block(1, 2, 0.0), 0.0));
+
+  const auto batch = sched.next();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->cause, FlushCause::kFull);
+  ASSERT_EQ(batch->blocks.size(), 3u);
+  // Tiles are assigned in arrival order: tile i = i-th submitted block.
+  EXPECT_EQ(batch->blocks[0].handle, 0u);
+  EXPECT_EQ(batch->blocks[1].handle, 1u);
+  EXPECT_EQ(batch->blocks[2].handle, 2u);
+  EXPECT_EQ(sched.stats().full_flushes, 1u);
+  EXPECT_EQ(sched.stats().cross_tenant_batches, 1u);  // tenants {1, 2}
+  EXPECT_DOUBLE_EQ(sched.stats().occupancy_sum, 1.0);
+}
+
+TEST(BatchScheduler, DeadlineExpiryFlushesPartialBatch) {
+  BatchScheduler sched(
+      SchedulerConfig{.batch_capacity = 8, .deadline_s = 1.0});
+  EXPECT_TRUE(sched.submit(block(1, 0, 0.0), 0.0));
+  EXPECT_TRUE(sched.submit(block(1, 1, 0.4), 0.4));
+
+  sched.advance(0.99);  // oldest block has waited 0.99 s < 1 s
+  EXPECT_FALSE(sched.next().has_value());
+
+  sched.advance(1.0);  // deadline reached: flush the partial batch
+  const auto batch = sched.next();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->cause, FlushCause::kDeadline);
+  EXPECT_EQ(batch->blocks.size(), 2u);
+  EXPECT_EQ(sched.stats().deadline_flushes, 1u);
+  EXPECT_DOUBLE_EQ(sched.stats().occupancy_sum, 2.0 / 8.0);
+  // The worst wait is the oldest block's: flushed at 1.0, arrived at 0.0.
+  EXPECT_DOUBLE_EQ(sched.stats().max_wait_s, 1.0);
+
+  // The deadline clock restarts with the next forming batch.
+  EXPECT_TRUE(sched.submit(block(1, 2, 1.5), 1.5));
+  sched.advance(2.4);
+  EXPECT_FALSE(sched.next().has_value());
+  sched.advance(2.5);
+  EXPECT_TRUE(sched.next().has_value());
+}
+
+TEST(BatchScheduler, DeadlineChecksOnSubmitToo) {
+  // A late submit first flushes the expired forming batch, then starts a
+  // new one with the late block — the old batch must not absorb it.
+  BatchScheduler sched(
+      SchedulerConfig{.batch_capacity = 8, .deadline_s = 1.0});
+  EXPECT_TRUE(sched.submit(block(1, 0, 0.0), 0.0));
+  EXPECT_TRUE(sched.submit(block(2, 1, 5.0), 5.0));
+
+  const auto expired = sched.next();
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_EQ(expired->cause, FlushCause::kDeadline);
+  ASSERT_EQ(expired->blocks.size(), 1u);
+  EXPECT_EQ(expired->blocks[0].handle, 0u);
+  EXPECT_EQ(sched.pending_blocks(), 1u);  // handle 1 is forming
+}
+
+TEST(BatchScheduler, DrainFlushesRemainder) {
+  BatchScheduler sched(SchedulerConfig{.batch_capacity = 4});
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(sched.submit(block(7, i, 0.0), 0.0));
+  }
+  sched.drain(0.5);
+
+  const auto full = sched.next();
+  const auto rest = sched.next();
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(full->cause, FlushCause::kFull);
+  EXPECT_EQ(full->blocks.size(), 4u);
+  EXPECT_EQ(rest->cause, FlushCause::kDrain);
+  EXPECT_EQ(rest->blocks.size(), 2u);
+  EXPECT_FALSE(sched.next().has_value());
+  EXPECT_EQ(sched.pending_blocks(), 0u);
+  EXPECT_EQ(sched.stats().cross_tenant_batches, 0u);  // single tenant
+  EXPECT_EQ(std::string(to_string(full->cause)), "full");
+  EXPECT_EQ(std::string(to_string(rest->cause)), "drain");
+
+  // An empty drain is a no-op, not an empty batch.
+  sched.drain(1.0);
+  EXPECT_FALSE(sched.next().has_value());
+  EXPECT_EQ(sched.stats().batches, 2u);
+}
+
+TEST(BatchScheduler, SaturatedBacklogShedsDeterministically) {
+  // Backlog bound counts forming AND formed-but-unconsumed blocks: with
+  // max_pending_blocks = 4 and nothing consumed, the 5th submit sheds —
+  // every time, under virtual time, no races involved.
+  BatchScheduler sched(SchedulerConfig{.batch_capacity = 4,
+                                       .max_pending_blocks = 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sched.can_accept(1));
+    EXPECT_TRUE(sched.submit(block(1, i, 0.0), 0.0));
+  }
+  // The batch flushed full but was not consumed: still 4 pending.
+  EXPECT_EQ(sched.pending_blocks(), 4u);
+  EXPECT_FALSE(sched.can_accept(1));
+  EXPECT_FALSE(sched.submit(block(1, 4, 0.0), 0.0));
+  EXPECT_EQ(sched.stats().shed, 1u);
+  EXPECT_EQ(sched.stats().submitted, 4u);
+
+  // Consuming the formed batch frees the backlog; the same block is
+  // accepted on resubmission.
+  EXPECT_TRUE(sched.next().has_value());
+  EXPECT_TRUE(sched.can_accept(4));
+  EXPECT_TRUE(sched.submit(block(1, 4, 1.0), 1.0));
+  EXPECT_EQ(sched.stats().shed, 1u);
+
+  // A multi-block request that would overflow is refused up front.
+  EXPECT_TRUE(sched.can_accept(3));
+  EXPECT_FALSE(sched.can_accept(4));
+}
+
+TEST(BatchScheduler, StatsPartitionInvariant) {
+  // submitted == sum of flushed batch sizes + still-pending blocks, and
+  // submitted + shed == everything offered; flush causes partition batches.
+  BatchScheduler sched(SchedulerConfig{.batch_capacity = 2,
+                                       .deadline_s = 1.0,
+                                       .max_pending_blocks = 6});
+  std::size_t offered = 0, accepted = 0;
+  auto offer = [&](std::uint64_t tenant, double t) {
+    ++offered;
+    if (sched.submit(block(tenant, offered, t), t)) ++accepted;
+  };
+  offer(1, 0.0);
+  offer(2, 0.1);  // -> full flush
+  offer(1, 0.2);
+  sched.advance(1.3);  // -> deadline flush (partial)
+  offer(3, 1.4);
+  offer(3, 1.5);  // -> full flush
+  offer(1, 1.6);     // 5 ready + 1 forming = 6 pending (at the bound)
+  offer(2, 1.7);     // would make 7 > 6: shed
+  sched.drain(2.0);  // -> drain flush of the forming block
+
+  const SchedulerStats& stats = sched.stats();
+  EXPECT_EQ(stats.submitted, accepted);
+  EXPECT_EQ(stats.shed, offered - accepted);
+  EXPECT_EQ(stats.full_flushes + stats.deadline_flushes + stats.drain_flushes,
+            stats.batches);
+  std::size_t flushed_blocks = 0, popped = 0;
+  while (auto batch = sched.next()) {
+    flushed_blocks += batch->blocks.size();
+    ++popped;
+  }
+  EXPECT_EQ(popped, stats.batches);
+  EXPECT_EQ(flushed_blocks + sched.pending_blocks(), stats.submitted);
+  EXPECT_EQ(stats.max_pending, 6u);
+  EXPECT_GT(stats.occupancy_sum, 0.0);
+}
+
+TEST(BatchScheduler, RejectsZeroCapacity) {
+  EXPECT_THROW(BatchScheduler(SchedulerConfig{.batch_capacity = 0}),
+               poe::Error);
+}
+
+}  // namespace
+}  // namespace poe::service

@@ -197,7 +197,7 @@ TEST(TranscipherServiceTest, CoalescesRequestsOfOneClient) {
   EXPECT_EQ(decode_all(results[1]), msg_b);
 }
 
-TEST(TranscipherServiceTest, ClientsDoNotShareBatches) {
+TEST(TranscipherServiceTest, ClientsShareOnePackedBatchWithIsolation) {
   auto service = make_service();
   TestClient alice(3, 31), bob(4, 41);
   service.open_session(alice.id, alice.encrypted_key());
@@ -210,10 +210,113 @@ TEST(TranscipherServiceTest, ClientsDoNotShareBatches) {
   ServiceReport report;
   const auto results = service.process(reqs, &report);
 
-  // Different clients = different keys = different batches.
-  EXPECT_EQ(report.batches, 2u);
+  // Different clients, distinct PASTA keys, ONE batch: each tenant's key is
+  // masked into its own tile of the merged key ciphertext.
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.cross_tenant_batches, 1u);
   EXPECT_EQ(decode_all(results[0]), msg_a);
   EXPECT_EQ(decode_all(results[1]), msg_b);
+
+  // Isolation boundary: the ciphertext handed to alice is a masked
+  // extraction — bob's tile (tile 1 of the shared batch) decodes to all
+  // zeros from alice's ciphertext, and vice versa.
+  const std::size_t t = stack().config.pasta.t;
+  const std::vector<u64> zeros(t, 0);
+  EXPECT_EQ(hhe::SimdBatchEngine::decode_block(stack().config, stack().bgv,
+                                               *results[0].blocks[0].ct,
+                                               /*tile=*/1, t),
+            zeros);
+  EXPECT_EQ(hhe::SimdBatchEngine::decode_block(stack().config, stack().bgv,
+                                               *results[1].blocks[0].ct,
+                                               /*tile=*/0, t),
+            zeros);
+}
+
+TEST(TranscipherServiceTest, PackingOffRestoresPerClientBatches) {
+  // The legacy per-client path survives as an explicit config, serving as
+  // the reference side of the packed-vs-unpacked differential tests.
+  auto service = make_service(ServiceConfig{.cross_tenant_packing = false});
+  TestClient alice(30, 33), bob(31, 43);
+  service.open_session(alice.id, alice.encrypted_key());
+  service.open_session(bob.id, bob.encrypted_key());
+
+  const auto msg_a = random_msg(5, 34);
+  const auto msg_b = random_msg(7, 44);
+  ServiceReport report;
+  const auto results = service.process(
+      std::vector{alice.request(9, msg_a), bob.request(9, msg_b)}, &report);
+
+  EXPECT_EQ(report.batches, 2u);  // different keys, never share a batch
+  EXPECT_EQ(report.cross_tenant_batches, 0u);
+  EXPECT_EQ(decode_all(results[0]), msg_a);
+  EXPECT_EQ(decode_all(results[1]), msg_b);
+}
+
+TEST(TranscipherServiceTest, PackedFlushCausesReported) {
+  // Two tiles per batch, three blocks from two interleaved tenants: the
+  // first batch flushes FULL, the leftover block flushes at DRAIN.
+  auto service = make_service(ServiceConfig{.max_batch_blocks = 2});
+  TestClient alice(32, 35), bob(33, 45);
+  service.open_session(alice.id, alice.encrypted_key());
+  service.open_session(bob.id, bob.encrypted_key());
+
+  const auto msg_1 = random_msg(3, 36);   // 1 block
+  const auto msg_2 = random_msg(4, 46);   // 1 block
+  const auto msg_3 = random_msg(5, 47);   // 1 block
+  ServiceReport report;
+  const auto results = service.process(
+      std::vector{alice.request(1, msg_1), bob.request(1, msg_2),
+                  alice.request(2, msg_3)},
+      &report);
+
+  EXPECT_EQ(report.batches, 2u);
+  EXPECT_EQ(report.full_flushes, 1u);
+  EXPECT_EQ(report.drain_flushes, 1u);
+  EXPECT_EQ(report.deadline_flushes, 0u);  // no deadline configured
+  EXPECT_EQ(report.cross_tenant_batches, 1u);  // the full alice+bob batch
+  EXPECT_DOUBLE_EQ(report.avg_batch_occupancy, 0.75);  // (2/2 + 1/2) / 2
+  EXPECT_GE(report.max_batch_wait_s, 0.0);
+  EXPECT_EQ(decode_all(results[0]), msg_1);
+  EXPECT_EQ(decode_all(results[1]), msg_2);
+  EXPECT_EQ(decode_all(results[2]), msg_3);
+}
+
+TEST(TranscipherServiceTest, InterleavedTenantNonceReplayIsPerTenant) {
+  // Replay tracking must be per-TENANT, not per-batch: two tenants may use
+  // the same nonce value in one packed batch, and a replay is detected for
+  // the right tenant regardless of interleaved submission order.
+  auto service = make_service();
+  TestClient alice(34, 37), bob(35, 48);
+  service.open_session(alice.id, alice.encrypted_key());
+  service.open_session(bob.id, bob.encrypted_key());
+  const auto msg = random_msg(3, 38);
+
+  // Wave 1, interleaved: alice(5), bob(5), alice(6), bob(7). The shared
+  // nonce value 5 is fine — the windows are independent.
+  ServiceReport rep1;
+  const auto wave1 = service.process(
+      std::vector{alice.request(5, msg), bob.request(5, msg),
+                  alice.request(6, msg), bob.request(7, msg)},
+      &rep1);
+  for (const auto& res : wave1) ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(rep1.batches, 1u);  // all four requests packed together
+
+  // Wave 2, interleaved the other way: bob replays alice's nonce 6 for the
+  // FIRST time (fresh for bob -> ok), alice replays her own 6 (-> replay),
+  // bob replays his own 5 (-> replay), alice uses fresh 8 (-> ok).
+  ServiceReport rep2;
+  const auto wave2 = service.process(
+      std::vector{bob.request(6, msg), alice.request(6, msg),
+                  bob.request(5, msg), alice.request(8, msg)},
+      &rep2);
+  ASSERT_TRUE(wave2[0].ok()) << wave2[0].error;
+  EXPECT_EQ(wave2[1].status, RequestStatus::kNonceReplay);
+  EXPECT_EQ(wave2[2].status, RequestStatus::kNonceReplay);
+  ASSERT_TRUE(wave2[3].ok()) << wave2[3].error;
+  EXPECT_EQ(decode_all(wave2[0]), msg);
+  EXPECT_EQ(decode_all(wave2[3]), msg);
+  EXPECT_EQ(rep2.faults.rejected, 2u);
+  EXPECT_EQ(rep2.faults.ok, 2u);
 }
 
 TEST(TranscipherServiceTest, MaxBatchBlocksSplitsBatches) {
@@ -440,9 +543,11 @@ TEST(TranscipherServiceTest, ReportAccountingConsistent) {
   EXPECT_EQ(rep.faults.recovered_batches, 0u);
   EXPECT_EQ(rep.faults.injected, 0u);
 
-  // Admitted work: 3 blocks (alice 1 + 1 coalesced, bob 1) in 2 batches.
+  // Admitted work: 3 blocks (alice 2, bob 1) packed into ONE shared batch.
   EXPECT_EQ(rep.blocks, 3u);
-  EXPECT_EQ(rep.batches, 2u);
+  EXPECT_EQ(rep.batches, 1u);
+  EXPECT_EQ(rep.cross_tenant_batches, 1u);
+  EXPECT_EQ(rep.drain_flushes, 1u);  // partial batch flushed at end of call
   EXPECT_GT(rep.prepare_s, 0.0);
   EXPECT_GT(rep.eval_s, 0.0);
   EXPECT_GT(rep.min_noise_budget_bits, 0.0);
