@@ -248,6 +248,8 @@ int main() {
   {
     std::ofstream json("BENCH_hhe.json");
     json << "{\n  \"config\": \"" << config.pasta.name << "\",\n"
+         << "  \"kernel_backend\": \""
+         << ExecContext::global().kernel_backend_name() << "\",\n"
          << "  \"benchmarks\": [\n"
          << json_record("transcipher_block_coefficient", transcipher_s, report)
          << ",\n"

@@ -3,9 +3,14 @@
 // encryption (the CPU baseline of Table II), and BGV primitives.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "common/exec_context.hpp"
+#include "kernels/backend.hpp"
 #include "common/rng.hpp"
 #include "fhe/bgv.hpp"
 #include "fhe/encoding.hpp"
@@ -179,6 +184,129 @@ void BM_AcceleratorBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceleratorBlock)->Arg(3)->Arg(4);
 
+// ---- Kernel-backend comparison epilogue. ---------------------------------
+// Times the three hot kernels (forward NTT, pointwise Barrett mul, lazy ksw
+// inner product) on EVERY backend usable on this machine and splices the
+// results into BENCH_hhe.json as "kernel_backends", so a regression in the
+// SIMD paths is visible next to the end-to-end transcipher numbers.
+
+/// ns/op of `op`, timed until the sample is at least ~30 ms long.
+template <typename F>
+double time_ns_per_op(F&& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm caches and page in the tables
+  std::size_t reps = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) op();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s >= 0.03) return s * 1e9 / static_cast<double>(reps);
+    reps = s <= 0 ? reps * 16 : static_cast<std::size_t>(
+                                    static_cast<double>(reps) * 0.05 / s) + 1;
+  }
+}
+
+void run_kernel_backend_comparison() {
+  const std::size_t n = 4096;
+  const std::size_t nd = 16;  // digits in the ksw inner product
+  const auto q = mod::ntt_prime_chain(1, 50, n)[0];
+  const mod::Modulus m(q);
+  const fhe::Ntt ntt(q, n);
+  const auto tables = ntt.tables();
+  Xoshiro256 rng(42);
+
+  std::vector<std::uint64_t> a(n), b(n), lo(n), hi(n);
+  for (auto& x : a) x = rng.below(q);
+  for (auto& x : b) x = rng.below(q);
+  std::vector<std::vector<std::uint64_t>> dig(nd), kb(nd), ka(nd);
+  std::vector<const std::uint64_t*> dig_p(nd), kb_p(nd), ka_p(nd);
+  for (std::size_t w = 0; w < nd; ++w) {
+    dig[w].resize(n), kb[w].resize(n), ka[w].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dig[w][i] = rng.below(q), kb[w][i] = rng.below(q),
+      ka[w][i] = rng.below(q);
+    }
+    dig_p[w] = dig[w].data(), kb_p[w] = kb[w].data(), ka_p[w] = ka[w].data();
+  }
+
+  struct Row {
+    const char* kernel;
+    std::vector<std::pair<std::string, double>> ns;  // backend -> ns/op
+  };
+  std::vector<Row> rows = {{"ntt_4096", {}},
+                           {"pointwise_mul_4096", {}},
+                           {"ksw_accumulate_4096x16", {}}};
+  for (const kernels::Backend* bk : kernels::available_backends()) {
+    // NTT output is < q < 4q, so feeding it back in is a legal steady state.
+    std::vector<std::uint64_t> x = a;
+    rows[0].ns.emplace_back(bk->name(), time_ns_per_op([&] {
+                              bk->ntt_inplace(x.data(), tables);
+                            }));
+    std::vector<std::uint64_t> d = a;
+    rows[1].ns.emplace_back(bk->name(), time_ns_per_op([&] {
+                              bk->mul(d.data(), b.data(), n, m);
+                            }));
+    std::vector<std::uint64_t> d0 = a, d1 = b;
+    rows[2].ns.emplace_back(bk->name(), time_ns_per_op([&] {
+                              bk->ksw_accumulate(d0.data(), d1.data(),
+                                                 dig_p.data(), kb_p.data(),
+                                                 ka_p.data(), nd, n, nullptr,
+                                                 m);
+                            }));
+  }
+
+  std::cout << "\nkernel backends (ns/op, speedup vs scalar):\n";
+  std::ostringstream js;
+  js << "  \"kernel_backends\": {\n    \"selected\": \""
+     << kernels::select_backend().name() << "\"";
+  for (const Row& row : rows) {
+    std::cout << "  " << row.kernel << ":";
+    js << ",\n    \"" << row.kernel << "\": {";
+    const double scalar_ns = row.ns.front().second;
+    for (std::size_t i = 0; i < row.ns.size(); ++i) {
+      const auto& [name, ns] = row.ns[i];
+      std::cout << "  " << name << "=" << static_cast<std::uint64_t>(ns);
+      if (i > 0) {
+        std::cout << " (" << std::fixed << std::setprecision(2)
+                  << scalar_ns / ns << "x)" << std::defaultfloat;
+      }
+      js << (i > 0 ? ", " : "") << "\"" << name
+         << "\": " << static_cast<std::uint64_t>(ns);
+    }
+    js << "}";
+    std::cout << "\n";
+  }
+  js << "\n  }";
+
+  // Splice into BENCH_hhe.json (idempotent: an existing kernel_backends
+  // section is replaced; a missing file gets a minimal skeleton).
+  std::string doc;
+  {
+    std::ifstream in("BENCH_hhe.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      doc = ss.str();
+    }
+  }
+  const std::string marker = ",\n  \"kernel_backends\"";
+  if (const auto pos = doc.find(marker); pos != std::string::npos) {
+    doc.erase(pos);
+  } else {
+    while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+      doc.pop_back();
+    }
+    if (!doc.empty() && doc.back() == '}') doc.pop_back();
+    while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+      doc.pop_back();
+    }
+  }
+  if (doc.empty()) doc = "{\n  \"config\": \"micro-only\"";
+  std::ofstream out("BENCH_hhe.json");
+  out << doc << ",\n" << js.str() << "\n}\n";
+  std::cout << "(spliced kernel_backends into BENCH_hhe.json)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,5 +322,6 @@ int main(int argc, char** argv) {
             << " key switches, " << ops.mod_switch << " mod switches, "
             << ops.encode << " encodes, pool " << ops.pool_hits << " hits / "
             << ops.pool_misses << " misses\n";
+  run_kernel_backend_comparison();
   return 0;
 }

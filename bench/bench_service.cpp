@@ -211,6 +211,10 @@ int main() {
   {
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"config\": \"" << config.pasta.name << "\",\n"
+         << "  \"kernel_backend\": \""
+         << (sweep.empty() ? std::string("unknown")
+                           : sweep.back().report.kernel_backend)
+         << "\",\n"
          << "  \"blocks_per_client\": " << blocks_per_client << ",\n"
          << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {

@@ -7,7 +7,13 @@ count of a transcipher block is deterministic for a given circuit shape
 per-rotation NTT work that hoisting is supposed to amortise away
 (see ARCHITECTURE.md §3d).
 
-Usage: check_ntt_budget.py [BENCH_hhe.json]
+Usage: check_ntt_budget.py [BENCH_hhe.json [MORE.json ...]]
+
+The first file is checked against the budgets. When more files are given
+(e.g. the same bench re-run under POE_KERNEL_BACKEND=scalar), the script
+additionally asserts that every benchmark's ntt_forward count is IDENTICAL
+across all files: kernel backends are drop-in arithmetic and must not
+change how many NTTs the circuit performs (ARCHITECTURE.md §3g).
 
 Budgets live in scripts/ntt_budget.json next to this script; update them
 deliberately (with a rationale in the PR) when the circuit changes shape.
@@ -18,25 +24,52 @@ import pathlib
 import sys
 
 
+def load_counts(path: pathlib.Path) -> dict:
+    bench = json.loads(path.read_text())
+    return {b["name"]: b for b in bench.get("benchmarks", [])}
+
+
 def main() -> int:
-    bench_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "BENCH_hhe.json")
+    paths = [pathlib.Path(p) for p in (sys.argv[1:] or ["BENCH_hhe.json"])]
     budget_path = pathlib.Path(__file__).resolve().parent / "ntt_budget.json"
 
-    bench = json.loads(bench_path.read_text())
+    by_name = load_counts(paths[0])
     budgets = json.loads(budget_path.read_text())["ntt_forward_max"]
 
-    by_name = {b["name"]: b for b in bench.get("benchmarks", [])}
     failures = []
     for name, limit in budgets.items():
         record = by_name.get(name)
         if record is None:
-            failures.append(f"{name}: missing from {bench_path}")
+            failures.append(f"{name}: missing from {paths[0]}")
             continue
         got = record.get("ntt_forward")
         status = "OK" if got <= limit else "OVER BUDGET"
         print(f"{name}: ntt_forward={got} (budget {limit}) {status}")
         if got > limit:
             failures.append(f"{name}: ntt_forward={got} exceeds budget {limit}")
+
+    # Cross-file invariance: same circuit, different kernel backend, same
+    # NTT count — a divergence means a backend changed evaluation strategy
+    # rather than just arithmetic.
+    for other in paths[1:]:
+        other_by_name = load_counts(other)
+        backend = json.loads(other.read_text()).get("kernel_backend", "?")
+        diverged = False
+        for name, record in by_name.items():
+            mine = record.get("ntt_forward")
+            theirs = other_by_name.get(name, {}).get("ntt_forward")
+            if theirs is None:
+                failures.append(f"{name}: missing from {other}")
+                diverged = True
+            elif theirs != mine:
+                failures.append(
+                    f"{name}: ntt_forward={theirs} in {other} "
+                    f"(backend {backend}) != {mine} in {paths[0]}"
+                )
+                diverged = True
+        print(f"{other} (backend {backend}): "
+              + ("DIVERGED from" if diverged else "ntt_forward counts match")
+              + f" {paths[0]}")
 
     if failures:
         print("\nNTT budget check FAILED:", file=sys.stderr)

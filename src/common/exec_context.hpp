@@ -22,6 +22,7 @@
 #include "common/fault.hpp"
 #include "common/pool.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/backend.hpp"
 
 namespace poe {
 
@@ -82,9 +83,14 @@ class ExecContext {
  public:
   /// Owns a fresh BufferPool and counters; runs loops on `threads`
   /// (defaults to the process-wide pool — worker threads are expensive,
-  /// slabs are not).
-  explicit ExecContext(ThreadPool* threads = nullptr)
-      : threads_(threads != nullptr ? threads : &ThreadPool::global()) {}
+  /// slabs are not). Kernel dispatch happens here, once: `backend` pins a
+  /// specific kernel backend (tests use this to compare implementations);
+  /// nullptr reads POE_KERNEL_BACKEND / probes CPUID via
+  /// kernels::select_backend().
+  explicit ExecContext(ThreadPool* threads = nullptr,
+                       const kernels::Backend* backend = nullptr)
+      : threads_(threads != nullptr ? threads : &ThreadPool::global()),
+        kernels_(backend != nullptr ? backend : &kernels::select_backend()) {}
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
 
@@ -96,6 +102,11 @@ class ExecContext {
   const BufferPool& pool() const { return pool_; }
   ThreadPool& threads() { return *threads_; }
   OpCounters& counters() { return counters_; }
+
+  /// The kernel backend every hot loop under this context runs on.
+  const kernels::Backend& kernels() const { return *kernels_; }
+  /// Convenience for reports/benches: "scalar", "avx2", "avx512".
+  std::string_view kernel_backend_name() const { return kernels_->name(); }
 
   /// Register (or clear, with nullptr) a chaos-test fault injector. The
   /// injector is also handed to the pool so allocation sites can fail.
@@ -129,6 +140,7 @@ class ExecContext {
  private:
   BufferPool pool_;
   ThreadPool* threads_;
+  const kernels::Backend* kernels_;
   mutable OpCounters counters_;
   std::atomic<FaultInjector*> fault_{nullptr};
 };

@@ -65,11 +65,14 @@ RnsPoly restrict_to_level(const RnsPoly& p, std::size_t level) {
   return out;
 }
 
-Bgv::Bgv(const BgvParams& params)
+Bgv::Bgv(const BgvParams& params) : Bgv(params, nullptr) {}
+
+Bgv::Bgv(const BgvParams& params, ExecContext* exec)
     : params_(params),
       ctx_(params.n, params.t,
            mod::bgv_prime_chain(params.num_primes, params.prime_bits,
-                                params.n, params.t)),
+                                params.n, params.t),
+           exec),
       rng_(params.seed) {
   const std::size_t top = ctx_.num_primes();
 
@@ -197,20 +200,12 @@ void Bgv::ksw_accumulate(
   }
   RnsPoly& out0 = ct.parts[0];
   RnsPoly& out1 = ct.parts[1];
+  const auto& kern = ctx_.exec().kernels();
   parallel_for(level, [&](std::size_t i) {
-    const auto& m = ctx_.mod(i);
-    // Lazy accumulation: sum the raw 128-bit digit*key products and Barrett-
-    // reduce once per slot instead of once per digit. The flush interval
-    // keeps the accumulators below wrap-around for pathological (huge-prime,
-    // many-digit) parameter sets; for the shipped sets it never triggers.
-    const u128 term_max =
-        static_cast<u128>(m.value() - 1) * (m.value() - 1);
-    const std::size_t flush = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::min<u128>(~static_cast<u128>(0) / term_max - 1,
-                              ~std::size_t{0})));
-    // Key components live at the top level; only the first `level` of them
-    // are read. Hoist the per-digit span lookups out of the slot loop.
+    // The lazy 128-bit inner product (raw digit*key sums, one Barrett flush
+    // per slot) lives in the kernel backend. Key components live at the top
+    // level; only the first `level` of them are read. Hoist the per-digit
+    // span lookups out of the slot loop.
     std::vector<const u64*> dig_ptr(nd), kb_ptr(nd), ka_ptr(nd);
     for (std::size_t w = 0; w < nd; ++w) {
       dig_ptr[w] = digits[w].rns(i).data();
@@ -218,26 +213,9 @@ void Bgv::ksw_accumulate(
       kb_ptr[w] = dk.b.rns(i).data();
       ka_ptr[w] = dk.a.rns(i).data();
     }
-    auto dst0 = out0.rns(i);
-    auto dst1 = out1.rns(i);
-    for (std::size_t idx = 0; idx < n; ++idx) {
-      const std::size_t src = perm != nullptr ? perm[idx] : idx;
-      u128 acc0 = dst0[idx];
-      u128 acc1 = dst1[idx];
-      std::size_t since = 0;
-      for (std::size_t w = 0; w < nd; ++w) {
-        const u128 v = dig_ptr[w][src];
-        acc0 += v * kb_ptr[w][idx];
-        acc1 += v * ka_ptr[w][idx];
-        if (++since == flush) {
-          acc0 = m.reduce128_barrett(acc0);
-          acc1 = m.reduce128_barrett(acc1);
-          since = 0;
-        }
-      }
-      dst0[idx] = m.reduce128_barrett(acc0);
-      dst1[idx] = m.reduce128_barrett(acc1);
-    }
+    kern.ksw_accumulate(out0.rns(i).data(), out1.rns(i).data(),
+                        dig_ptr.data(), kb_ptr.data(), ka_ptr.data(), nd, n,
+                        perm, ctx_.mod(i));
   });
 }
 
@@ -250,12 +228,39 @@ void Bgv::apply_ksw(Ciphertext& ct, const RnsPoly& input_coeff,
   ksw_accumulate(ct, digits, which, key, nullptr);
 }
 
+namespace {
+// g^-1 mod 2n (g odd, 2n a power of two, so the inverse exists). Keygen
+// only — a few Newton iterations beat carrying an extended-gcd helper.
+std::uint64_t inverse_mod_2n(std::uint64_t g, std::size_t n) {
+  const std::uint64_t mask = 2 * static_cast<std::uint64_t>(n) - 1;
+  std::uint64_t inv = g;  // correct mod 8 for odd g
+  for (int it = 0; it < 6; ++it) inv = (inv * (2 - g * inv)) & mask;
+  POE_ENSURE(((g * inv) & mask) == 1, "automorphism element not invertible");
+  return inv;
+}
+}  // namespace
+
 KswKey Bgv::make_galois_key(u64 galois_element,
                             const RnsPoly& s_coeff) const {
-  // Key switches tau_g(s) onto s.
+  // Key switches tau_g(s) onto s. The key is stored PRE-PERMUTED by
+  // tau_g^-1: since the eventual inner product pairs digit slot perm_g(i)
+  // with key slot i, storing k'[j] = k[perm_g^-1(j)] lets the hot path run
+  // the inner product contiguously (full SIMD width, no gathers) and apply
+  // tau_g once to the two output polys instead of to every digit row:
+  //   sum_w d_w[perm_g(i)] * k_w[i]  ==  perm_g( sum_w d_w[j] * k'_w[j] ).
+  // Slot-for-slot the same products and the same lazy-flush schedule, so
+  // rotation outputs are bit-identical to the permuted-digit formulation.
   RnsPoly tau_s = s_coeff.apply_automorphism(galois_element);
   tau_s.to_ntt();
-  return make_ksw_key(tau_s);
+  KswKey key = make_ksw_key(tau_s);
+  const u64 g_inv = inverse_mod_2n(galois_element, ctx_.n());
+  for (auto& prime_digits : key.digits) {
+    for (auto& dk : prime_digits) {
+      dk.b = dk.b.apply_automorphism_ntt(g_inv);
+      dk.a = dk.a.apply_automorphism_ntt(g_inv);
+    }
+  }
+  return key;
 }
 
 void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
@@ -263,15 +268,17 @@ void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
   POE_ENSURE(a.size() == 2, "automorphism requires a 2-part ciphertext");
   auto& counters = ctx_.exec().counters();
   counters.bump(counters.automorphism);
-  // tau(ct) decrypts under tau(s); key-switch the c1 part back to s. c0
-  // never leaves evaluation form (tau is a slot permutation there); c1 has
-  // to pass through coefficient form anyway for the digit decomposition.
+  // tau(ct) decrypts under tau(s); key-switch the c1 part back to s. tau
+  // distributes over the digit decomposition (the scale factors B^d q~_j
+  // are integers, fixed by tau), and the galois key is stored tau^-1
+  // -permuted, so the whole switch runs on the UNPERMUTED digits and tau is
+  // applied once to each finished output part (see make_galois_key).
   RnsPoly c1 = std::move(a.parts[1]);
   c1.from_ntt();
-  c1 = c1.apply_automorphism(galois_element);
-  a.parts[0] = a.parts[0].apply_automorphism_ntt(galois_element);
   a.parts[1] = RnsPoly(&ctx_, a.level, /*ntt_form=*/true);
   apply_ksw(a, c1, key);
+  a.parts[0] = a.parts[0].apply_automorphism_ntt(galois_element);
+  a.parts[1] = a.parts[1].apply_automorphism_ntt(galois_element);
 }
 
 KswKey Bgv::make_ingest_key(const Bgv& tenant) const {
@@ -342,16 +349,21 @@ Ciphertext Bgv::rotate_hoisted(const HoistedCt& hoisted, long step,
   counters.bump(counters.automorphism);
   counters.bump(counters.hoisted_rotation);
   // tau distributes over the decomposition (the B^d q~_j scale factors are
-  // integers, fixed by tau), so permuting the shared NTT-form digits inside
+  // integers, fixed by tau), so rotating the shared NTT-form digits inside
   // the inner product yields a valid encryption of the rotated plaintext —
-  // without a single forward NTT.
+  // without a single forward NTT. The galois key is stored tau^-1-permuted
+  // (make_galois_key), which moves the permutation off the nd digit rows
+  // and onto the two finished output parts: the inner product itself runs
+  // contiguously at full SIMD width, and tau folds over c0 for free
+  // (perm(c0 + sum) == perm(c0) + perm(sum)).
   Ciphertext out;
   out.level = hoisted.level;
   out.parts.resize(2);
-  out.parts[0] = hoisted.c0.apply_automorphism_ntt(g);
+  out.parts[0] = hoisted.c0;
   out.parts[1] = RnsPoly(&ctx_, hoisted.level, /*ntt_form=*/true);
-  ksw_accumulate(out, hoisted.digits, hoisted.digit_of, it->second,
-                 ctx_.galois_ntt_perm(g).data());
+  ksw_accumulate(out, hoisted.digits, hoisted.digit_of, it->second, nullptr);
+  out.parts[0] = out.parts[0].apply_automorphism_ntt(g);
+  out.parts[1] = out.parts[1].apply_automorphism_ntt(g);
   return out;
 }
 

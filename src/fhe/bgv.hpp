@@ -70,7 +70,9 @@ struct KswKey {
 };
 
 /// Rotation keys: column-rotation step -> key for tau_{3^step}(s); step -1
-/// denotes the row swap (tau_{2n-1}, the conjugation).
+/// denotes the row swap (tau_{2n-1}, the conjugation). Each key's NTT-form
+/// components are stored tau^-1-permuted (see make_galois_key) so rotations
+/// run the key inner product contiguously and permute only the outputs.
 struct GaloisKeys {
   std::map<long, KswKey> keys;
   static constexpr long kRowSwap = -1;
@@ -95,6 +97,10 @@ struct HoistedCt {
 class Bgv {
  public:
   explicit Bgv(const BgvParams& params);
+  /// Same, but pinned to a caller-owned ExecContext (nullptr = the
+  /// process-wide one). Tests use this to run otherwise-identical schemes
+  /// on different kernel backends side by side.
+  Bgv(const BgvParams& params, ExecContext* exec);
 
   const BgvParams& params() const { return params_; }
   const RnsContext& rns() const { return ctx_; }

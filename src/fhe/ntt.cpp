@@ -14,22 +14,6 @@ std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) {
   }
   return out;
 }
-
-std::uint64_t shoup_precompute(std::uint64_t w, std::uint64_t q) {
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(w) << 64) / q);
-}
-
-// Lazy Shoup multiplication: r ≡ x * w (mod q) with r < 2q, for any x and
-// precomputed w' = floor(w 2^64 / q). Skipping the final conditional
-// subtract (Harvey's trick) shortens the butterfly's dependency chain; the
-// transform keeps coefficients in [0, 4q) and reduces once at the end.
-inline std::uint64_t mul_shoup_lazy(std::uint64_t x, std::uint64_t w,
-                                    std::uint64_t w_shoup, std::uint64_t q) {
-  const std::uint64_t hi = static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(x) * w_shoup) >> 64);
-  return x * w - hi * q;
-}
 }  // namespace
 
 Ntt::Ntt(std::uint64_t q, std::size_t n) : mod_(q), n_(n) {
@@ -47,79 +31,44 @@ Ntt::Ntt(std::uint64_t q, std::size_t n) : mod_(q), n_(n) {
     const std::uint64_t e = bit_reverse(i, log_n_);
     psi_[i] = mod_.pow(psi, e);
     psi_inv_[i] = mod_.pow(psi_inv, e);
-    psi_shoup_[i] = shoup_precompute(psi_[i], q);
-    psi_inv_shoup_[i] = shoup_precompute(psi_inv_[i], q);
+    psi_shoup_[i] = kernels::shoup_precompute(psi_[i], q);
+    psi_inv_shoup_[i] = kernels::shoup_precompute(psi_inv_[i], q);
   }
   n_inv_ = mod_.inv(n);
-  n_inv_shoup_ = shoup_precompute(n_inv_, q);
+  n_inv_shoup_ = kernels::shoup_precompute(n_inv_, q);
+}
+
+kernels::NttTables Ntt::tables() const {
+  kernels::NttTables t;
+  t.n = n_;
+  t.q = mod_.value();
+  t.psi = psi_.data();
+  t.psi_shoup = psi_shoup_.data();
+  t.psi_inv = psi_inv_.data();
+  t.psi_inv_shoup = psi_inv_shoup_.data();
+  t.n_inv = n_inv_;
+  t.n_inv_shoup = n_inv_shoup_;
+  return t;
+}
+
+void Ntt::forward(std::span<std::uint64_t> a,
+                  const kernels::Backend& b) const {
+  POE_ENSURE(a.size() == n_, "size mismatch");
+  b.ntt_inplace(a.data(), tables());
+}
+
+void Ntt::inverse(std::span<std::uint64_t> a,
+                  const kernels::Backend& b) const {
+  POE_ENSURE(a.size() == n_, "size mismatch");
+  b.intt_inplace(a.data(), tables());
 }
 
 void Ntt::forward(std::span<std::uint64_t> a) const {
-  POE_ENSURE(a.size() == n_, "size mismatch");
-  // Harvey lazy butterflies: coefficients ride in [0, 4q) (q < 2^62, so no
-  // overflow), with one reduction sweep at the end instead of two
-  // conditional corrections per butterfly.
-  const std::uint64_t q = mod_.value();
-  const std::uint64_t two_q = 2 * q;
-  std::uint64_t* __restrict x = a.data();
-  const std::uint64_t* __restrict w = psi_.data();
-  const std::uint64_t* __restrict ws = psi_shoup_.data();
-  std::size_t t = n_;
-  for (std::size_t m = 1; m < n_; m <<= 1) {
-    t >>= 1;
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t j1 = 2 * i * t;
-      const std::uint64_t s = w[m + i];
-      const std::uint64_t s_shoup = ws[m + i];
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        std::uint64_t u = x[j];
-        if (u >= two_q) u -= two_q;  // < 2q
-        const std::uint64_t v = mul_shoup_lazy(x[j + t], s, s_shoup, q);
-        x[j] = u + v;                // < 4q
-        x[j + t] = u - v + two_q;    // < 4q
-      }
-    }
-  }
-  for (std::size_t j = 0; j < n_; ++j) {
-    std::uint64_t v = x[j];
-    if (v >= two_q) v -= two_q;
-    if (v >= q) v -= q;
-    x[j] = v;
-  }
+  forward(a, kernels::default_backend());
 }
 
 void Ntt::inverse(std::span<std::uint64_t> a) const {
-  POE_ENSURE(a.size() == n_, "size mismatch");
-  // Lazy Gentleman–Sande butterflies: coefficients stay in [0, 2q); the
-  // final n^{-1} scaling pass completes the reduction to [0, q).
-  const std::uint64_t q = mod_.value();
-  const std::uint64_t two_q = 2 * q;
-  std::uint64_t* __restrict x = a.data();
-  const std::uint64_t* __restrict w = psi_inv_.data();
-  const std::uint64_t* __restrict ws = psi_inv_shoup_.data();
-  std::size_t t = 1;
-  for (std::size_t m = n_; m > 1; m >>= 1) {
-    std::size_t j1 = 0;
-    const std::size_t h = m >> 1;
-    for (std::size_t i = 0; i < h; ++i) {
-      const std::uint64_t s = w[h + i];
-      const std::uint64_t s_shoup = ws[h + i];
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        const std::uint64_t u = x[j];
-        const std::uint64_t v = x[j + t];
-        const std::uint64_t sum = u + v;  // < 4q
-        x[j] = sum >= two_q ? sum - two_q : sum;
-        x[j + t] = mul_shoup_lazy(u - v + two_q, s, s_shoup, q);
-      }
-      j1 += 2 * t;
-    }
-    t <<= 1;
-  }
-  for (std::size_t j = 0; j < n_; ++j) {
-    std::uint64_t r = mul_shoup_lazy(x[j], n_inv_, n_inv_shoup_, q);
-    if (r >= q) r -= q;
-    x[j] = r;
-  }
+  inverse(a, kernels::default_backend());
 }
 
 std::vector<std::uint64_t> Ntt::multiply(

@@ -4,12 +4,20 @@
 // twisting by psi (a primitive 2n-th root of unity) into the butterflies, so
 // pointwise multiplication of two transformed polynomials corresponds to
 // multiplication modulo X^n + 1.
+//
+// This class owns the twiddle tables; the butterfly loops themselves live in
+// src/kernels/ behind poe::kernels::Backend (scalar reference + SIMD). The
+// overloads taking a Backend are what RnsPoly uses — the ExecContext picked
+// the backend once at construction; the no-argument overloads run on the
+// process-wide kernels::default_backend() for standalone callers
+// (BatchEncoder, tests, diagnostics).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "modular/modulus.hpp"
 
 namespace poe::fhe {
@@ -21,6 +29,12 @@ class Ntt {
 
   void forward(std::span<std::uint64_t> a) const;
   void inverse(std::span<std::uint64_t> a) const;
+  void forward(std::span<std::uint64_t> a, const kernels::Backend& b) const;
+  void inverse(std::span<std::uint64_t> a, const kernels::Backend& b) const;
+
+  /// Non-owning view of the twiddle tables in the form the kernel layer
+  /// consumes. Valid only while this Ntt is alive and unmoved.
+  kernels::NttTables tables() const;
 
   std::size_t n() const { return n_; }
   const mod::Modulus& modulus() const { return mod_; }

@@ -57,7 +57,8 @@ void RnsPoly::check_operand(const RnsPoly& o) const {
 
 void RnsPoly::to_ntt() {
   POE_ENSURE(!ntt_form_, "already in NTT form");
-  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).forward(rns(i));
+  const auto& k = ctx_->exec().kernels();
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).forward(rns(i), k);
   auto& c = ctx_->exec().counters();
   c.bump(c.ntt_forward, level_);
   ntt_form_ = true;
@@ -65,7 +66,8 @@ void RnsPoly::to_ntt() {
 
 void RnsPoly::from_ntt() {
   POE_ENSURE(ntt_form_, "already in coefficient form");
-  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).inverse(rns(i));
+  const auto& k = ctx_->exec().kernels();
+  for (std::size_t i = 0; i < level_; ++i) ctx_->ntt(i).inverse(rns(i), k);
   auto& c = ctx_->exec().counters();
   c.bump(c.ntt_inverse, level_);
   ntt_form_ = false;
@@ -73,26 +75,20 @@ void RnsPoly::from_ntt() {
 
 RnsPoly& RnsPoly::add_inplace(const RnsPoly& o) {
   check_compatible(o);
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
-    const auto& m = ctx_->mod(i);
     auto dst = rns(i);
-    const auto src = o.rns(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = m.add(dst[j], src[j]);
-    }
+    k.add(dst.data(), o.rns(i).data(), dst.size(), ctx_->mod(i));
   }
   return *this;
 }
 
 RnsPoly& RnsPoly::sub_inplace(const RnsPoly& o) {
   check_compatible(o);
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
-    const auto& m = ctx_->mod(i);
     auto dst = rns(i);
-    const auto src = o.rns(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = m.sub(dst[j], src[j]);
-    }
+    k.sub(dst.data(), o.rns(i).data(), dst.size(), ctx_->mod(i));
   }
   return *this;
 }
@@ -108,13 +104,10 @@ RnsPoly& RnsPoly::negate_inplace() {
 RnsPoly& RnsPoly::mul_inplace(const RnsPoly& o) {
   check_operand(o);
   POE_ENSURE(ntt_form_, "pointwise multiply requires NTT form");
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
-    const auto& m = ctx_->mod(i);
     auto dst = rns(i);
-    const auto src = o.rns(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = m.mul(dst[j], src[j]);
-    }
+    k.mul(dst.data(), o.rns(i).data(), dst.size(), ctx_->mod(i));
   }
   return *this;
 }
@@ -123,14 +116,11 @@ RnsPoly& RnsPoly::add_mul_inplace(const RnsPoly& a, const RnsPoly& b) {
   check_operand(a);
   check_operand(b);
   POE_ENSURE(ntt_form_, "pointwise multiply requires NTT form");
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
-    const auto& m = ctx_->mod(i);
     auto dst = rns(i);
-    const auto sa = a.rns(i);
-    const auto sb = b.rns(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = m.add(dst[j], m.mul(sa[j], sb[j]));
-    }
+    k.add_mul(dst.data(), a.rns(i).data(), b.rns(i).data(), dst.size(),
+              ctx_->mod(i));
   }
   return *this;
 }
@@ -141,11 +131,16 @@ RnsPoly& RnsPoly::mul_scalar_inplace(std::uint64_t scalar_mod_t) {
   // Centered lift keeps the noise growth proportional to |scalar|.
   const bool negative = scalar_mod_t > t / 2;
   const std::uint64_t magnitude = negative ? t - scalar_mod_t : scalar_mod_t;
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
     const auto& m = ctx_->mod(i);
     const std::uint64_t s =
         negative ? m.neg(magnitude % m.value()) : magnitude % m.value();
-    for (auto& x : rns(i)) x = m.mul(x, s);
+    auto dst = rns(i);
+    // Broadcast scalar multiply via Shoup — exact residues, so identical
+    // to the Barrett formulation it replaces.
+    k.mul_shoup(dst.data(), dst.data(), dst.size(), s,
+                kernels::shoup_precompute(s, m.value()), m.value());
   }
   return *this;
 }
@@ -176,12 +171,9 @@ RnsPoly RnsPoly::apply_automorphism_ntt(std::uint64_t g) const {
   const std::size_t n = ctx_->n();
   const auto perm = ctx_->galois_ntt_perm(g);
   RnsPoly out = uninit(ctx_, level_, true);
+  const auto& k = ctx_->exec().kernels();
   for (std::size_t i = 0; i < level_; ++i) {
-    const auto src = rns(i);
-    auto dst = out.rns(i);
-    for (std::size_t idx = 0; idx < n; ++idx) {
-      dst[idx] = src[perm[idx]];
-    }
+    k.permute(out.rns(i).data(), rns(i).data(), perm.data(), n);
   }
   return out;
 }

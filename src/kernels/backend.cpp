@@ -1,0 +1,70 @@
+#include "kernels/backend.hpp"
+
+#include <cstdlib>
+
+#include "kernels/backend_impl.hpp"
+
+namespace poe::kernels {
+
+const Backend* avx2_backend() {
+  static const Backend* const b = []() -> const Backend* {
+    const Backend* impl = detail::avx2_backend_impl();
+    if (impl == nullptr) return nullptr;  // toolchain lacked -mavx2
+    if (!__builtin_cpu_supports("avx2")) return nullptr;
+    return impl;
+  }();
+  return b;
+}
+
+const Backend* avx512_backend() {
+  static const Backend* const b = []() -> const Backend* {
+    const Backend* impl = detail::avx512_backend_impl();
+    if (impl == nullptr) return nullptr;
+    if (!__builtin_cpu_supports("avx512f") ||
+        !__builtin_cpu_supports("avx512dq") ||
+        !__builtin_cpu_supports("avx512vl")) {
+      return nullptr;
+    }
+    return impl;
+  }();
+  return b;
+}
+
+std::vector<const Backend*> available_backends() {
+  std::vector<const Backend*> out{&scalar_backend()};
+  if (const Backend* b = avx2_backend()) out.push_back(b);
+  if (const Backend* b = avx512_backend()) out.push_back(b);
+  return out;
+}
+
+const Backend* backend_by_name(std::string_view name) {
+  if (name == "scalar") return &scalar_backend();
+  if (name == "avx2") return avx2_backend();
+  if (name == "avx512") return avx512_backend();
+  return nullptr;
+}
+
+const Backend& select_backend() {
+  if (const char* env = std::getenv("POE_KERNEL_BACKEND");
+      env != nullptr && *env != '\0') {
+    const Backend* b = backend_by_name(env);
+    POE_ENSURE(b != nullptr,
+               "POE_KERNEL_BACKEND=" << env
+                                     << " is unknown or unavailable on this "
+                                        "machine (choices: scalar, avx2, "
+                                        "avx512)");
+    return *b;
+  }
+  // Widest first: the AVX-512 path does 8 lanes with native 64-bit
+  // multiply/min, AVX2 does 4 with emulated mulhi, scalar is always there.
+  if (const Backend* b = avx512_backend()) return *b;
+  if (const Backend* b = avx2_backend()) return *b;
+  return scalar_backend();
+}
+
+const Backend& default_backend() {
+  static const Backend& b = select_backend();
+  return b;
+}
+
+}  // namespace poe::kernels

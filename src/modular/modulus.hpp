@@ -113,6 +113,14 @@ class Modulus {
 
   bool operator==(const Modulus& o) const { return p_ == o.p_; }
 
+  // Precomputed-constant accessors for vectorized reimplementations of
+  // `mul` / `reduce128_barrett` (src/kernels/): a SIMD lane must use the
+  // exact same mu/ratio/k to stay bit-identical with the scalar formulas.
+  u64 barrett_mu() const { return mu_; }
+  u64 ratio_lo() const { return ratio_lo_; }
+  u64 ratio_hi() const { return ratio_hi_; }
+  unsigned bit_width() const { return k_; }
+
  private:
   u64 p_;
   u64 mu_;        ///< Barrett constant floor(2^(2k+1) / p)

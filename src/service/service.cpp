@@ -626,6 +626,7 @@ std::vector<TranscipherResult> TranscipherService::process(
   rep.faults.injected =
       injector != nullptr ? injector->fired_total() - fired_before : 0;
   rep.exec_ops = exec.snapshot() - before;
+  rep.kernel_backend = std::string(exec.kernel_backend_name());
   return results;
 }
 

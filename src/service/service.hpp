@@ -180,6 +180,9 @@ struct ServiceReport {
   FaultStats faults;         ///< robustness-layer accounting
   /// ExecContext counter delta over the whole call (NTTs, key switches, ...).
   CounterSnapshot exec_ops;
+  /// Kernel backend the evaluation ran on ("scalar", "avx2", "avx512") —
+  /// from the ExecContext's dispatch decision, for bench provenance.
+  std::string kernel_backend;
 };
 
 class TranscipherService {
