@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail if the warmed-up serving path allocates or copies.
+
+The hot-path contract (ARCHITECTURE.md §3b) is that a warmed-up transcipher
+block is ALLOCATION-FREE: every slab it touches comes out of BufferPool
+reuse (zero pool misses) and whole-poly copy traffic stays at the small,
+deliberate floor (the key-ciphertext snapshot plus one hoist c0 per affine
+layer). Both counters are deterministic for a fixed circuit shape, so —
+like the NTT budget — a breach is a real regression, not runner noise:
+somebody reintroduced a per-diagonal temporary, an allocating rotation, or
+a ciphertext copy into the serving loop.
+
+Usage: check_alloc_budget.py [BENCH_hhe.json [BENCH_service.json]]
+
+BENCH_hhe.json is checked against the per-benchmark budgets (only records
+named in the budget file are pinned; the coefficient-wise record is left
+cold by the bench on purpose). BENCH_service.json, when given, must show
+zero steady-state pool misses at EVERY sweep point and bounded copy bytes
+at the largest client count.
+
+Budgets live in scripts/alloc_budget.json next to this script; update them
+deliberately (with a rationale in the PR) when the circuit changes shape.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    args = sys.argv[1:] or ["BENCH_hhe.json", "BENCH_service.json"]
+    hhe_path = pathlib.Path(args[0])
+    service_path = pathlib.Path(args[1]) if len(args) > 1 else None
+    budget_path = pathlib.Path(__file__).resolve().parent / "alloc_budget.json"
+    budgets = json.loads(budget_path.read_text())
+
+    failures = []
+
+    by_name = {
+        b["name"]: b
+        for b in json.loads(hhe_path.read_text()).get("benchmarks", [])
+    }
+    for name in budgets["pool_misses_must_be_zero"]:
+        record = by_name.get(name)
+        if record is None:
+            failures.append(f"{name}: missing from {hhe_path}")
+            continue
+        got = record.get("pool_misses")
+        status = "OK" if got == 0 else "ALLOCATED"
+        print(f"{name}: pool_misses={got} (must be 0) {status}")
+        if got != 0:
+            failures.append(
+                f"{name}: {got} pool misses in a warmed-up block "
+                "(steady state must be allocation-free)"
+            )
+    for name, limit in budgets["bytes_copied_max"].items():
+        record = by_name.get(name)
+        if record is None:
+            failures.append(f"{name}: missing from {hhe_path}")
+            continue
+        got = record.get("bytes_copied")
+        status = "OK" if got <= limit else "OVER BUDGET"
+        print(f"{name}: bytes_copied={got} (budget {limit}) {status}")
+        if got > limit:
+            failures.append(f"{name}: bytes_copied={got} exceeds budget {limit}")
+
+    if service_path is not None:
+        sweep_budget = budgets["service_sweep"]
+        sweep = json.loads(service_path.read_text()).get("sweep", [])
+        if not sweep:
+            failures.append(f"{service_path}: no sweep points")
+        for point in sweep:
+            clients = point.get("clients")
+            misses = point.get("pool_misses")
+            status = "OK" if misses == 0 else "ALLOCATED"
+            print(f"service sweep @ {clients} clients: pool_misses={misses} "
+                  f"(must be 0) {status}")
+            if sweep_budget["pool_misses_must_be_zero"] and misses != 0:
+                failures.append(
+                    f"service sweep @ {clients} clients: {misses} pool "
+                    "misses after warm-up"
+                )
+        if sweep:
+            peak = max(sweep, key=lambda p: p.get("clients", 0))
+            limit = sweep_budget["bytes_copied_max_at_max_clients"]
+            got = peak.get("bytes_copied")
+            status = "OK" if got <= limit else "OVER BUDGET"
+            print(f"service sweep @ {peak.get('clients')} clients: "
+                  f"bytes_copied={got} (budget {limit}) {status}")
+            if got > limit:
+                failures.append(
+                    f"service sweep @ {peak.get('clients')} clients: "
+                    f"bytes_copied={got} exceeds budget {limit}"
+                )
+
+    if failures:
+        print("\nallocation budget check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("Allocation budget check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ struct CounterSnapshot {
   std::uint64_t hoisted_rotations = 0;
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
+  std::uint64_t bytes_copied = 0;
 
   CounterSnapshot operator-(const CounterSnapshot& o) const {
     return CounterSnapshot{ntt_forward - o.ntt_forward,
@@ -50,7 +51,8 @@ struct CounterSnapshot {
                            automorphisms - o.automorphisms,
                            hoisted_rotations - o.hoisted_rotations,
                            pool_hits - o.pool_hits,
-                           pool_misses - o.pool_misses};
+                           pool_misses - o.pool_misses,
+                           bytes_copied - o.bytes_copied};
   }
 
   std::uint64_t ntts() const { return ntt_forward + ntt_inverse; }
@@ -73,6 +75,8 @@ struct OpCounters {
   std::atomic<std::uint64_t> automorphism{0};       ///< Galois applications
   std::atomic<std::uint64_t> hoisted_rotation{0};   ///< rotations served from
                                                     ///< a shared decomposition
+  std::atomic<std::uint64_t> bytes_copied{0};  ///< whole-poly copy traffic
+                                               ///< (RnsPoly copy ctor/assign)
 
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
     c.fetch_add(by, std::memory_order_relaxed);
@@ -134,6 +138,7 @@ class ExecContext {
         counters_.hoisted_rotation.load(std::memory_order_relaxed);
     s.pool_hits = pool_.hits();
     s.pool_misses = pool_.misses();
+    s.bytes_copied = counters_.bytes_copied.load(std::memory_order_relaxed);
     return s;
   }
 

@@ -14,6 +14,7 @@
 //
 // Naming convention for sites: <layer>.<point>[.<aspect>], e.g.
 //   pool.acquire            allocation of a polynomial slab
+//   fhe.hoist.scratch.alloc_fail  lease of a hoisted-rotation scratch pair
 //   service.prepare         the service's batch-preparation stage
 //   service.prepare.stall   virtual-time stall charged to that stage
 //   service.evaluate        the BGV evaluation stage

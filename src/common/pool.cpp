@@ -72,7 +72,12 @@ PolyBuffer BufferPool::acquire(std::size_t words, bool zero) {
     slab = allocate_slab(words);
     capacity = words;
   }
-  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t live =
+      outstanding_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
   if (zero) std::memset(slab, 0, words * sizeof(std::uint64_t));
   return PolyBuffer(this, slab, capacity);
 }

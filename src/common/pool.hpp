@@ -81,6 +81,12 @@ class BufferPool {
   std::uint64_t outstanding() const {
     return outstanding_.load(std::memory_order_relaxed);
   }
+  /// High-water mark of outstanding slabs over the pool's lifetime. A
+  /// warmed-up serving loop must leave this flat: any rise means a new slab
+  /// joined the working set (the allocation regression tests pin it).
+  std::uint64_t peak_outstanding() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
   /// Bytes parked in the free lists.
   std::size_t cached_bytes() const;
 
@@ -105,6 +111,7 @@ class BufferPool {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> peak_{0};
 };
 
 }  // namespace poe

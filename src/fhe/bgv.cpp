@@ -189,7 +189,16 @@ void Bgv::ksw_accumulate(
     Ciphertext& ct, std::span<const RnsPoly> digits,
     std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
     const KswKey& key, const std::uint32_t* perm) const {
-  const std::size_t level = ct.level;
+  ksw_accumulate(ct.parts[0], ct.parts[1], ct.level, digits, which, key,
+                 perm, /*acc0=*/true, /*acc1=*/true);
+}
+
+void Bgv::ksw_accumulate(
+    RnsPoly& out0, RnsPoly& out1, std::size_t level,
+    std::span<const RnsPoly> digits,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
+    const KswKey& key, const std::uint32_t* perm, bool acc0,
+    bool acc1) const {
   const std::size_t n = ctx_.n();
   const std::size_t nd = digits.size();
   auto& counters = ctx_.exec().counters();
@@ -198,8 +207,6 @@ void Bgv::ksw_accumulate(
     POE_ENSURE(j < key.digits.size() && d < key.digits[j].size(),
                "missing ksw digits");
   }
-  RnsPoly& out0 = ct.parts[0];
-  RnsPoly& out1 = ct.parts[1];
   const auto& kern = ctx_.exec().kernels();
   parallel_for(level, [&](std::size_t i) {
     // The lazy 128-bit inner product (raw digit*key sums, one Barrett flush
@@ -215,7 +222,7 @@ void Bgv::ksw_accumulate(
     }
     kern.ksw_accumulate(out0.rns(i).data(), out1.rns(i).data(),
                         dig_ptr.data(), kb_ptr.data(), ka_ptr.data(), nd, n,
-                        perm, ctx_.mod(i));
+                        perm, ctx_.mod(i), acc0, acc1);
   });
 }
 
@@ -275,8 +282,14 @@ void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
   // applied once to each finished output part (see make_galois_key).
   RnsPoly c1 = std::move(a.parts[1]);
   c1.from_ntt();
-  a.parts[1] = RnsPoly(&ctx_, a.level, /*ntt_form=*/true);
-  apply_ksw(a, c1, key);
+  // c1's replacement is written in overwrite mode by the key switch (the
+  // decomposition sums into it with a zero seed), so skip the zero-fill.
+  a.parts[1] = RnsPoly::uninit(&ctx_, a.level, /*ntt_form=*/true);
+  std::vector<RnsPoly> digits;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> which;
+  decompose(c1, digits, which);
+  ksw_accumulate(a.parts[0], a.parts[1], a.level, digits, which, key,
+                 nullptr, /*acc0=*/true, /*acc1=*/false);
   a.parts[0] = a.parts[0].apply_automorphism_ntt(galois_element);
   a.parts[1] = a.parts[1].apply_automorphism_ntt(galois_element);
 }
@@ -320,8 +333,13 @@ Ciphertext Bgv::ingest_switch(const Ciphertext& ct,
     std::copy(s1.begin(), s1.end(), d1.begin());
   }
   c1.from_ntt();
-  out.parts.emplace_back(&ctx_, level, /*ntt_form=*/true);  // zero
-  apply_ksw(out, c1, ingest_key);
+  out.parts.push_back(
+      RnsPoly::uninit(&ctx_, level, /*ntt_form=*/true));  // ksw overwrites
+  std::vector<RnsPoly> digits;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> which;
+  decompose(c1, digits, which);
+  ksw_accumulate(out.parts[0], out.parts[1], level, digits, which,
+                 ingest_key, nullptr, /*acc0=*/true, /*acc1=*/false);
   return out;
 }
 
@@ -365,6 +383,99 @@ Ciphertext Bgv::rotate_hoisted(const HoistedCt& hoisted, long step,
   out.parts[0] = out.parts[0].apply_automorphism_ntt(g);
   out.parts[1] = out.parts[1].apply_automorphism_ntt(g);
   return out;
+}
+
+Bgv::HoistScratch& Bgv::lease_hoist_scratch() const {
+  // Chaos site: simulated scratch-acquisition failure, typed like any other
+  // allocation fault so the service retry path absorbs it organically.
+  fault_point(ctx_.exec(), "fhe.hoist.scratch.alloc_fail");
+  std::lock_guard<std::mutex> lock(hoist_mu_);
+  for (auto& sc : hoist_scratch_) {
+    bool expected = false;
+    if (sc->in_use.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return *sc;
+    }
+  }
+  hoist_scratch_.push_back(std::make_unique<HoistScratch>());
+  HoistScratch& sc = *hoist_scratch_.back();
+  sc.in_use.store(true, std::memory_order_release);
+  return sc;
+}
+
+void Bgv::release_hoist_scratch(HoistScratch& sc) const noexcept {
+  const bool was_leased = sc.in_use.exchange(false, std::memory_order_acq_rel);
+  POE_DCHECK(was_leased, "HoistScratch released without a lease");
+  (void)was_leased;
+}
+
+/// RAII lease over one HoistScratch. In debug builds the `active` counter
+/// doubles as a concurrent-aliasing detector: if two workers ever operate
+/// on the same scratch (a bug in the lease discipline), the second entrant
+/// observes a nonzero count and fails loudly instead of corrupting both
+/// rotations silently.
+class Bgv::ScratchLease {
+ public:
+  explicit ScratchLease(const Bgv& bgv)
+      : bgv_(bgv), sc_(&bgv.lease_hoist_scratch()) {
+#ifndef NDEBUG
+    const int prev = sc_->active.fetch_add(1, std::memory_order_acq_rel);
+    POE_DCHECK(prev == 0, "HoistScratch aliased by two concurrent workers");
+#endif
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+  ~ScratchLease() {
+#ifndef NDEBUG
+    sc_->active.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+    bgv_.release_hoist_scratch(*sc_);
+  }
+  HoistScratch& operator*() const { return *sc_; }
+
+ private:
+  const Bgv& bgv_;
+  HoistScratch* sc_;
+};
+
+void Bgv::rotate_hoisted_into(const HoistedCt& hoisted, long step,
+                              const GaloisKeys& keys, Ciphertext& out) const {
+  const std::size_t n = ctx_.n();
+  const long c = static_cast<long>(n / 2);
+  const long s = ((step % c) + c) % c;
+  POE_ENSURE(s != 0, "rotate_hoisted requires a nonzero step");
+  const auto it = keys.keys.find(s);
+  POE_ENSURE(it != keys.keys.end(), "no rotation key for step " << s);
+  const u64 g = galois_elt_for_step(n, s);
+  auto& counters = ctx_.exec().counters();
+  counters.bump(counters.automorphism);
+  counters.bump(counters.hoisted_rotation);
+  // Same formulation as rotate_hoisted, with the allocation/copy traffic
+  // squeezed out: the inner product runs in overwrite mode into leased
+  // scratch (no c0 copy, no zero-fill of c1), and the closing tau is a
+  // fused permute(-add) straight into out's reshaped slabs. Residues are
+  // exact at every hand-off — reduce128(c0 + sum) == add(c0,
+  // reduce128(sum)) — so the two paths are bit-identical, which the
+  // differential suite pins per backend.
+  const std::size_t level = hoisted.level;
+  ScratchLease lease(*this);
+  HoistScratch& sc = *lease;
+  sc.acc0.reshape_uninit(&ctx_, level, /*ntt_form=*/true);
+  sc.acc1.reshape_uninit(&ctx_, level, /*ntt_form=*/true);
+  ksw_accumulate(sc.acc0, sc.acc1, level, hoisted.digits, hoisted.digit_of,
+                 it->second, nullptr, /*acc0=*/false, /*acc1=*/false);
+  out.level = level;
+  out.parts.resize(2);
+  out.parts[0].reshape_uninit(&ctx_, level, /*ntt_form=*/true);
+  out.parts[1].reshape_uninit(&ctx_, level, /*ntt_form=*/true);
+  const auto perm = ctx_.galois_ntt_perm(g);
+  const auto& kern = ctx_.exec().kernels();
+  parallel_for(level, [&](std::size_t i) {
+    kern.permute_add(out.parts[0].rns(i).data(), hoisted.c0.rns(i).data(),
+                     sc.acc0.rns(i).data(), perm.data(), n, ctx_.mod(i));
+    kern.permute(out.parts[1].rns(i).data(), sc.acc1.rns(i).data(),
+                 perm.data(), n);
+  });
 }
 
 GaloisKeys Bgv::make_rotation_keys(const std::vector<long>& steps) const {

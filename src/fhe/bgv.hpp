@@ -17,8 +17,11 @@
 // see DESIGN.md for the substitution rationale.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -154,6 +157,18 @@ class Bgv {
   /// digits. No forward NTTs at all.
   Ciphertext rotate_hoisted(const HoistedCt& hoisted, long step,
                             const GaloisKeys& keys) const;
+  /// Allocation-free variant of rotate_hoisted: the key inner product runs
+  /// in overwrite mode into a leased per-evaluator HoistScratch, and the
+  /// closing automorphism is a fused permute(-add) straight into `out`,
+  /// whose slabs are reshaped in place — a warmed-up diagonal loop touches
+  /// the pool zero times and copies zero bytes. Bit-identical to
+  /// rotate_hoisted (the preserved allocating reference): both compute the
+  /// exact residues reduce128(c0 + sum) == add(c0, reduce128(sum)), then
+  /// the same slot permutation. `out` may be empty or any previous result;
+  /// it must not alias a live operand. Thread-safe: concurrent callers
+  /// lease distinct scratches.
+  void rotate_hoisted_into(const HoistedCt& hoisted, long step,
+                           const GaloisKeys& keys, Ciphertext& out) const;
 
   // --- Cross-domain ingest (multi-tenant serving).
   /// Key-switching key that moves a 2-part ciphertext encrypted under
@@ -212,6 +227,30 @@ class Bgv {
       Ciphertext& ct, std::span<const RnsPoly> digits,
       std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
       const KswKey& key, const std::uint32_t* perm) const;
+  /// Poly-level core of the above. `acc0`/`acc1` select accumulate vs
+  /// overwrite mode per output (overwrite never reads the destination, so
+  /// reshaped-uninitialised scratch is a valid target).
+  void ksw_accumulate(
+      RnsPoly& out0, RnsPoly& out1, std::size_t level,
+      std::span<const RnsPoly> digits,
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> which,
+      const KswKey& key, const std::uint32_t* perm, bool acc0,
+      bool acc1) const;
+
+  /// Reusable rotation scratch: the overwrite-mode key-switch outputs that
+  /// rotate_hoisted_into flushes into before the closing permute. Leased
+  /// (never shared) per call; the bank grows to the peak number of
+  /// concurrent rotations and then stops touching the pool.
+  struct HoistScratch {
+    RnsPoly acc0, acc1;
+    std::atomic<bool> in_use{false};
+#ifndef NDEBUG
+    std::atomic<int> active{0};  ///< concurrent-aliasing detector
+#endif
+  };
+  class ScratchLease;
+  HoistScratch& lease_hoist_scratch() const;
+  void release_hoist_scratch(HoistScratch& sc) const noexcept;
 
   BgvParams params_;
   RnsContext ctx_;
@@ -221,6 +260,8 @@ class Bgv {
   RnsPoly pk_a_;     // NTT
   RnsPoly pk_b_;
   KswKey rlk_;
+  mutable std::mutex hoist_mu_;  // guards the scratch bank's vector only
+  mutable std::vector<std::unique_ptr<HoistScratch>> hoist_scratch_;
 };
 
 /// Restrict an NTT-form polynomial to its first `level` RNS components.

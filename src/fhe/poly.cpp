@@ -19,6 +19,8 @@ RnsPoly::RnsPoly(const RnsPoly& o)
     const std::size_t words = level_ * ctx_->n();
     buf_ = ctx_->exec().pool().acquire(words, /*zero=*/false);
     std::copy_n(o.buf_.data(), words, buf_.data());
+    auto& c = ctx_->exec().counters();
+    c.bump(c.bytes_copied, words * sizeof(std::uint64_t));
   }
 }
 
@@ -38,7 +40,31 @@ RnsPoly& RnsPoly::operator=(const RnsPoly& o) {
     buf_ = ctx_->exec().pool().acquire(words, /*zero=*/false);
   }
   std::copy_n(o.buf_.data(), words, buf_.data());
+  auto& c = ctx_->exec().counters();
+  c.bump(c.bytes_copied, words * sizeof(std::uint64_t));
   return *this;
+}
+
+RnsPoly& RnsPoly::reshape_uninit(const RnsContext* ctx, std::size_t level,
+                                 bool ntt_form) {
+  POE_ENSURE(ctx != nullptr, "null context");
+  POE_ENSURE(level >= 1 && level <= ctx->num_primes(), "bad level " << level);
+  const std::size_t words = level * ctx->n();
+  // Same slab-reuse rule as copy assignment: an already-leased slab big
+  // enough for the request never goes back to the pool, so a warmed
+  // scratch poly reshapes with zero pool traffic.
+  if (ctx_ != ctx || buf_.size() < words) {
+    buf_ = ctx->exec().pool().acquire(words, /*zero=*/false);
+  }
+  ctx_ = ctx;
+  level_ = level;
+  ntt_form_ = ntt_form;
+  return *this;
+}
+
+void RnsPoly::set_zero() {
+  if (ctx_ == nullptr) return;
+  std::fill_n(buf_.data(), level_ * ctx_->n(), std::uint64_t{0});
 }
 
 void RnsPoly::check_compatible(const RnsPoly& o) const {

@@ -95,6 +95,18 @@ class RnsPoly {
   static RnsPoly uninit(const RnsContext* ctx, std::size_t level,
                         bool ntt_form);
 
+  /// Re-point this poly at (ctx, level, ntt_form) with UNINITIALISED
+  /// contents, reusing the current slab whenever it is big enough (the
+  /// copy-assignment rule). The backbone of per-context rotation scratch:
+  /// after one warm-up pass at a level, reshaping at that level or below
+  /// touches the pool zero times. Every word must be written before read.
+  RnsPoly& reshape_uninit(const RnsContext* ctx, std::size_t level,
+                          bool ntt_form);
+
+  /// Zero the active level_ * n words in place (no pool traffic) — turns a
+  /// reshaped scratch poly into a fresh accumulator.
+  void set_zero();
+
  private:
   void check_compatible(const RnsPoly& o) const;
   /// Like check_compatible but allows `o` at a higher level (key material

@@ -102,6 +102,9 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   const CounterSnapshot before = bgv_.rns().exec().snapshot();
 
   Ciphertext state = key_ct_;
+  // Rotation output reused across every diagonal of every layer — the
+  // in-place hoisted rotation reshapes these slabs rather than allocating.
+  Ciphertext rot;
 
   // Affine layer with Mix folded in: Mix(diag(M_L, M_R) x + rc) =
   // (Mix ∘ diag(M_L, M_R)) x + Mix(rc) — one dense matrix, applied with the
@@ -123,25 +126,33 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     };
 
     const fhe::HoistedCt hoisted = bgv_.hoist(state);
+    // Zero-seeded accumulator + fused add_mul per diagonal: no per-diagonal
+    // ciphertext temporary, and the shared `rot` output absorbs every
+    // rotation (add_mul into a zero slot is the plain multiply
+    // bit-for-bit, so outputs match the old copy-then-accumulate loop).
     Ciphertext acc;
-    bool acc_init = false;
+    acc.level = state.level;
+    acc.parts.emplace_back(&bgv_.rns(), state.level, /*ntt_form=*/true);
+    acc.parts.emplace_back(&bgv_.rns(), state.level, /*ntt_form=*/true);
     for (std::size_t k = 0; k < s; ++k) {
       // Diagonal d_k[i] = entry(i, (i + k) mod s).
       std::vector<u64> diag(s);
       for (std::size_t i = 0; i < s; ++i) {
         diag[i] = entry(i, (i + k) % s);
       }
-      Ciphertext term =
-          k == 0 ? state
-                 : bgv_.rotate_hoisted(hoisted, static_cast<long>(k),
-                                       *rotation_keys_);
-      bgv_.mul_plain_inplace(term, tiled_plain(diag));
+      const Ciphertext* src = &state;
+      if (k != 0) {
+        bgv_.rotate_hoisted_into(hoisted, static_cast<long>(k),
+                                 *rotation_keys_, rot);
+        src = &rot;
+      }
+      const fhe::RnsPoly diag_ntt =
+          fhe::RnsPoly::from_plaintext(&bgv_.rns(), state.level,
+                                       tiled_plain(diag).coeffs,
+                                       /*to_ntt_form=*/true);
       rep.scalar_multiplications += s;
-      if (!acc_init) {
-        acc = std::move(term);
-        acc_init = true;
-      } else {
-        bgv_.add_inplace(acc, term);
+      for (std::size_t p = 0; p < 2; ++p) {
+        acc.parts[p].add_mul_inplace(src->parts[p], diag_ntt);
       }
     }
 

@@ -198,11 +198,17 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
   const CounterSnapshot before = bgv_.rns().exec().snapshot();
 
   Ciphertext state = key_ct;
+  // One rotation output reused across every diagonal of every layer: the
+  // in-place hoisted rotation reshapes these slabs instead of allocating,
+  // so after the first layer the whole diagonal loop runs pool-silent.
+  Ciphertext rot;
 
   // One Mix-composed affine layer: full diagonal method over a hoisted
   // state. The in-tile parts accumulate directly; the wrap parts (already
   // pre-rotated by +s in prepare()) accumulate separately and take ONE
-  // closing rotation by cols - s.
+  // closing rotation by cols - s. Each diagonal is fused into its
+  // accumulator with add_mul (zero-seeded accumulators make term 1 a plain
+  // multiply bit-for-bit), so no per-diagonal ciphertext temporary exists.
   auto affine = [&](std::size_t l) {
     const fhe::HoistedCt hoisted = bgv_.hoist(state);
     Ciphertext inner_a, inner_b;
@@ -212,23 +218,31 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
       const bool have_a = !pair[0].coeffs.empty();
       const bool have_b = !pair[1].coeffs.empty();
       if (!have_a && !have_b) continue;
-      Ciphertext rot =
-          k == 0 ? state
-                 : bgv_.rotate_hoisted(hoisted, static_cast<long>(k),
-                                       *rotation_keys_);
+      const Ciphertext* src = &state;
+      if (k != 0) {
+        bgv_.rotate_hoisted_into(hoisted, static_cast<long>(k),
+                                 *rotation_keys_, rot);
+        src = &rot;
+      }
       for (int variant = 0; variant < 2; ++variant) {
         if (pair[variant].coeffs.empty()) continue;
-        const bool last = variant == 1 || !have_b;
-        Ciphertext term = last ? std::move(rot) : rot;
-        bgv_.mul_plain_inplace(term, pair[variant]);
+        const fhe::RnsPoly diag_ntt =
+            fhe::RnsPoly::from_plaintext(&bgv_.rns(), state.level,
+                                         pair[variant].coeffs,
+                                         /*to_ntt_form=*/true);
         rep.scalar_multiplications += s;
         Ciphertext& inner = variant == 0 ? inner_a : inner_b;
         bool& init = variant == 0 ? init_a : init_b;
         if (!init) {
-          inner = std::move(term);
+          inner.level = state.level;
+          inner.parts.emplace_back(&bgv_.rns(), state.level,
+                                   /*ntt_form=*/true);
+          inner.parts.emplace_back(&bgv_.rns(), state.level,
+                                   /*ntt_form=*/true);
           init = true;
-        } else {
-          bgv_.add_inplace(inner, term);
+        }
+        for (std::size_t p = 0; p < 2; ++p) {
+          inner.parts[p].add_mul_inplace(src->parts[p], diag_ntt);
         }
       }
     }

@@ -261,7 +261,8 @@ class Avx2Backend final : public Backend {
   void ksw_accumulate(u64* dst0, u64* dst1, const u64* const* dig,
                       const u64* const* kb, const u64* const* ka,
                       std::size_t nd, std::size_t n, const std::uint32_t* perm,
-                      const mod::Modulus& m) const override {
+                      const mod::Modulus& m, bool seed0,
+                      bool seed1) const override {
     // Hoisted rotations permute the digit reads. Per-lane gathers turned
     // out to cost the entire vector win on real silicon, so the shared
     // permutation is materialized once per digit row into a reusable
@@ -278,7 +279,8 @@ class Avx2Backend final : public Backend {
         for (std::size_t i = 0; i < n; ++i) dst[i] = src[perm[i]];
         rows[w] = dst;
       }
-      ksw_accumulate(dst0, dst1, rows.data(), kb, ka, nd, n, nullptr, m);
+      ksw_accumulate(dst0, dst1, rows.data(), kb, ka, nd, n, nullptr, m,
+                     seed0, seed1);
       return;
     }
     // Same flush interval as the scalar backend — the schedule is uniform
@@ -292,8 +294,8 @@ class Avx2Backend final : public Backend {
     const __m256i zero = _mm256_setzero_si256();
     std::size_t idx = 0;
     for (; idx + 4 <= n; idx += 4) {
-      __m256i acc0_lo = load4(dst0 + idx), acc0_hi = zero;
-      __m256i acc1_lo = load4(dst1 + idx), acc1_hi = zero;
+      __m256i acc0_lo = seed0 ? load4(dst0 + idx) : zero, acc0_hi = zero;
+      __m256i acc1_lo = seed1 ? load4(dst1 + idx) : zero, acc1_hi = zero;
       std::size_t since = 0;
       for (std::size_t w = 0; w < nd; ++w) {
         const __m256i v = load4(dig[w] + idx);
@@ -313,8 +315,8 @@ class Avx2Backend final : public Backend {
       store4(dst1 + idx, rv.reduce(acc1_lo, acc1_hi));
     }
     for (; idx < n; ++idx) {  // scalar tail, same schedule
-      u128 acc0 = dst0[idx];
-      u128 acc1 = dst1[idx];
+      u128 acc0 = seed0 ? dst0[idx] : 0;
+      u128 acc1 = seed1 ? dst1[idx] : 0;
       std::size_t since = 0;
       for (std::size_t w = 0; w < nd; ++w) {
         const u128 v = dig[w][idx];

@@ -223,7 +223,8 @@ class Avx512Backend final : public Backend {
   void ksw_accumulate(u64* dst0, u64* dst1, const u64* const* dig,
                       const u64* const* kb, const u64* const* ka,
                       std::size_t nd, std::size_t n, const std::uint32_t* perm,
-                      const mod::Modulus& m) const override {
+                      const mod::Modulus& m, bool seed0,
+                      bool seed1) const override {
     // Hoisted rotations permute the digit reads. Per-lane gathers turned
     // out to cost the entire vector win on real silicon, so the shared
     // permutation is materialized once per digit row into a reusable
@@ -240,7 +241,8 @@ class Avx512Backend final : public Backend {
         for (std::size_t i = 0; i < n; ++i) dst[i] = src[perm[i]];
         rows[w] = dst;
       }
-      ksw_accumulate(dst0, dst1, rows.data(), kb, ka, nd, n, nullptr, m);
+      ksw_accumulate(dst0, dst1, rows.data(), kb, ka, nd, n, nullptr, m,
+                     seed0, seed1);
       return;
     }
     const u128 term_max = static_cast<u128>(m.value() - 1) * (m.value() - 1);
@@ -253,8 +255,8 @@ class Avx512Backend final : public Backend {
     const __m512i one = bcast(1);
     std::size_t idx = 0;
     for (; idx + 8 <= n; idx += 8) {
-      __m512i acc0_lo = load8(dst0 + idx), acc0_hi = zero;
-      __m512i acc1_lo = load8(dst1 + idx), acc1_hi = zero;
+      __m512i acc0_lo = seed0 ? load8(dst0 + idx) : zero, acc0_hi = zero;
+      __m512i acc1_lo = seed1 ? load8(dst1 + idx) : zero, acc1_hi = zero;
       std::size_t since = 0;
       for (std::size_t w = 0; w < nd; ++w) {
         const __m512i v = load8(dig[w] + idx);
@@ -274,8 +276,8 @@ class Avx512Backend final : public Backend {
       store8(dst1 + idx, rv.reduce(acc1_lo, acc1_hi));
     }
     for (; idx < n; ++idx) {  // scalar tail, same schedule
-      u128 acc0 = dst0[idx];
-      u128 acc1 = dst1[idx];
+      u128 acc0 = seed0 ? dst0[idx] : 0;
+      u128 acc1 = seed1 ? dst1[idx] : 0;
       std::size_t since = 0;
       for (std::size_t w = 0; w < nd; ++w) {
         const u128 v = dig[w][idx];

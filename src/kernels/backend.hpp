@@ -108,25 +108,42 @@ class Backend {
                          const mod::Modulus& m) const = 0;
 
   /// Lazy 128-bit key-switch inner product over one RNS component:
-  ///   dst0[i] = reduce128(dst0[i] + sum_w dig[w][perm?[i]] * kb[w][i])
-  ///   dst1[i] = reduce128(dst1[i] + sum_w dig[w][perm?[i]] * ka[w][i])
-  /// perm == nullptr means the identity (plain relinearisation/ksw);
-  /// otherwise it is the Galois NTT-slot permutation fused into the
-  /// accumulate (hoisted rotations). Accumulators are flushed with the wide
-  /// Barrett reduction before they can wrap — the flush schedule is an
-  /// implementation detail; outputs are exact residues either way.
+  ///   dst0[i] = reduce128(seed0[i] + sum_w dig[w][perm?[i]] * kb[w][i])
+  ///   dst1[i] = reduce128(seed1[i] + sum_w dig[w][perm?[i]] * ka[w][i])
+  /// where seedX[i] is dst[i] when accX is true (accumulate mode) and zero
+  /// when accX is false (overwrite mode — dst may hold uninitialised words
+  /// and is never read). perm == nullptr means the identity (plain
+  /// relinearisation/ksw); otherwise it is the Galois NTT-slot permutation
+  /// fused into the accumulate (hoisted rotations). Accumulators are flushed
+  /// with the wide Barrett reduction before they can wrap — the flush
+  /// schedule is an implementation detail; outputs are exact residues either
+  /// way, so accumulate(dst=c) == add(c, overwrite()) bit-for-bit.
   virtual void ksw_accumulate(std::uint64_t* dst0, std::uint64_t* dst1,
                               const std::uint64_t* const* dig,
                               const std::uint64_t* const* kb,
                               const std::uint64_t* const* ka,
                               std::size_t num_digits, std::size_t n,
                               const std::uint32_t* perm,
-                              const mod::Modulus& m) const = 0;
+                              const mod::Modulus& m, bool acc0 = true,
+                              bool acc1 = true) const = 0;
 
   /// NTT-domain automorphism slot permutation: dst[i] = src[perm[i]]
   /// (dst and src must not alias).
   virtual void permute(std::uint64_t* dst, const std::uint64_t* src,
                        const std::uint32_t* perm, std::size_t n) const = 0;
+
+  /// Fused permute-and-add: dst[i] = (a[perm[i]] + b[perm[i]]) mod m, with
+  /// dst aliasing neither input. This is the whole output side of an
+  /// in-place hoisted rotation (c0 plus the flushed accumulator, permuted
+  /// once); permutes are gather-bound, so the shared scalar loop is already
+  /// the right implementation for every backend.
+  void permute_add(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, const std::uint32_t* perm,
+                   std::size_t n, const mod::Modulus& m) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = m.add(a[perm[i]], b[perm[i]]);
+    }
+  }
 
  protected:
   virtual void ntt_impl(std::uint64_t* x, const NttTables& t) const = 0;

@@ -72,7 +72,8 @@ class ScalarBackend final : public Backend {
   void ksw_accumulate(u64* dst0, u64* dst1, const u64* const* dig,
                       const u64* const* kb, const u64* const* ka,
                       std::size_t nd, std::size_t n, const std::uint32_t* perm,
-                      const mod::Modulus& m) const override {
+                      const mod::Modulus& m, bool seed0,
+                      bool seed1) const override {
     // Lazy accumulation: sum the raw 128-bit digit*key products and Barrett-
     // reduce once per slot instead of once per digit. The flush interval
     // keeps the accumulators below wrap-around for pathological (huge-prime,
@@ -84,8 +85,8 @@ class ScalarBackend final : public Backend {
                               ~std::size_t{0})));
     for (std::size_t idx = 0; idx < n; ++idx) {
       const std::size_t src = perm != nullptr ? perm[idx] : idx;
-      u128 acc0 = dst0[idx];
-      u128 acc1 = dst1[idx];
+      u128 acc0 = seed0 ? dst0[idx] : 0;  // overwrite mode never reads dst
+      u128 acc1 = seed1 ? dst1[idx] : 0;
       std::size_t since = 0;
       for (std::size_t w = 0; w < nd; ++w) {
         const u128 v = dig[w][src];

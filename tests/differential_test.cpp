@@ -13,8 +13,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "fhe/bgv.hpp"
+#include "kernels/backend.hpp"
 #include "hhe/batched_server.hpp"
 #include "hhe/protocol.hpp"
 #include "hhe/simd_batch.hpp"
@@ -304,6 +306,121 @@ TEST(HoistedRotationDifferential, AgreesWithUnhoistedAcrossStepsAndLevels) {
                 s.bgv.decrypt(unhoisted).coeffs)
           << "step " << step << " drop " << drop;
       EXPECT_GT(s.bgv.noise_budget_bits(via_hoist), 0.0) << "step " << step;
+    }
+  }
+}
+
+// -------------------------------- in-place == allocating hoisted rotation
+
+namespace {
+::testing::AssertionResult ciphertext_bits_equal(const fhe::Ciphertext& a,
+                                                 const fhe::Ciphertext& b) {
+  if (a.level != b.level || a.parts.size() != b.parts.size()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: level " << a.level << " vs " << b.level
+           << ", parts " << a.parts.size() << " vs " << b.parts.size();
+  }
+  for (std::size_t p = 0; p < a.parts.size(); ++p) {
+    if (a.parts[p].is_ntt() != b.parts[p].is_ntt()) {
+      return ::testing::AssertionFailure() << "NTT-form mismatch in part " << p;
+    }
+    for (std::size_t i = 0; i < a.level; ++i) {
+      const auto ra = a.parts[p].rns(i);
+      const auto rb = b.parts[p].rns(i);
+      for (std::size_t j = 0; j < ra.size(); ++j) {
+        if (ra[j] != rb[j]) {
+          return ::testing::AssertionFailure()
+                 << "part " << p << " component " << i << " word " << j << ": "
+                 << ra[j] << " != " << rb[j];
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+}  // namespace
+
+// Unlike hoisted-vs-unhoisted (which only agree on decryptions), the
+// in-place path MUST be bit-identical to the allocating one: it runs the
+// same digit inner product, just into leased scratch with the closing
+// permutation fused. Agreement here is on raw ciphertext words.
+TEST(HoistedRotationDifferential, InPlaceMatchesAllocatingBitForBit) {
+  auto& s = batched();
+  Xoshiro256 rng(515151);
+  const auto logical = random_msg(rng, s.config.bgv.t, s.config.bgv.n);
+  auto ct = s.bgv.encrypt(s.encoder.encode(s.layout.to_slots(logical)));
+
+  for (int drop = 0; drop < 2; ++drop) {
+    if (drop == 1) s.bgv.mod_switch_inplace(ct);
+    const fhe::HoistedCt hoisted = s.bgv.hoist(ct);
+    // ONE output ciphertext reused across every step, exactly like the
+    // serving loops reuse theirs across diagonals.
+    fhe::Ciphertext out;
+    for (const long step : hhe::BatchedHheServer::rotation_steps(s.config)) {
+      const fhe::Ciphertext want =
+          s.bgv.rotate_hoisted(hoisted, step, *s.server_keys);
+      s.bgv.rotate_hoisted_into(hoisted, step, *s.server_keys, out);
+      EXPECT_TRUE(ciphertext_bits_equal(out, want))
+          << "step " << step << " drop " << drop;
+    }
+  }
+}
+
+// Ragged diagonal-loop lengths: a serving loop that touches 1, s-1 or s
+// diagonals (k = 0 never rotates) must leave the reused output correct on
+// every iteration it does run, regardless of what shape the previous loop
+// left behind in it.
+TEST(HoistedRotationDifferential, ReusedOutputSurvivesRaggedDiagonalCounts) {
+  auto& s = batched();
+  Xoshiro256 rng(626262);
+  const std::size_t sdim = 2 * s.config.pasta.t;
+  const auto logical = random_msg(rng, s.config.bgv.t, s.config.bgv.n);
+  const auto ct = s.bgv.encrypt(s.encoder.encode(s.layout.to_slots(logical)));
+  const fhe::HoistedCt hoisted = s.bgv.hoist(ct);
+
+  fhe::Ciphertext out;  // deliberately shared across the ragged loops
+  for (const std::size_t count : {std::size_t{1}, sdim - 1, sdim}) {
+    for (std::size_t k = 1; k < count; ++k) {
+      const long step = static_cast<long>(k);
+      const fhe::Ciphertext want =
+          s.bgv.rotate_hoisted(hoisted, step, *s.server_keys);
+      s.bgv.rotate_hoisted_into(hoisted, step, *s.server_keys, out);
+      EXPECT_TRUE(ciphertext_bits_equal(out, want))
+          << "count " << count << " step " << step;
+    }
+  }
+}
+
+// Per kernel backend: the scratch path must match the allocating path on
+// that backend bit-for-bit, and both must decrypt to the same rotation the
+// non-hoisted reference computes. Uses the smaller coefficient-config ring
+// so three keygens stay cheap.
+TEST(HoistedRotationDifferential, InPlaceMatchesAllocatingOnEveryBackend) {
+  const hhe::HheConfig config = hhe::HheConfig::test();
+  for (const kernels::Backend* backend : kernels::available_backends()) {
+    SCOPED_TRACE(backend->name());
+    ExecContext exec(nullptr, backend);
+    fhe::Bgv bgv(config.bgv, &exec);
+    fhe::BatchEncoder encoder(config.bgv.n, config.bgv.t);
+    fhe::SlotLayout layout(config.bgv.n, config.bgv.t);
+    const std::vector<long> steps{1, 7};
+    const fhe::GaloisKeys keys = bgv.make_rotation_keys(steps);
+
+    Xoshiro256 rng(737373);
+    const auto logical = random_msg(rng, config.bgv.t, config.bgv.n);
+    const auto ct = bgv.encrypt(encoder.encode(layout.to_slots(logical)));
+    const fhe::HoistedCt hoisted = bgv.hoist(ct);
+
+    fhe::Ciphertext out;
+    for (const long step : steps) {
+      const fhe::Ciphertext want = bgv.rotate_hoisted(hoisted, step, keys);
+      bgv.rotate_hoisted_into(hoisted, step, keys, out);
+      EXPECT_TRUE(ciphertext_bits_equal(out, want)) << "step " << step;
+
+      fhe::Ciphertext unhoisted = ct;
+      bgv.rotate_columns_inplace(unhoisted, step, keys);
+      EXPECT_EQ(bgv.decrypt(out).coeffs, bgv.decrypt(unhoisted).coeffs)
+          << "step " << step;
     }
   }
 }

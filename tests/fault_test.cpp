@@ -154,6 +154,67 @@ TEST(FaultDirected, AllocationFailureRecoversViaRetry) {
   expect_partition(rep);
 }
 
+TEST(FaultDirected, HoistScratchAllocFailureRecoversViaRetry) {
+  // The scratch lease inside Bgv::rotate_hoisted_into fails mid-diagonal-
+  // loop (the site fires on the first k != 0 rotation of the first affine
+  // layer, after the accumulator and the k = 0 term are already built).
+  // The evaluate stage must surface it as a typed stage failure and
+  // recover on retry — no UB from the half-filled accumulator, no torn
+  // scratch left leased in the bank.
+  auto service = make_service(sequential_cfg());
+  TestClient client(21, 121);
+  ASSERT_TRUE(service.open_session_wire(client.id, client.key_wire()));
+  const auto msg = random_msg(stack().config.pasta.t + 2, 122);
+
+  ArmedScope scope(2);
+  scope.fi.arm(FaultSpec{.site = "fhe.hoist.scratch.alloc_fail",
+                         .kind = FaultClass::kAllocFail});
+  ServiceReport rep;
+  const auto results =
+      service.process(std::vector{client.request(1, msg)}, &rep);
+  scope.disarm();
+
+  ASSERT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_EQ(decode_all(results[0]), msg);
+  EXPECT_EQ(rep.faults.injected, 1u);
+  EXPECT_GE(rep.faults.retries, 1u);
+  EXPECT_GE(rep.faults.recovered_batches, 1u);
+  EXPECT_EQ(scope.fi.fired(FaultClass::kAllocFail), 1u);
+  expect_partition(rep);
+}
+
+TEST(FaultDirected, HoistScratchAllocFailureExhaustsToTypedFailure) {
+  // Every attempt's lease fails: the batch must degrade to kFailed with a
+  // descriptive error — a typed terminal status, never an escaped
+  // exception or a crash on the partially-accumulated state.
+  auto service = make_service(sequential_cfg());
+  TestClient client(22, 123);
+  ASSERT_TRUE(service.open_session_wire(client.id, client.key_wire()));
+  const auto msg = random_msg(3, 124);
+
+  ArmedScope scope(3);
+  scope.fi.arm(FaultSpec{.site = "fhe.hoist.scratch.alloc_fail",
+                         .kind = FaultClass::kAllocFail,
+                         .count = 3});
+  ServiceReport rep;
+  const auto results =
+      service.process(std::vector{client.request(1, msg)}, &rep);
+  scope.disarm();
+
+  EXPECT_EQ(results[0].status, RequestStatus::kFailed);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_TRUE(results[0].blocks.empty());
+  EXPECT_EQ(rep.faults.failed, 1u);
+  EXPECT_EQ(rep.faults.injected, 3u);
+  EXPECT_EQ(rep.faults.retries, 2u);
+  expect_partition(rep);
+
+  // The bank must be clean after the failures: a fault-free call succeeds.
+  const auto retry = service.process(std::vector{client.request(2, msg)});
+  ASSERT_TRUE(retry[0].ok()) << retry[0].error;
+  EXPECT_EQ(decode_all(retry[0]), msg);
+}
+
 TEST(FaultDirected, PrepareThrowRecoversViaRetry) {
   auto service = make_service(sequential_cfg());
   TestClient client(2, 103);
@@ -437,6 +498,7 @@ TEST(FaultDirected, UnarmedInjectorIsInvisible) {
 
 constexpr FaultInjector::MenuEntry kSweepMenu[] = {
     {"pool.acquire", FaultClass::kAllocFail},
+    {"fhe.hoist.scratch.alloc_fail", FaultClass::kAllocFail},
     {"service.prepare", FaultClass::kThrow},
     {"service.prepare.stall", FaultClass::kStall},
     {"service.evaluate", FaultClass::kThrow},

@@ -306,6 +306,111 @@ TEST(KernelKsw, AccumulateMatchesNaiveWithAndWithoutPerm) {
   }
 }
 
+TEST(KernelKsw, OverwriteModeIgnoresDestinationGarbage) {
+  // seedX=false must produce exactly the accumulate-into-zero result no
+  // matter what bits dst held before the call — the overwrite-mode ksw in
+  // the hoisted-rotation hot path writes into UNINITIALISED leased scratch.
+  Xoshiro256 rng(107);
+  for (const u64 q : test_moduli(64)) {
+    const Modulus m(q);
+    const std::size_t n = 256, nd = 5;
+    std::vector<std::vector<u64>> dig(nd), kb(nd), ka(nd);
+    std::vector<const u64*> dig_p(nd), kb_p(nd), ka_p(nd);
+    for (std::size_t w = 0; w < nd; ++w) {
+      dig[w].resize(n), kb[w].resize(n), ka[w].resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        dig[w][i] = rng.below(q);
+        kb[w][i] = rng.below(q);
+        ka[w][i] = rng.below(q);
+      }
+      dig_p[w] = dig[w].data(), kb_p[w] = kb[w].data(),
+      ka_p[w] = ka[w].data();
+    }
+    std::vector<u32> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    std::vector<u64> seed0(n), seed1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seed0[i] = rng.below(q);
+      seed1[i] = rng.below(q);
+    }
+    for (const u32* p : {static_cast<const u32*>(nullptr),
+                         static_cast<const u32*>(perm.data())}) {
+      // Ground truth per lane: accumulate-mode over a zero (overwrite) or
+      // given (accumulate) seed, with per-term reduction.
+      auto want_lane = [&](const std::vector<std::vector<u64>>& k,
+                           const std::vector<u64>* init) {
+        std::vector<u64> want(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t j = p != nullptr ? p[i] : i;
+          u128 acc = init != nullptr ? (*init)[i] : u128{0};
+          for (std::size_t w = 0; w < nd; ++w) {
+            acc = (acc + u128{dig[w][j]} * k[w][i]) % q;
+          }
+          want[i] = static_cast<u64>(acc);
+        }
+        return want;
+      };
+      for (const Backend* b : available_backends()) {
+        // Full overwrite: both lanes start as garbage, both must come out
+        // as if seeded with zero.
+        std::vector<u64> d0(n), d1(n);
+        for (std::size_t i = 0; i < n; ++i) d0[i] = rng.next(), d1[i] = rng.next();
+        b->ksw_accumulate(d0.data(), d1.data(), dig_p.data(), kb_p.data(),
+                          ka_p.data(), nd, n, p, m, /*acc0=*/false,
+                          /*acc1=*/false);
+        ASSERT_EQ(d0, want_lane(kb, nullptr))
+            << b->name() << " q=" << q << " perm=" << (p != nullptr);
+        ASSERT_EQ(d1, want_lane(ka, nullptr))
+            << b->name() << " q=" << q << " perm=" << (p != nullptr);
+
+        // Mixed flags: lane 0 accumulates onto its seed, lane 1 is
+        // overwritten (the apply_galois/ingest shape).
+        d0 = seed0;
+        for (std::size_t i = 0; i < n; ++i) d1[i] = rng.next();
+        b->ksw_accumulate(d0.data(), d1.data(), dig_p.data(), kb_p.data(),
+                          ka_p.data(), nd, n, p, m, /*acc0=*/true,
+                          /*acc1=*/false);
+        ASSERT_EQ(d0, want_lane(kb, &seed0))
+            << b->name() << " q=" << q << " perm=" << (p != nullptr);
+        ASSERT_EQ(d1, want_lane(ka, nullptr))
+            << b->name() << " q=" << q << " perm=" << (p != nullptr);
+      }
+    }
+  }
+}
+
+TEST(KernelPermute, PermuteAddBitIdentity) {
+  // permute_add fuses the closing automorphism of a hoisted rotation with
+  // the c0 addition: dst[i] = a[perm[i]] + b[perm[i]] mod q.
+  Xoshiro256 rng(108);
+  for (const u64 q : test_moduli(16)) {
+    const Modulus m(q);
+    for (const std::size_t n : {8u, 33u, 1024u}) {
+      std::vector<u64> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.below(q);
+        b[i] = rng.below(q);
+      }
+      std::vector<u32> perm(n);
+      std::iota(perm.begin(), perm.end(), 0u);
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      for (const Backend* be : available_backends()) {
+        std::vector<u64> got(n);
+        be->permute_add(got.data(), a.data(), b.data(), perm.data(), n, m);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i], (a[perm[i]] + b[perm[i]]) % q)
+              << be->name() << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(KernelPermute, BitIdentity) {
   Xoshiro256 rng(106);
   for (const std::size_t n : {8u, 33u, 4096u}) {
