@@ -34,8 +34,12 @@ std::string counter_line(const CounterSnapshot& ops) {
   return os.str();
 }
 
-// One benchmark record for BENCH_hhe.json.
+// One benchmark record for BENCH_hhe.json. Carries the BgvParams the run
+// used plus the predicted-vs-measured budget slack, so the noise-budget CI
+// smoke (scripts/check_noise_budget.py) can pin both the safety band and
+// the soundness invariant predicted <= measured.
 std::string json_record(const char* name, double seconds,
+                        const fhe::BgvParams& params,
                         const hhe::ServerReport& rep) {
   const CounterSnapshot& ops = rep.exec_ops;
   std::ostringstream os;
@@ -52,7 +56,15 @@ std::string json_record(const char* name, double seconds,
      << ", \"pool_misses\": " << ops.pool_misses
      << ", \"pool_hit_rate\": " << fixed(ops.pool_hit_rate(), 4)
      << ", \"bytes_copied\": " << ops.bytes_copied
+     << ", \"n\": " << params.n
+     << ", \"num_primes\": " << params.num_primes
+     << ", \"prime_bits\": " << params.prime_bits
+     << ", \"relin_digit_bits\": " << params.relin_digit_bits
      << ", \"noise_budget_bits\": " << fixed(rep.min_noise_budget_bits, 1)
+     << ", \"predicted_budget_bits\": "
+     << fixed(rep.predicted_min_budget_bits, 1)
+     << ", \"budget_slack_bits\": "
+     << fixed(rep.min_noise_budget_bits - rep.predicted_min_budget_bits, 1)
      << "}";
   return os.str();
 }
@@ -123,9 +135,9 @@ int main() {
   // --- Batched (SIMD) server: the whole state in one ciphertext.
   hhe::ServerReport brep;
   double bs = 0;
+  const auto bcfg =
+      full ? hhe::HheConfig::batched_demo() : hhe::HheConfig::batched_test();
   {
-    const auto bcfg =
-        full ? hhe::HheConfig::batched_demo() : hhe::HheConfig::batched_test();
     std::cout << "\n=== Batched (SIMD) server — hoisted diagonal evaluation ===\n";
     t0 = Clock::now();
     fhe::Bgv bbgv(bcfg.bgv);
@@ -256,9 +268,11 @@ int main() {
          << "  \"kernel_backend\": \""
          << ExecContext::global().kernel_backend_name() << "\",\n"
          << "  \"benchmarks\": [\n"
-         << json_record("transcipher_block_coefficient", transcipher_s, report)
+         << json_record("transcipher_block_coefficient", transcipher_s,
+                        config.bgv, report)
          << ",\n"
-         << json_record("transcipher_block_batched", bs, brep) << "\n"
+         << json_record("transcipher_block_batched", bs, bcfg.bgv, brep)
+         << "\n"
          << "  ]\n}\n";
     std::cout << "(wrote BENCH_hhe.json)\n";
   }

@@ -1,0 +1,227 @@
+// Noise-aware parameter right-sizing tool (profile -> replay -> search).
+//
+// Records each transcipher server's circuit under the oversized legacy
+// configs, searches the smallest BgvParams whose replayed output budget
+// clears the safety band under the security table, and validates the
+// result LIVE: the right-sized config (automatic mod-switch scheduling)
+// must decrypt correctly, its measured budget must sit inside the band,
+// and the batched path must beat the legacy config end to end.
+//
+// The chosen parameters are pasted into HheConfig::{test,demo,batched_*}
+// (src/hhe/protocol.cpp); the param_search fixed-point test re-derives
+// them so they cannot drift from this tool or the security table.
+//
+// Default: the PASTA-mini test profiles. POE_FULL_HHE=1 adds the full
+// PASTA-4 demo profiles (minutes).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "fhe/encoding.hpp"
+#include "fhe/param_search.hpp"
+#include "hhe/batched_server.hpp"
+#include "hhe/profile.hpp"
+#include "hhe/protocol.hpp"
+
+namespace {
+using namespace poe;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+struct CaseResult {
+  std::string name;
+  fhe::SearchResult search;
+  double legacy_log_q = 0;
+  double legacy_s = 0;       ///< legacy end-to-end block time
+  double rightsized_s = 0;   ///< right-sized end-to-end block time
+  double measured_budget = 0;
+  double predicted_budget = 0;
+  bool decrypt_ok = false;
+  bool matches_checked_in = false;
+};
+
+std::string params_literal(const fhe::BgvParams& p) {
+  std::ostringstream os;
+  os << "{n=" << p.n << ", num_primes=" << p.num_primes << ", prime_bits="
+     << p.prime_bits << ", relin_digit_bits=" << p.relin_digit_bits << "}";
+  return os.str();
+}
+
+bool same_params(const fhe::BgvParams& a, const fhe::BgvParams& b) {
+  return a.n == b.n && a.t == b.t && a.num_primes == b.num_primes &&
+         a.prime_bits == b.prime_bits &&
+         a.relin_digit_bits == b.relin_digit_bits;
+}
+
+// Run one coefficient-wise transcipher block under `cfg`; returns seconds.
+double run_coefficient(const hhe::HheConfig& cfg, hhe::ServerReport& rep,
+                       bool& ok) {
+  fhe::Bgv bgv(cfg.bgv);
+  Xoshiro256 rng(3);
+  const auto key = pasta::PastaCipher::random_key(cfg.pasta, rng);
+  hhe::HheClient client(cfg, bgv, key);
+  hhe::HheServer server(cfg, bgv, client.encrypt_key());
+  std::vector<std::uint64_t> msg(cfg.pasta.t);
+  for (auto& m : msg) m = rng.below(cfg.pasta.p);
+  const auto sym = client.encrypt(msg, /*nonce=*/5);
+  const auto t0 = Clock::now();
+  const auto out = server.transcipher_block(sym, /*nonce=*/5, 0, &rep);
+  const double s = seconds_since(t0);
+  ok = client.decrypt_result(out) == msg;
+  return s;
+}
+
+// Run one batched transcipher block under `cfg` (warmed up); returns seconds.
+double run_batched(const hhe::HheConfig& cfg, hhe::ServerReport& rep,
+                   bool& ok) {
+  fhe::Bgv bgv(cfg.bgv);
+  Xoshiro256 rng(3);
+  const auto key = pasta::PastaCipher::random_key(cfg.pasta, rng);
+  hhe::HheClient client(cfg, bgv, key);
+  fhe::BatchEncoder encoder(cfg.bgv.n, cfg.bgv.t);
+  fhe::SlotLayout layout(cfg.bgv.n, cfg.bgv.t);
+  hhe::BatchedHheServer server(
+      cfg, bgv, hhe::encrypt_key_batched(cfg, bgv, encoder, layout, key));
+  std::vector<std::uint64_t> msg(cfg.pasta.t);
+  for (auto& m : msg) m = rng.below(cfg.pasta.p);
+  const auto sym = client.encrypt(msg, /*nonce=*/5);
+  server.transcipher_block(sym, /*nonce=*/5, 0, nullptr);  // warm-up
+  const auto t0 = Clock::now();
+  const auto out = server.transcipher_block(sym, /*nonce=*/5, 0, &rep);
+  const double s = seconds_since(t0);
+  ok = hhe::BatchedHheServer::decode_block(cfg, bgv, out, msg.size()) == msg;
+  return s;
+}
+
+CaseResult run_case(const std::string& name, const hhe::HheConfig& legacy,
+                    const hhe::HheConfig& checked_in, bool batched) {
+  CaseResult r;
+  r.name = name;
+  std::cout << "\n=== " << name << " ===\n";
+
+  auto t0 = Clock::now();
+  const fhe::CircuitProfile profile =
+      batched ? hhe::record_batched_profile(legacy)
+              : hhe::record_coefficient_profile(legacy);
+  std::cout << "profile: " << profile.tape.size() << " tape nodes, "
+            << profile.outputs.size() << " outputs, recorded in "
+            << fixed(seconds_since(t0), 2) << " s under legacy "
+            << params_literal(legacy.bgv) << "\n";
+
+  fhe::SearchConstraints c;
+  c.t = legacy.bgv.t;
+  c.seed = legacy.bgv.seed;
+  c.policy.margin = checked_in.switch_margin;
+  t0 = Clock::now();
+  r.search = fhe::search_params(profile, c);
+  POE_ENSURE(r.search.found, "search found no feasible parameters");
+  r.legacy_log_q =
+      static_cast<double>(legacy.bgv.num_primes) * legacy.bgv.prime_bits;
+  r.matches_checked_in = same_params(r.search.params, checked_in.bgv);
+  std::cout << "search: " << r.search.candidates_tried << " candidates in "
+            << fixed(seconds_since(t0), 2) << " s\n"
+            << "chosen: " << params_literal(r.search.params) << " — log2(q) "
+            << fixed(r.search.log_q, 0) << " (cap "
+            << fixed(r.search.security_cap, 0) << ", legacy "
+            << fixed(r.legacy_log_q, 0) << "), "
+            << r.search.sim.mod_switches << " scheduled switches, predicted "
+            << "output budget " << fixed(r.search.sim.min_output_budget, 1)
+            << " bits (band_low " << fixed(c.band_low, 0) << ")\n"
+            << (r.matches_checked_in
+                    ? "checked-in config matches the search output\n"
+                    : "NOTE: checked-in config differs — paste the params "
+                      "above into protocol.cpp\n");
+
+  // Live A/B: legacy hand-placed schedule vs right-sized auto schedule.
+  hhe::HheConfig rightsized = checked_in;
+  rightsized.bgv = r.search.params;
+  rightsized.bgv.t = legacy.bgv.t;
+  rightsized.auto_mod_switch = true;
+  hhe::ServerReport lrep, rrep;
+  bool lok = false, rok = false;
+  if (batched) {
+    r.legacy_s = run_batched(legacy, lrep, lok);
+    r.rightsized_s = run_batched(rightsized, rrep, rok);
+  } else {
+    r.legacy_s = run_coefficient(legacy, lrep, lok);
+    r.rightsized_s = run_coefficient(rightsized, rrep, rok);
+  }
+  r.decrypt_ok = lok && rok;
+  r.measured_budget = rrep.min_noise_budget_bits;
+  r.predicted_budget = rrep.predicted_min_budget_bits;
+  std::cout << "live: legacy " << fixed(r.legacy_s, 3) << " s -> right-sized "
+            << fixed(r.rightsized_s, 3) << " s ("
+            << fixed(r.legacy_s / r.rightsized_s, 2) << "x), measured budget "
+            << fixed(r.measured_budget, 1) << " bits (predicted "
+            << fixed(r.predicted_budget, 1) << ", legacy surplus was "
+            << fixed(lrep.min_noise_budget_bits, 1) << "), decrypt "
+            << (r.decrypt_ok ? "OK" : "MISMATCH") << "\n";
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("POE_FULL_HHE") != nullptr;
+  std::cout << "=== Circuit-profile parameter search (noise right-sizing) "
+            << "===\n";
+  if (!full) {
+    std::cout << "(test profiles only; POE_FULL_HHE=1 adds full PASTA-4)\n";
+  }
+
+  std::vector<CaseResult> results;
+  results.push_back(run_case("coefficient/test",
+                             hhe::HheConfig::test_legacy(),
+                             hhe::HheConfig::test(), /*batched=*/false));
+  results.push_back(run_case("batched/test",
+                             hhe::HheConfig::batched_test_legacy(),
+                             hhe::HheConfig::batched_test(),
+                             /*batched=*/true));
+  if (full) {
+    results.push_back(run_case("coefficient/demo",
+                               hhe::HheConfig::demo_legacy(),
+                               hhe::HheConfig::demo(), /*batched=*/false));
+    results.push_back(run_case("batched/demo",
+                               hhe::HheConfig::batched_demo_legacy(),
+                               hhe::HheConfig::batched_demo(),
+                               /*batched=*/true));
+  }
+
+  bool ok = true;
+  {
+    std::ofstream json("BENCH_param_search.json");
+    json << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      const fhe::BgvParams& p = r.search.params;
+      json << "    {\"name\": \"" << r.name << "\", \"n\": " << p.n
+           << ", \"num_primes\": " << p.num_primes
+           << ", \"prime_bits\": " << p.prime_bits
+           << ", \"relin_digit_bits\": " << p.relin_digit_bits
+           << ", \"log_q\": " << fixed(r.search.log_q, 0)
+           << ", \"legacy_log_q\": " << fixed(r.legacy_log_q, 0)
+           << ", \"security_cap\": " << fixed(r.search.security_cap, 0)
+           << ", \"mod_switches\": " << r.search.sim.mod_switches
+           << ", \"predicted_budget_bits\": " << fixed(r.predicted_budget, 1)
+           << ", \"noise_budget_bits\": " << fixed(r.measured_budget, 1)
+           << ", \"legacy_s\": " << fixed(r.legacy_s, 4)
+           << ", \"rightsized_s\": " << fixed(r.rightsized_s, 4)
+           << ", \"speedup\": " << fixed(r.legacy_s / r.rightsized_s, 2)
+           << ", \"matches_checked_in\": "
+           << (r.matches_checked_in ? "true" : "false")
+           << ", \"decrypt_ok\": " << (r.decrypt_ok ? "true" : "false")
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+      ok = ok && r.decrypt_ok && r.matches_checked_in;
+    }
+    json << "  ]\n}\n";
+    std::cout << "\n(wrote BENCH_param_search.json)\n";
+  }
+  return ok ? 0 : 1;
+}

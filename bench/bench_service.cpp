@@ -228,6 +228,11 @@ int main() {
   {
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"config\": \"" << config.pasta.name << "\",\n"
+         << "  \"bgv\": {\"n\": " << config.bgv.n
+         << ", \"num_primes\": " << config.bgv.num_primes
+         << ", \"prime_bits\": " << config.bgv.prime_bits
+         << ", \"relin_digit_bits\": " << config.bgv.relin_digit_bits
+         << "},\n"
          << "  \"kernel_backend\": \""
          << (sweep.empty() ? std::string("unknown")
                            : sweep.back().report.kernel_backend)
@@ -255,6 +260,10 @@ int main() {
            << ", \"max_queue_depth\": " << r.max_queue_depth
            << ", \"min_noise_budget_bits\": "
            << fixed(r.min_noise_budget_bits, 1)
+           << ", \"predicted_budget_bits\": "
+           << fixed(r.predicted_min_budget_bits, 1)
+           << ", \"budget_slack_bits\": "
+           << fixed(r.min_noise_budget_bits - r.predicted_min_budget_bits, 1)
            << ", \"requests_ok\": " << r.faults.ok
            << ", \"requests_degraded\": "
            << (r.requests - r.faults.ok)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI noise smoke: fail if an output budget leaves the safety band or the
+tracked bound stops being a sound lower estimate.
+
+Two invariants, per deliverable (see ARCHITECTURE.md §3h):
+
+  1. BAND. band_low <= measured budget <= band_high. Below band_low the
+     result is one op away from undecryptable; above band_high the server
+     is carrying surplus modulus the parameter search / terminal output
+     trim should have shed (the pre-right-sizing configs idled at ~91
+     bits — exactly the regression this catches).
+  2. SOUNDNESS. predicted <= measured + tolerance. The server-side tracked
+     bound (no secret key) must never claim more budget than the secret
+     key actually measures; the tolerance only absorbs log2 rounding in
+     the measurement.
+
+Usage: check_noise_budget.py [BENCH_hhe.json [MORE.json ...]]
+
+Understands both emitter shapes: "benchmarks" records
+(BENCH_hhe.json, BENCH_param_search.json — keys noise_budget_bits /
+predicted_budget_bits) and "sweep" points (BENCH_service.json — keys
+min_noise_budget_bits / predicted_budget_bits). Thresholds live in
+scripts/noise_budget.json next to this script; update them deliberately
+(with a rationale in the PR) when the band policy changes.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def records(path: pathlib.Path):
+    doc = json.loads(path.read_text())
+    for b in doc.get("benchmarks", []):
+        if "noise_budget_bits" in b:
+            yield b.get("name", "?"), b["noise_budget_bits"], b.get(
+                "predicted_budget_bits")
+    for p in doc.get("sweep", []):
+        if "min_noise_budget_bits" in p:
+            name = f"sweep@{p.get('clients', '?')}_clients"
+            yield name, p["min_noise_budget_bits"], p.get(
+                "predicted_budget_bits")
+
+
+def main() -> int:
+    paths = [pathlib.Path(p) for p in (sys.argv[1:] or ["BENCH_hhe.json"])]
+    cfg_path = pathlib.Path(__file__).resolve().parent / "noise_budget.json"
+    cfg = json.loads(cfg_path.read_text())
+    lo, hi = cfg["band_low"], cfg["band_high"]
+    tol = cfg["soundness_tolerance_bits"]
+
+    failures = []
+    checked = 0
+    for path in paths:
+        for name, measured, predicted in records(path):
+            checked += 1
+            problems = []
+            if measured < lo:
+                problems.append(f"measured {measured} < band_low {lo}")
+            if measured > hi:
+                problems.append(
+                    f"measured {measured} > band_high {hi} (surplus modulus "
+                    "— did the search or the output trim regress?)")
+            if predicted is not None and predicted > measured + tol:
+                problems.append(
+                    f"predicted {predicted} > measured {measured} + {tol} "
+                    "(tracked bound is not a sound lower estimate)")
+            status = "OK" if not problems else "; ".join(problems)
+            print(f"{path}:{name}: measured={measured} "
+                  f"predicted={predicted} [{lo}, {hi}] {status}")
+            failures.extend(f"{path}:{name}: {p}" for p in problems)
+
+    if checked == 0:
+        print("no noise-budget records found in the given files")
+        return 1
+    if failures:
+        print("\nNoise budget check FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("Noise budget check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

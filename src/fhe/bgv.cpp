@@ -4,6 +4,8 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "fhe/noise.hpp"
+#include "fhe/param_search.hpp"
 #include "modular/primes.hpp"
 
 namespace poe::fhe {
@@ -11,6 +13,71 @@ namespace poe::fhe {
 namespace {
 using u64 = std::uint64_t;
 using u128 = unsigned __int128;
+}
+
+// ---------------------------------------------------------- noise tracking
+
+std::int32_t Bgv::record_node(std::uint8_t op, std::int32_t a,
+                              std::int32_t b, std::uint64_t scalar,
+                              std::uint32_t terms) const {
+  NoiseTape* tape = tape_.load(std::memory_order_acquire);
+  if (tape == nullptr) return -1;
+  TapeNode node;
+  node.op = static_cast<NoiseOp>(op);
+  node.a = a;
+  node.b = b;
+  node.scalar = scalar;
+  node.terms = terms;
+  return tape->append(node);
+}
+
+std::int32_t Bgv::record_operand(std::int32_t trace_id) const {
+  if (trace_id >= 0) return trace_id;
+  // Ciphertext created before recording started: model it as a fresh
+  // encryption (the conservative leaf — uploads are always fresh).
+  return record_node(static_cast<std::uint8_t>(NoiseOp::kFresh), -1, -1);
+}
+
+void Bgv::begin_recording(NoiseTape* tape) const {
+  POE_ENSURE(tape != nullptr, "begin_recording requires a tape");
+  tape_.store(tape, std::memory_order_release);
+}
+
+void Bgv::end_recording() const {
+  tape_.store(nullptr, std::memory_order_release);
+}
+
+double Bgv::predicted_budget_bits(const Ciphertext& ct) const {
+  return NoiseEstimator(params_).budget(ct.noise_bits, ct.level);
+}
+
+void Bgv::auto_switch_inplace(Ciphertext& a, double margin) const {
+  const NoiseEstimator est(params_);
+  const std::size_t target =
+      est.auto_drop_target(a.noise_bits, a.level, a.size(), margin);
+  if (target < a.level) mod_switch_to(a, target);
+}
+
+void Bgv::trim_output_inplace(Ciphertext& a, double keep_bits) const {
+  const NoiseEstimator est(params_);
+  const std::size_t target =
+      est.trim_target(a.noise_bits, a.level, a.size(), keep_bits);
+  if (target < a.level) mod_switch_to(a, target);
+}
+
+void Bgv::note_fused_affine(Ciphertext& acc, const Ciphertext& src,
+                            std::size_t terms) const {
+  acc.noise_bits =
+      NoiseEstimator(params_).fused_affine(src.noise_bits, acc.level, terms);
+  acc.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kFusedAffine),
+                             record_operand(src.trace_id), -1, 0,
+                             static_cast<std::uint32_t>(terms));
+}
+
+void Bgv::note_mask_mul(Ciphertext& a) const {
+  a.noise_bits = NoiseEstimator(params_).mul_plain(a.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kMulPlain),
+                           record_operand(a.trace_id), -1);
 }
 
 u64 galois_elt_for_step(std::size_t n, long step) {
@@ -292,6 +359,9 @@ void Bgv::apply_galois_inplace(Ciphertext& a, u64 galois_element,
                  nullptr, /*acc0=*/true, /*acc1=*/false);
   a.parts[0] = a.parts[0].apply_automorphism_ntt(galois_element);
   a.parts[1] = a.parts[1].apply_automorphism_ntt(galois_element);
+  a.noise_bits = NoiseEstimator(params_).rotate(a.noise_bits, a.level);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kRotate),
+                           record_operand(a.trace_id), -1);
 }
 
 KswKey Bgv::make_ingest_key(const Bgv& tenant) const {
@@ -340,6 +410,9 @@ Ciphertext Bgv::ingest_switch(const Ciphertext& ct,
   decompose(c1, digits, which);
   ksw_accumulate(out.parts[0], out.parts[1], level, digits, which,
                  ingest_key, nullptr, /*acc0=*/true, /*acc1=*/false);
+  out.noise_bits = NoiseEstimator(params_).relinearize(ct.noise_bits, level);
+  out.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kIngest),
+                             record_operand(ct.trace_id), -1);
   return out;
 }
 
@@ -347,6 +420,8 @@ HoistedCt Bgv::hoist(const Ciphertext& ct) const {
   POE_ENSURE(ct.size() == 2, "hoisting requires a 2-part ciphertext");
   HoistedCt h;
   h.level = ct.level;
+  h.noise_bits = ct.noise_bits;
+  h.trace_id = ct.trace_id;
   h.c0 = ct.parts[0];
   RnsPoly c1 = ct.parts[1];
   c1.from_ntt();
@@ -382,6 +457,10 @@ Ciphertext Bgv::rotate_hoisted(const HoistedCt& hoisted, long step,
   ksw_accumulate(out, hoisted.digits, hoisted.digit_of, it->second, nullptr);
   out.parts[0] = out.parts[0].apply_automorphism_ntt(g);
   out.parts[1] = out.parts[1].apply_automorphism_ntt(g);
+  out.noise_bits =
+      NoiseEstimator(params_).rotate(hoisted.noise_bits, hoisted.level);
+  out.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kRotate),
+                             record_operand(hoisted.trace_id), -1);
   return out;
 }
 
@@ -476,6 +555,10 @@ void Bgv::rotate_hoisted_into(const HoistedCt& hoisted, long step,
     kern.permute(out.parts[1].rns(i).data(), sc.acc1.rns(i).data(),
                  perm.data(), n);
   });
+  out.noise_bits =
+      NoiseEstimator(params_).rotate(hoisted.noise_bits, hoisted.level);
+  out.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kRotate),
+                             record_operand(hoisted.trace_id), -1);
 }
 
 GaloisKeys Bgv::make_rotation_keys(const std::vector<long>& steps) const {
@@ -543,6 +626,8 @@ Ciphertext Bgv::encrypt(const Plaintext& pt) const {
 
   RnsPoly m = RnsPoly::from_plaintext(&ctx_, top, pt.coeffs, true);
   ct.parts[0].add_inplace(m);
+  ct.noise_bits = NoiseEstimator(params_).fresh();
+  ct.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kFresh), -1, -1);
   return ct;
 }
 
@@ -620,6 +705,10 @@ void Bgv::add_inplace(Ciphertext& a, const Ciphertext& b) const {
   for (std::size_t i = 0; i < a.size(); ++i) {
     a.parts[i].add_inplace(b.parts[i]);
   }
+  a.noise_bits = NoiseEstimator(params_).add(a.noise_bits, b.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kAdd),
+                           record_operand(a.trace_id),
+                           record_operand(b.trace_id));
 }
 
 void Bgv::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
@@ -628,6 +717,10 @@ void Bgv::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
   for (std::size_t i = 0; i < a.size(); ++i) {
     a.parts[i].sub_inplace(b.parts[i]);
   }
+  a.noise_bits = NoiseEstimator(params_).add(a.noise_bits, b.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kAdd),
+                           record_operand(a.trace_id),
+                           record_operand(b.trace_id));
 }
 
 void Bgv::negate_inplace(Ciphertext& a) const {
@@ -637,20 +730,32 @@ void Bgv::negate_inplace(Ciphertext& a) const {
 void Bgv::add_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
   RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
   a.parts[0].add_inplace(m);
+  a.noise_bits = NoiseEstimator(params_).add_plain(a.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kAddPlain),
+                           record_operand(a.trace_id), -1);
 }
 
 void Bgv::sub_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
   RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
   a.parts[0].sub_inplace(m);
+  a.noise_bits = NoiseEstimator(params_).add_plain(a.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kAddPlain),
+                           record_operand(a.trace_id), -1);
 }
 
 void Bgv::mul_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
   RnsPoly m = RnsPoly::from_plaintext(&ctx_, a.level, pt.coeffs, true);
   for (auto& part : a.parts) part.mul_inplace(m);
+  a.noise_bits = NoiseEstimator(params_).mul_plain(a.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kMulPlain),
+                           record_operand(a.trace_id), -1);
 }
 
 void Bgv::mul_scalar_inplace(Ciphertext& a, u64 scalar) const {
   for (auto& part : a.parts) part.mul_scalar_inplace(scalar);
+  a.noise_bits = NoiseEstimator(params_).mul_scalar(a.noise_bits, scalar);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kMulScalar),
+                           record_operand(a.trace_id), -1, scalar);
 }
 
 void Bgv::add_scalar_inplace(Ciphertext& a, u64 scalar) const {
@@ -664,6 +769,9 @@ void Bgv::add_scalar_inplace(Ciphertext& a, u64 scalar) const {
     auto span = a.parts[0].rns(i);
     for (auto& x : span) x = m.add(x, lifted);
   }
+  a.noise_bits = NoiseEstimator(params_).add_scalar(a.noise_bits);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kAddScalar),
+                           record_operand(a.trace_id), -1);
 }
 
 Ciphertext Bgv::multiply(const Ciphertext& a, const Ciphertext& b) const {
@@ -684,6 +792,10 @@ Ciphertext Bgv::multiply(const Ciphertext& a, const Ciphertext& b) const {
   out.parts[1] = std::move(cross);
   out.parts[2] = a.parts[1];
   out.parts[2].mul_inplace(b.parts[1]);
+  out.noise_bits = NoiseEstimator(params_).multiply(a.noise_bits, b.noise_bits);
+  out.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kMultiply),
+                             record_operand(a.trace_id),
+                             record_operand(b.trace_id));
   return out;
 }
 
@@ -702,6 +814,9 @@ void Bgv::relinearize_inplace(Ciphertext& a) const {
   c2.from_ntt();
   a.parts.pop_back();
   apply_ksw(a, c2, rlk_);
+  a.noise_bits = NoiseEstimator(params_).relinearize(a.noise_bits, a.level);
+  a.trace_id = record_node(static_cast<std::uint8_t>(NoiseOp::kRelinearize),
+                           record_operand(a.trace_id), -1);
 }
 
 void Bgv::mod_switch_inplace(Ciphertext& a) const {
@@ -743,6 +858,12 @@ void Bgv::mod_switch_to(Ciphertext& a, std::size_t level) const {
       part.drop_last_component();
     }
     part.to_ntt();
+  }
+  // One estimator step per dropped prime; the tape deliberately records
+  // nothing (the parameter-search replay schedules its own switches).
+  const NoiseEstimator est(params_);
+  for (std::size_t cur = a.level; cur > level; --cur) {
+    a.noise_bits = est.mod_switch(a.noise_bits, a.size());
   }
   a.level = level;
 }

@@ -56,6 +56,15 @@ struct Plaintext {
 struct Ciphertext {
   std::vector<RnsPoly> parts;  ///< NTT form, 2 (fresh) or 3 (post-tensor)
   std::size_t level = 0;       ///< active primes
+  /// Static log2 bound on the invariant noise |c0 + c1 s (+ c2 s^2)|,
+  /// maintained by every Bgv operation (NoiseEstimator formulas). The
+  /// server-side analogue of the secret-key-measured noise_budget_bits; the
+  /// automatic mod-switch scheduler consults it.
+  double noise_bits = 0.0;
+  /// Node id on the active NoiseTape (circuit-profile recording); -1 when
+  /// not recorded. Only meaningful for ciphertexts produced while the
+  /// creating Bgv's recording mode is on.
+  std::int32_t trace_id = -1;
 
   std::size_t size() const { return parts.size(); }
 };
@@ -95,7 +104,11 @@ struct HoistedCt {
   /// key-switching key entry.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> digit_of;
   std::size_t level = 0;
+  double noise_bits = 0.0;     ///< carried over from the hoisted ciphertext
+  std::int32_t trace_id = -1;  ///< carried over (profile recording)
 };
+
+class NoiseTape;  // fhe/param_search.hpp
 
 class Bgv {
  public:
@@ -194,8 +207,51 @@ class Bgv {
   // --- Diagnostics.
   /// log2 of the remaining noise budget (decryption fails below ~0).
   double noise_budget_bits(const Ciphertext& ct) const;
+  /// Budget implied by the tracked static bound (ct.noise_bits) — no secret
+  /// key involved, so the server can report it. Sound lower bound on
+  /// noise_budget_bits (property-tested).
+  double predicted_budget_bits(const Ciphertext& ct) const;
+
+  // --- Noise-aware scheduling / circuit profiling.
+  /// Automatic mod-switch scheduler: drop primes (one fused mod_switch_to)
+  /// while the tracked bound says each switch sacrifices at most `margin`
+  /// bits to the rounding floor — i.e. noise_bits - prime_bits >= floor -
+  /// margin, where the floor accounts for the part count (a 3-part tensor
+  /// switch pays an extra ||s^2||_1 on its rounding term). Replaces
+  /// hand-placed switches; simulate() in fhe/param_search.hpp replays the
+  /// identical policy (NoiseEstimator::auto_drop_target).
+  void auto_switch_inplace(Ciphertext& a, double margin = 2.0) const;
+  /// Terminal output trim: drop primes while the tracked bound keeps at
+  /// least `keep_bits` of budget at the reduced level. Applied once to
+  /// ciphertexts leaving the server (no further noise-heavy ops), where
+  /// surplus levels are pure waste (NoiseEstimator::trim_target).
+  void trim_output_inplace(Ciphertext& a, double keep_bits) const;
+  /// Start/stop appending this evaluator's operations to `tape` (SSA node
+  /// per op; ciphertexts carry their node id in trace_id). Operands created
+  /// before recording started appear as fresh-encryption leaves. Modulus
+  /// switches are deliberately NOT recorded — the parameter-search replay
+  /// schedules its own.
+  void begin_recording(NoiseTape* tape) const;
+  void end_recording() const;
+  /// Accounting hooks for server loops that accumulate on raw RnsPoly parts
+  /// (bypassing the Ciphertext API). note_fused_affine: `acc` holds `terms`
+  /// plaintext-diagonal x rotation products of `src` (all rotations served
+  /// from one hoisted decomposition of src). note_mask_mul: `a` was
+  /// multiplied part-wise by an encoded plaintext mask.
+  void note_fused_affine(Ciphertext& acc, const Ciphertext& src,
+                         std::size_t terms) const;
+  void note_mask_mul(Ciphertext& a) const;
 
  private:
+  /// Append one node to the active tape (no-op when not recording);
+  /// returns the node id (-1 when not recording).
+  std::int32_t record_node(std::uint8_t op, std::int32_t a, std::int32_t b,
+                           std::uint64_t scalar = 0,
+                           std::uint32_t terms = 0) const;
+  /// Operand id for recording: the ciphertext's own node if it has one, a
+  /// conservative fresh leaf otherwise.
+  std::int32_t record_operand(std::int32_t trace_id) const;
+
   /// c0 + c1 s (+ c2 s^2) in coefficient form.
   RnsPoly decrypt_core(const Ciphertext& ct) const;
   /// t * fresh-noise polynomial in NTT form at the top level.
@@ -262,6 +318,10 @@ class Bgv {
   KswKey rlk_;
   mutable std::mutex hoist_mu_;  // guards the scratch bank's vector only
   mutable std::vector<std::unique_ptr<HoistScratch>> hoist_scratch_;
+  /// Active circuit-profile recorder (nullptr = off). Atomic so the
+  /// parallel_for server loops read it without tearing; appends themselves
+  /// are serialized inside NoiseTape.
+  mutable std::atomic<NoiseTape*> tape_{nullptr};
 };
 
 /// Restrict an NTT-form polynomial to its first `level` RNS components.

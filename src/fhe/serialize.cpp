@@ -1,5 +1,7 @@
 #include "fhe/serialize.hpp"
 
+#include <cmath>
+
 #include "common/bits.hpp"
 #include "common/error.hpp"
 
@@ -158,6 +160,13 @@ Ciphertext deserialize_ciphertext(const RnsContext& ctx,
     }
     ct.parts.push_back(std::move(poly));
   }
+  // The wire format does not carry a noise bound; re-seed the tracked bound
+  // with the fresh-encryption estimate (uploads — the serving use of this
+  // path — are always fresh). A re-ingested server RESULT would carry more
+  // noise than this; such ciphertexts are decrypted client-side, never fed
+  // back into the scheduler.
+  ct.noise_bits = std::log2(static_cast<double>(ctx.t())) + std::log2(3.0) +
+                  std::log2(static_cast<double>(ctx.n())) + 2.0;
   return ct;
 }
 

@@ -156,6 +156,10 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
       }
     }
 
+    // The raw add_mul loop bypassed the tracked bound; account for the s
+    // fused diagonal products before the ciphertext re-enters the API.
+    bgv_.note_fused_affine(acc, state, s);
+
     // Mix-composed round constants: 2*rc_l + rc_r || rc_l + 2*rc_r.
     std::vector<u64> rc(s);
     for (std::size_t i = 0; i < t; ++i) {
@@ -164,18 +168,29 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     }
     bgv_.add_plain_inplace(acc, tiled_plain(rc));
     state = std::move(acc);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(state, config_.switch_margin);
+    }
   };
 
   // Dense-diagonal plaintext multiplications inflate the noise by
   // ~||pt|| * n per affine layer on top of the squaring, so each ct-ct
-  // multiplication must shed THREE primes to clamp the noise back to the
-  // floor (the coefficient-wise server only needs two). The drops happen
-  // BEFORE relinearisation: one fused switch on the 3-part tensor, so the
-  // relin digit decomposition runs three levels lower.
+  // multiplication must shed primes to clamp the noise back to the floor.
+  // The drops happen BEFORE relinearisation: a fused switch on the 3-part
+  // tensor, so the relin digit decomposition runs at the lower level. The
+  // legacy schedule hard-codes three drops (sized for the oversized 18x55
+  // chain); auto mode lets the tracked bound place them.
   auto square_reduced = [&](const Ciphertext& x) {
     Ciphertext sq = bgv_.multiply(x, x);
-    bgv_.mod_switch_to(sq, sq.level - 3);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    } else {
+      bgv_.mod_switch_to(sq, sq.level - 3);
+    }
     bgv_.relinearize_inplace(sq);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    }
     ++rep.ct_ct_multiplications;
     return sq;
   };
@@ -186,6 +201,14 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     // Mask out the wrap positions 0 (head of L) and t (head of R); the mask
     // was encoded once at construction, mul_inplace restricts it.
     for (auto& part : sq.parts) part.mul_inplace(feistel_mask_ntt_);
+    bgv_.note_mask_mul(sq);
+    // The mask multiply is a full plaintext product (~log2(t) + log2(n)
+    // bits); on an elevated trajectory (e.g. an ingest-switched tenant key)
+    // that can cross a drop threshold mid-feistel, and the replayed
+    // schedule drops here — the live path must offer the same drop point.
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    }
     bgv_.mod_switch_to(state, sq.level);
     bgv_.add_inplace(state, sq);
   };
@@ -194,8 +217,15 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
     Ciphertext sq = square_reduced(state);
     bgv_.mod_switch_to(state, sq.level);
     Ciphertext prod = bgv_.multiply(sq, state);
-    bgv_.mod_switch_to(prod, prod.level - 3);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(prod, config_.switch_margin);
+    } else {
+      bgv_.mod_switch_to(prod, prod.level - 3);
+    }
     bgv_.relinearize_inplace(prod);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(prod, config_.switch_margin);
+    }
     state = std::move(prod);
     ++rep.ct_ct_multiplications;
   };
@@ -210,9 +240,16 @@ fhe::Ciphertext BatchedHheServer::keystream_circuit(u64 nonce, u64 counter,
   }
   affine_mix(rnd.layers.back());
 
+  // The keystream leaves the server next (after one add): spend surplus
+  // levels down to the safety band — anything above it is wasted modulus.
+  if (config_.auto_mod_switch) {
+    bgv_.trim_output_inplace(state, config_.output_budget_bits);
+  }
+
   rep.final_level = state.level;
   rep.exec_ops = bgv_.rns().exec().snapshot() - before;
   rep.min_noise_budget_bits = bgv_.noise_budget_bits(state);
+  rep.predicted_min_budget_bits = bgv_.predicted_budget_bits(state);
   return state;
 }
 

@@ -1,0 +1,29 @@
+// Instrumented dry runs of the transcipher servers, producing the
+// CircuitProfiles the parameter search replays (fhe/param_search.hpp).
+//
+// Each recorder builds a throwaway Bgv under the given (known-working,
+// normally *_legacy) config, turns on Bgv::begin_recording, runs the real
+// server code path end to end, and packages the tape, the output node ids
+// and the ExecContext counter delta. The tape is parameter-independent —
+// replaying it under candidate BgvParams is how search_params right-sizes
+// the chain — so recording under the oversized legacy config is fine.
+#pragma once
+
+#include "fhe/param_search.hpp"
+#include "hhe/protocol.hpp"
+
+namespace poe::hhe {
+
+/// Coefficient-wise server: encrypt_key + one full transcipher_block
+/// (keystream circuit, negate, symmetric add). Outputs = the t message
+/// ciphertexts handed back to the client.
+fhe::CircuitProfile record_coefficient_profile(const HheConfig& config);
+
+/// Packed SIMD engine at full capacity, in its worst-case serving shape:
+/// cross-tenant key merge (mask multiply + add), evaluate over a
+/// completely filled batch, then masked tile extraction. Outputs = the
+/// extracted per-tenant ciphertexts. Strictly dominates the single-block
+/// BatchedHheServer's noise, so one profile covers both batched paths.
+fhe::CircuitProfile record_batched_profile(const HheConfig& config);
+
+}  // namespace poe::hhe

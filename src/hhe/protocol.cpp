@@ -1,18 +1,42 @@
 #include "hhe/protocol.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fhe/noise.hpp"
 
 namespace poe::hhe {
 
 namespace {
 using fhe::Ciphertext;
 using u64 = std::uint64_t;
+
+// POE_HHE_PROFILE={rightsized (default), legacy}: makes the default config
+// accessors hand back the legacy oversized parameter sets instead of the
+// search-derived ones — an A/B knob for benches and bisection, no rebuild
+// needed. Read per call (config construction is cold), so tests can flip
+// it with setenv. Anything else than the two known values throws rather
+// than silently picking a profile.
+bool use_legacy_profile() {
+  const char* profile = std::getenv("POE_HHE_PROFILE");
+  if (profile == nullptr || std::string_view(profile) == "rightsized") {
+    return false;
+  }
+  POE_ENSURE(std::string_view(profile) == "legacy",
+             "POE_HHE_PROFILE must be 'rightsized' or 'legacy', got '"
+                 << profile << "'");
+  return true;
+}
 }  // namespace
 
-HheConfig HheConfig::demo() {
+// The hand-chosen legacy parameter sets. Kept verbatim: they are the
+// hand-placed mod-switch reference configs for the differential suite and
+// the baseline the right-sizing speedup benches compare against.
+HheConfig HheConfig::demo_legacy() {
   HheConfig cfg;
   cfg.pasta = pasta::pasta4();  // t = 32, 4 rounds, p = 65537
   cfg.bgv = fhe::BgvParams{.n = 2048,
@@ -24,7 +48,7 @@ HheConfig HheConfig::demo() {
   return cfg;
 }
 
-HheConfig HheConfig::test() {
+HheConfig HheConfig::test_legacy() {
   HheConfig cfg;
   cfg.pasta = pasta::PastaParams{
       .t = 8, .rounds = 4, .p = 65537, .name = "PASTA-mini"};
@@ -39,22 +63,79 @@ HheConfig HheConfig::test() {
 
 // The batched server multiplies by *dense* encoded diagonals and masks, so
 // each round inflates the noise by ~||pt|| * n (about 2^27..2^33) on top of
-// the squaring. The two modulus switches per S-box must clamp that growth
-// back to the floor, which needs wider primes than the coefficient-wise
-// evaluation: 2 x 55 bits >= the ~100-bit per-round growth.
-HheConfig HheConfig::batched_demo() {
-  HheConfig cfg = demo();
+// the squaring. The legacy chains clamp that with a fixed
+// 3-drops-per-squaring schedule over 18 x 55-bit primes.
+HheConfig HheConfig::batched_demo_legacy() {
+  HheConfig cfg = demo_legacy();
   cfg.bgv.num_primes = 18;
   cfg.bgv.prime_bits = 55;
   cfg.bgv.relin_digit_bits = 28;
   return cfg;
 }
 
-HheConfig HheConfig::batched_test() {
-  HheConfig cfg = test();
+HheConfig HheConfig::batched_test_legacy() {
+  HheConfig cfg = test_legacy();
   cfg.bgv.num_primes = 18;
   cfg.bgv.prime_bits = 55;
   cfg.bgv.relin_digit_bits = 28;
+  return cfg;
+}
+
+// Right-sized configs: the BgvParams below are pasted from the output of
+// the circuit-profile parameter search (build/bench/bench_param_search —
+// record the circuit, replay it under candidates, pick the cheapest chain
+// whose predicted output budget clears the safety band under the security
+// table). A fixed-point test re-runs profile + search and EXPECT_EQs these
+// numbers, so they cannot drift from the search tool or the table. All four
+// run the automatic mod-switch scheduler — their chains are too short for
+// the legacy hand placement.
+HheConfig HheConfig::demo() {
+  HheConfig cfg = demo_legacy();
+  if (use_legacy_profile()) return cfg;
+  cfg.bgv = fhe::BgvParams{.n = 1024,
+                           .t = cfg.pasta.p,
+                           .num_primes = 11,
+                           .prime_bits = 48,
+                           .relin_digit_bits = 24,
+                           .seed = 11};
+  cfg.auto_mod_switch = true;
+  return cfg;
+}
+
+HheConfig HheConfig::test() {
+  HheConfig cfg = test_legacy();
+  if (use_legacy_profile()) return cfg;
+  cfg.bgv = fhe::BgvParams{.n = 1024,
+                           .t = cfg.pasta.p,
+                           .num_primes = 8,
+                           .prime_bits = 57,
+                           .relin_digit_bits = 30,
+                           .seed = 11};
+  cfg.auto_mod_switch = true;
+  return cfg;
+}
+
+HheConfig HheConfig::batched_demo() {
+  if (use_legacy_profile()) return batched_demo_legacy();
+  HheConfig cfg = demo();
+  cfg.bgv = fhe::BgvParams{.n = 1024,
+                           .t = cfg.pasta.p,
+                           .num_primes = 12,
+                           .prime_bits = 61,
+                           .relin_digit_bits = 22,
+                           .seed = 11};
+  return cfg;
+}
+
+HheConfig HheConfig::batched_test() {
+  if (use_legacy_profile()) return batched_test_legacy();
+  HheConfig cfg = test();
+  cfg.bgv = fhe::BgvParams{.n = 1024,
+                           .t = cfg.pasta.p,
+                           .num_primes = 12,
+                           .prime_bits = 57,
+                           .relin_digit_bits = 20,
+                           .seed = 11};
   return cfg;
 }
 
@@ -132,19 +213,78 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   std::vector<Ciphertext> right(key_cts_.begin() + static_cast<long>(t),
                                 key_cts_.end());
 
+  const bool auto_sched = config_.auto_mod_switch;
+  const fhe::NoiseEstimator est(config_.bgv);
+  // Auto mode drops whole state vectors to one collectively-safe target
+  // (greedy on the worst tracked bound, the shared auto_drop_target policy)
+  // instead of per-ciphertext: rows carry slightly different bounds (the
+  // mul_scalar term depends on the coefficient magnitude), and a uniform
+  // target keeps them level-aligned for the cross-row additions of mix and
+  // the affine layers.
+  auto auto_drop2 = [&](std::span<Ciphertext> a, std::span<Ciphertext> b) {
+    if (!auto_sched || a.empty()) return;
+    double worst = 0.0;
+    for (const auto& ct : a) worst = std::max(worst, ct.noise_bits);
+    for (const auto& ct : b) worst = std::max(worst, ct.noise_bits);
+    const std::size_t target = est.auto_drop_target(
+        worst, a.front().level, a.front().size(), config_.switch_margin);
+    if (target == a.front().level) return;
+    for (auto& ct : a) bgv_.mod_switch_to(ct, target);
+    for (auto& ct : b) bgv_.mod_switch_to(ct, target);
+  };
+  auto auto_drop = [&](std::span<Ciphertext> a) { auto_drop2(a, {}); };
+
   // y_i = sum_j M_ij x_j + rc_i; rows are independent, so they are
   // evaluated in parallel (the Bgv evaluator's const methods only read
   // shared key material).
+  //
+  // In auto mode the accumulator must be allowed to drop primes MID-row:
+  // one affine layer inflates the bound by ~log2(t/2) + log2(t) bits, which
+  // on a short right-sized chain can exceed a whole prime — waiting for the
+  // end-of-layer barrier piles noise past what the last primes can absorb.
+  // Rows still have to stay level-aligned, so the drop positions are
+  // planned once per layer from worst-case bounds (|scalar| <= t/2, worst
+  // input row) — nonce- and row-independent, and the same recurrence the
+  // parameter-search replay (simulate) runs, so live levels track the
+  // replayed schedule term for term.
   auto affine_half = [&](std::vector<Ciphertext>& x, const pasta::Matrix& mat,
                          const std::vector<u64>& rc) {
+    const std::size_t start_level = x[0].level;
+    std::vector<std::size_t> lvl_after(t, start_level);
+    if (auto_sched) {
+      double worst_in = 0.0;
+      for (const auto& ct : x) worst_in = std::max(worst_in, ct.noise_bits);
+      const double term = est.mul_scalar(worst_in, config_.bgv.t / 2);
+      double acc = term;
+      std::size_t lvl = start_level;
+      for (std::size_t j = 0; j < t; ++j) {
+        if (j > 0) {
+          double tj = term;
+          for (std::size_t l = start_level; l > lvl; --l) {
+            tj = est.mod_switch(tj);
+          }
+          acc = est.add(acc, tj);
+        }
+        const std::size_t target =
+            est.auto_drop_target(acc, lvl, 2, config_.switch_margin);
+        while (lvl > target) {
+          acc = est.mod_switch(acc);
+          --lvl;
+        }
+        lvl_after[j] = lvl;
+      }
+    }
     std::vector<Ciphertext> out(t);
     parallel_for(t, [&](std::size_t i) {
       Ciphertext acc = x[0];
       bgv_.mul_scalar_inplace(acc, mat.at(i, 0));
+      if (acc.level > lvl_after[0]) bgv_.mod_switch_to(acc, lvl_after[0]);
       for (std::size_t j = 1; j < t; ++j) {
         Ciphertext term = x[j];
         bgv_.mul_scalar_inplace(term, mat.at(i, j));
+        if (term.level > acc.level) bgv_.mod_switch_to(term, acc.level);
         bgv_.add_inplace(acc, term);
+        if (acc.level > lvl_after[j]) bgv_.mod_switch_to(acc, lvl_after[j]);
       }
       bgv_.add_scalar_inplace(acc, rc[i]);
       out[i] = std::move(acc);
@@ -161,6 +301,9 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
       bgv_.add_inplace(left[i], sum);
       bgv_.add_inplace(right[i], sum);
     }
+    // Post-mix is the noisiest point of the linear layer; in auto mode
+    // drop both halves together here.
+    auto_drop2(left, right);
   };
 
   // Square with a fixed 2-level schedule: multiply_relin drops one prime;
@@ -173,9 +316,31 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
     return sq;
   };
 
+  // Auto-scheduled squaring of a whole vector: tensor in parallel, drop the
+  // 3-part results while the shrink is cheapest (before relinearisation's
+  // per-prime digit work), relinearise, drop again. Each drop is collective
+  // so the vector stays level-aligned.
+  auto square_vec_auto = [&](const std::vector<Ciphertext>& x,
+                             std::size_t count) {
+    std::vector<Ciphertext> sq(count);
+    parallel_for(count,
+                 [&](std::size_t j) { sq[j] = bgv_.multiply(x[j], x[j]); });
+    auto_drop(sq);
+    parallel_for(count,
+                 [&](std::size_t j) { bgv_.relinearize_inplace(sq[j]); });
+    auto_drop(sq);
+    return sq;
+  };
+
   auto feistel = [&](std::vector<Ciphertext>& x) {
-    std::vector<Ciphertext> sq(t - 1);
-    parallel_for(t - 1, [&](std::size_t j) { sq[j] = square_reduced(x[j]); });
+    std::vector<Ciphertext> sq;
+    if (auto_sched) {
+      sq = square_vec_auto(x, t - 1);
+    } else {
+      sq.resize(t - 1);
+      parallel_for(t - 1,
+                   [&](std::size_t j) { sq[j] = square_reduced(x[j]); });
+    }
     rep.ct_ct_multiplications += t - 1;
     const std::size_t level = sq.front().level;
     for (std::size_t j = t; j-- > 1;) {
@@ -186,12 +351,23 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   };
 
   auto cube = [&](std::vector<Ciphertext>& x) {
-    parallel_for(t, [&](std::size_t j) {
-      Ciphertext sq = square_reduced(x[j]);
-      bgv_.mod_switch_to(x[j], sq.level);
-      x[j] = bgv_.multiply_relin(sq, x[j]);
-      bgv_.mod_switch_inplace(x[j]);
-    });
+    if (auto_sched) {
+      std::vector<Ciphertext> sq = square_vec_auto(x, t);
+      parallel_for(t, [&](std::size_t j) {
+        bgv_.mod_switch_to(x[j], sq[j].level);
+        x[j] = bgv_.multiply(sq[j], x[j]);
+      });
+      auto_drop(x);
+      parallel_for(t, [&](std::size_t j) { bgv_.relinearize_inplace(x[j]); });
+      auto_drop(x);
+    } else {
+      parallel_for(t, [&](std::size_t j) {
+        Ciphertext sq = square_reduced(x[j]);
+        bgv_.mod_switch_to(x[j], sq.level);
+        x[j] = bgv_.multiply_relin(sq, x[j]);
+        bgv_.mod_switch_inplace(x[j]);
+      });
+    }
     rep.ct_ct_multiplications += 2 * t;  // square + final multiplication
   };
 
@@ -213,12 +389,29 @@ std::vector<Ciphertext> HheServer::keystream_circuit(
   affine_half(right, prep.mat_r.back(), fin.rc_r);
   mix();
 
+  // The keystream rows leave the server next: spend surplus levels down to
+  // the safety band. One collective target (worst row bound) keeps the rows
+  // level-aligned for the caller's final add.
+  if (auto_sched) {
+    double worst = 0.0;
+    for (const auto& ct : left) worst = std::max(worst, ct.noise_bits);
+    const std::size_t target =
+        est.trim_target(worst, left.front().level, left.front().size(),
+                        config_.output_budget_bits);
+    if (target < left.front().level) {
+      for (auto& ct : left) bgv_.mod_switch_to(ct, target);
+    }
+  }
+
   rep.final_level = left.front().level;
   rep.exec_ops = bgv_.rns().exec().snapshot() - before;
   rep.min_noise_budget_bits = 1e9;
+  rep.predicted_min_budget_bits = 1e9;
   for (const auto& ct : left) {
     rep.min_noise_budget_bits =
         std::min(rep.min_noise_budget_bits, bgv_.noise_budget_bits(ct));
+    rep.predicted_min_budget_bits =
+        std::min(rep.predicted_min_budget_bits, bgv_.predicted_budget_bits(ct));
   }
   return left;  // truncation layer
 }

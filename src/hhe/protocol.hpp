@@ -31,18 +31,44 @@ namespace poe::hhe {
 struct HheConfig {
   pasta::PastaParams pasta;
   fhe::BgvParams bgv;
+  /// Let the servers schedule modulus switches automatically from the
+  /// tracked noise bound (Bgv::auto_switch_inplace) instead of the
+  /// hand-placed drop schedule. The right-sized configs below require this:
+  /// their chains are too short for the legacy fixed 3-drops-per-squaring
+  /// placement.
+  bool auto_mod_switch = false;
+  double switch_margin = 2.0;  ///< headroom bits for the greedy scheduler
+  /// Safety-band floor for ciphertexts handed back to clients: with
+  /// auto_mod_switch the servers trim surplus levels off their outputs
+  /// (Bgv::trim_output_inplace) while the tracked bound keeps at least
+  /// this much budget. Matches SearchConstraints::band_low.
+  double output_budget_bits = 8.0;
 
   /// PASTA-4 over p = 65537 with a BGV ring deep enough for the full
   /// 4-round decryption circuit. NOTE: ring dimension is sized for speed,
-  /// not security — see EXPERIMENTS.md.
+  /// not security — see EXPERIMENTS.md. The BgvParams of all four configs
+  /// below are the OUTPUT of the circuit-profile parameter search
+  /// (bench/bench_param_search.cpp); a fixed-point test re-derives them so
+  /// they cannot drift from the security table in fhe/param_search.cpp.
+  /// POE_HHE_PROFILE=legacy makes these four accessors return the *_legacy
+  /// configs instead (A/B and bisection knob; no rebuild needed).
   static HheConfig demo();
   /// A reduced PASTA-like instance (t = 8, 4 rounds) for fast tests; the
   /// circuit structure is identical.
   static HheConfig test();
-  /// Parameters for the batched (SIMD) server: same ciphers, slightly
-  /// deeper BGV chain for the rotation key-switches.
+  /// Parameters for the batched (SIMD) server: same ciphers, wider chain
+  /// for the dense-diagonal noise growth.
   static HheConfig batched_demo();
   static HheConfig batched_test();
+
+  /// The pre-right-sizing parameter sets (hand-chosen, uniformly oversized
+  /// — every run ended with a ~91-bit budget surplus), kept as the
+  /// hand-placed-schedule reference for the differential suite and as the
+  /// baseline for the right-sizing speedup benches.
+  static HheConfig demo_legacy();
+  static HheConfig test_legacy();
+  static HheConfig batched_demo_legacy();
+  static HheConfig batched_test_legacy();
 };
 
 /// Plaintext-side precomputation for one keystream block: the public
@@ -65,7 +91,11 @@ PreparedBlock prepare_block(const pasta::PastaParams& params,
 
 /// Diagnostics from a homomorphic decryption.
 struct ServerReport {
-  double min_noise_budget_bits = 0;  ///< worst output ciphertext
+  double min_noise_budget_bits = 0;  ///< worst output ciphertext (secret key)
+  /// Budget implied by the server-side tracked bound for the same worst
+  /// output — no secret key involved. Soundness invariant (CI-enforced):
+  /// predicted <= measured.
+  double predicted_min_budget_bits = 0;
   std::size_t final_level = 0;
   std::size_t ct_ct_multiplications = 0;
   std::size_t scalar_multiplications = 0;

@@ -213,6 +213,7 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
     const fhe::HoistedCt hoisted = bgv_.hoist(state);
     Ciphertext inner_a, inner_b;
     bool init_a = false, init_b = false;
+    std::size_t terms_a = 0, terms_b = 0;
     for (std::size_t k = 0; k < s; ++k) {
       const auto& pair = batch.diags[l][k];
       const bool have_a = !pair[0].coeffs.empty();
@@ -233,6 +234,7 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
         rep.scalar_multiplications += s;
         Ciphertext& inner = variant == 0 ? inner_a : inner_b;
         bool& init = variant == 0 ? init_a : init_b;
+        ++(variant == 0 ? terms_a : terms_b);
         if (!init) {
           inner.level = state.level;
           inner.parts.emplace_back(&bgv_.rns(), state.level,
@@ -247,6 +249,10 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
       }
     }
     POE_ENSURE(init_a || init_b, "affine layer produced no terms");
+    // The raw add_mul loops bypassed the tracked bound; account for the
+    // fused diagonal products before the accumulators re-enter the API.
+    if (init_a) bgv_.note_fused_affine(inner_a, state, terms_a);
+    if (init_b) bgv_.note_fused_affine(inner_b, state, terms_b);
     Ciphertext acc;
     bool acc_init = false;
     if (init_a) {
@@ -267,16 +273,27 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
     }
     bgv_.add_plain_inplace(acc, batch.rc[l]);
     state = std::move(acc);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(state, config_.switch_margin);
+    }
   };
 
-  // Same 3-prime squaring schedule as the single-block batched server: the
-  // dense diagonals inflate the noise by ~||pt|| * n per layer. The drops
-  // run fused on the 3-part tensor BEFORE relinearising, so the relin digit
-  // decomposition works three levels lower.
+  // Same squaring schedule as the single-block batched server: the dense
+  // diagonals inflate the noise by ~||pt|| * n per layer. The drops run
+  // fused on the 3-part tensor BEFORE relinearising, so the relin digit
+  // decomposition works at the lower level; auto mode lets the tracked
+  // bound place them instead of the legacy hard-coded three.
   auto square_reduced = [&](const Ciphertext& x) {
     Ciphertext sq = bgv_.multiply(x, x);
-    bgv_.mod_switch_to(sq, sq.level - 3);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    } else {
+      bgv_.mod_switch_to(sq, sq.level - 3);
+    }
     bgv_.relinearize_inplace(sq);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    }
     ++rep.ct_ct_multiplications;
     return sq;
   };
@@ -287,6 +304,14 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
     bgv_.rotate_columns_inplace(sq, static_cast<long>(cols - 1),
                                 *rotation_keys_);
     for (auto& part : sq.parts) part.mul_inplace(batch.feistel_mask_ntt);
+    bgv_.note_mask_mul(sq);
+    // The mask multiply is a full plaintext product (~log2(t) + log2(n)
+    // bits); on an elevated trajectory (e.g. an ingest-switched tenant key)
+    // that can cross a drop threshold mid-feistel, and the replayed
+    // schedule drops here — the live path must offer the same drop point.
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(sq, config_.switch_margin);
+    }
     bgv_.mod_switch_to(state, sq.level);
     bgv_.add_inplace(state, sq);
   };
@@ -295,8 +320,15 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
     Ciphertext sq = square_reduced(state);
     bgv_.mod_switch_to(state, sq.level);
     Ciphertext prod = bgv_.multiply(sq, state);
-    bgv_.mod_switch_to(prod, prod.level - 3);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(prod, config_.switch_margin);
+    } else {
+      bgv_.mod_switch_to(prod, prod.level - 3);
+    }
     bgv_.relinearize_inplace(prod);
+    if (config_.auto_mod_switch) {
+      bgv_.auto_switch_inplace(prod, config_.switch_margin);
+    }
     state = std::move(prod);
     ++rep.ct_ct_multiplications;
   };
@@ -318,6 +350,7 @@ Ciphertext SimdBatchEngine::evaluate(const Ciphertext& key_ct,
   rep.final_level = state.level;
   rep.exec_ops = bgv_.rns().exec().snapshot() - before;
   rep.min_noise_budget_bits = bgv_.noise_budget_bits(state);
+  rep.predicted_min_budget_bits = bgv_.predicted_budget_bits(state);
   return state;
 }
 
@@ -357,6 +390,11 @@ Ciphertext SimdBatchEngine::extract_tiles(
     const Ciphertext& ct, std::span<const std::size_t> tiles) const {
   Ciphertext out = ct;
   bgv_.mul_plain_inplace(out, tile_mask(tiles));
+  // Per-tenant results leave the service here — trim surplus levels so the
+  // download is no larger than the safety band requires.
+  if (config_.auto_mod_switch) {
+    bgv_.trim_output_inplace(out, config_.output_budget_bits);
+  }
   return out;
 }
 

@@ -345,6 +345,7 @@ std::vector<TranscipherResult> TranscipherService::process(
     missing[r] = results[r].blocks.size();
   }
   double min_noise = 1e9;
+  double min_predicted = 1e9;
   std::size_t evaluated_batches = 0;
 
   auto prepare_one = [&](std::size_t j, Prepared& prepared) -> bool {
@@ -412,6 +413,7 @@ std::vector<TranscipherResult> TranscipherService::process(
     }
     std::unordered_map<u64, std::shared_ptr<const fhe::Ciphertext>> out_of;
     double batch_noise = 0;
+    double batch_predicted = 0;
     const bool ok = run_stage(
         "service.evaluate", "service.evaluate.stall",
         [&] {
@@ -421,12 +423,15 @@ std::vector<TranscipherResult> TranscipherService::process(
               engine_.evaluate(packed_key, prepared.batch, &server_report);
           out_of.clear();
           batch_noise = 1e9;
+          batch_predicted = 1e9;
           for (std::size_t v = 0; v < live.size(); ++v) {
             auto ct = std::make_shared<const fhe::Ciphertext>(
                 engine_.extract_tiles(batch_out, live[v].tiles));
             // The extraction mask costs noise: report the deliverable's
             // budget, not the pre-mask batch output's.
             batch_noise = std::min(batch_noise, bgv_.noise_budget_bits(*ct));
+            batch_predicted =
+                std::min(batch_predicted, bgv_.predicted_budget_bits(*ct));
             out_of[live_ids[v]] = std::move(ct);
           }
         },
@@ -434,6 +439,7 @@ std::vector<TranscipherResult> TranscipherService::process(
     if (!ok) return;
     outcomes[j].state = BatchState::kDone;
     min_noise = std::min(min_noise, batch_noise);
+    min_predicted = std::min(min_predicted, batch_predicted);
     ++evaluated_batches;
     for (std::size_t i = 0; i < job.refs.size(); ++i) {
       if (dead.contains(job.tenants[i])) continue;
@@ -467,6 +473,7 @@ std::vector<TranscipherResult> TranscipherService::process(
     }
     std::shared_ptr<const fhe::Ciphertext> ct;
     double batch_noise = 0;
+    double batch_predicted = 0;
     const bool ok = run_stage(
         "service.evaluate", "service.evaluate.stall",
         [&] {
@@ -474,11 +481,13 @@ std::vector<TranscipherResult> TranscipherService::process(
           ct = std::make_shared<const fhe::Ciphertext>(engine_.evaluate(
               session.key_ct, prepared.batch, &server_report));
           batch_noise = server_report.min_noise_budget_bits;
+          batch_predicted = server_report.predicted_min_budget_bits;
         },
         outcomes[j], outcomes[j].eval_s);
     if (!ok) return;
     outcomes[j].state = BatchState::kDone;
     min_noise = std::min(min_noise, batch_noise);
+    min_predicted = std::min(min_predicted, batch_predicted);
     ++evaluated_batches;
     for (std::size_t i = 0; i < job.refs.size(); ++i) {
       const BlockRef& ref = job.refs[i];
@@ -605,6 +614,7 @@ std::vector<TranscipherResult> TranscipherService::process(
 
   rep.total_s = seconds_since(t_start);
   rep.min_noise_budget_bits = evaluated_batches > 0 ? min_noise : 0;
+  rep.predicted_min_budget_bits = evaluated_batches > 0 ? min_predicted : 0;
   rep.avg_batch_occupancy = 0;
   if (!jobs.empty()) {
     for (const auto& job : jobs) {

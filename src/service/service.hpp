@@ -175,6 +175,10 @@ struct ServiceReport {
   std::size_t cross_tenant_batches = 0;  ///< batches packing >1 tenant
   double max_batch_wait_s = 0;  ///< worst block arrival -> flush wait
   double min_noise_budget_bits = 0;  ///< worst batch output
+  /// Budget implied by the server-side tracked bound for the same worst
+  /// deliverable — computable without the secret key. Soundness invariant
+  /// (CI-enforced): predicted <= measured.
+  double predicted_min_budget_bits = 0;
   std::size_t session_evictions = 0; ///< lifetime total at call end
   std::vector<double> request_latency_s;  ///< per request, call start -> done
   FaultStats faults;         ///< robustness-layer accounting
