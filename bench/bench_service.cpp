@@ -14,16 +14,35 @@
 // service), and sequential per-client coefficient-wise
 // HheServer::transcipher calls. The service must beat the coefficient-wise
 // baseline by >= 1.3x aggregate throughput.
+//
+// Multi-process mode: re-invoked with `--shard <fd>` or `--keymanager <fd>`
+// this binary becomes one worker of a process-level deployment — the parent
+// binds the listen sockets, forks+execs itself into N shard processes and a
+// key-manager process, onboards the clients over the key-manager socket and
+// drives waves through a Router, so the shard-count sweep measures real
+// process-level scale-out over the framed wire protocol.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/poe.hpp"
+#include "fhe/serialize.hpp"
 #include "hhe/batched_server.hpp"
+#include "modular/primes.hpp"
+#include "net/key_manager.hpp"
+#include "net/ring.hpp"
+#include "net/router.hpp"
+#include "net/shard.hpp"
 
 namespace {
 using namespace poe;
@@ -37,9 +56,262 @@ struct SweepPoint {
   std::size_t clients = 0;
   service::ServiceReport report;
 };
+
+// ---- Child roles of the multi-process mode. --------------------------------
+
+/// One worker-shard process: adopt the inherited listen fd, derive the full
+/// evaluation key material independently (the deterministic BgvParams seed
+/// makes it bit-identical to every peer's — no key ever crosses the wire),
+/// then serve router connections until an orderly kShutdown frame.
+int run_shard(int fd) {
+  // Each worker computes single-threaded: the sweep measures PROCESS-level
+  // scale-out, not each process's internal thread pool.
+  ::setenv("POE_THREADS", "1", 1);
+  const auto config = hhe::HheConfig::batched_test();
+  ExecContext exec;
+  fhe::Bgv bgv(config.bgv, &exec);
+  const auto keys = hhe::SimdBatchEngine::make_shared_rotation_keys(config, bgv);
+  net::ListenSocket listen = net::ListenSocket::adopt(fd);
+  service::ServiceConfig scfg;
+  scfg.max_sessions = 16;
+  std::optional<net::ShardServer> server;
+  server.emplace(config, bgv, scfg, keys);
+  for (;;) {
+    net::Socket sock;
+    try {
+      sock = listen.accept();
+    } catch (const net::WireError&) {
+      return 0;
+    }
+    net::FrameChannel ch(std::move(sock), &exec);
+    const net::ShardServer::Exit exit = server->serve(ch);
+    if (exit == net::ShardServer::Exit::kShutdown) return 0;
+    if (exit == net::ShardServer::Exit::kKilled) {
+      server.emplace(config, bgv, scfg, keys);
+    }
+    // kConnectionLost: keep state, wait for the router to reconnect.
+  }
+}
+
+/// The key-manager process: onboarding and key fetches only, no evaluation.
+/// It validates uploads against the public CRT context — built directly from
+/// the parameters, no keygen (this process holds nothing but ciphertext).
+int run_key_manager(int fd) {
+  ::setenv("POE_THREADS", "1", 1);
+  const auto config = hhe::HheConfig::batched_test();
+  fhe::RnsContext ctx(config.bgv.n, config.bgv.t,
+                      mod::bgv_prime_chain(config.bgv.num_primes,
+                                           config.bgv.prime_bits, config.bgv.n,
+                                           config.bgv.t));
+  net::KeyManager km(ctx);
+  net::ListenSocket listen = net::ListenSocket::adopt(fd);
+  for (;;) {
+    net::Socket sock;
+    try {
+      sock = listen.accept();
+    } catch (const net::WireError&) {
+      return 0;
+    }
+    net::FrameChannel ch(std::move(sock));
+    if (!km.serve(ch)) return 0;  // orderly kShutdown frame
+  }
+}
+
+/// fork + exec this binary into a child role, the listen fd inherited across
+/// the exec. The fd argument is formatted BEFORE the fork so the child calls
+/// nothing but execv/_exit (the parent has live threads at this point).
+pid_t spawn_child(const char* role, int fd) {
+  char fd_arg[16];
+  std::snprintf(fd_arg, sizeof(fd_arg), "%d", fd);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    char* args[] = {const_cast<char*>("bench_service"),
+                    const_cast<char*>(role), fd_arg, nullptr};
+    ::execv("/proc/self/exe", args);
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Client ids that land `total / nshards` per shard under the router's own
+/// consistent-hash ring, so the sweep compares balanced deployments.
+std::vector<std::uint64_t> pick_balanced_clients(std::size_t nshards,
+                                                 std::size_t total) {
+  net::HashRing ring(nshards, net::RouterConfig{}.ring_vnodes);
+  std::vector<std::size_t> load(nshards, 0);
+  const std::size_t quota = total / nshards;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t id = 1; ids.size() < total; ++id) {
+    const std::size_t owner = ring.owner(id);
+    if (load[owner] < quota) {
+      ++load[owner];
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+struct MpPoint {
+  std::size_t shards = 0;
+  std::size_t clients = 0;
+  std::size_t blocks = 0;
+  std::size_t requests_ok = 0;
+  double total_s = 0;
+  double blocks_per_s = 0;
+};
+
+/// One multi-process deployment: fork the key manager and `nshards` workers,
+/// onboard every client over the key-manager socket, run one untimed warm
+/// wave and one timed wave through a Router, verify every block round-trips,
+/// then shut the fleet down and reap it.
+///
+/// Weak scaling: `n_clients` should be shard-count * clients-per-full-batch,
+/// so every shard evaluates FULL batches and the sweep measures aggregate
+/// scale-out throughput — a fixed workload split across shards would leave
+/// each shard paying full batch cost for a half-empty batch.
+std::optional<MpPoint> run_multiprocess_point(
+    std::size_t nshards, std::size_t n_clients, const hhe::HheConfig& config,
+    fhe::Bgv& bgv, std::size_t blocks_per_client,
+    const std::vector<pasta::PastaCipher>& ciphers,
+    const std::vector<fhe::Ciphertext>& key_cts,
+    const std::vector<std::vector<std::uint64_t>>& msgs) {
+  std::vector<pid_t> pids;
+
+  net::ListenSocket km_listen = net::ListenSocket::loopback();
+  pids.push_back(spawn_child("--keymanager", km_listen.fd()));
+  std::vector<net::ListenSocket> shard_listens;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shard_listens.push_back(net::ListenSocket::loopback());
+    pids.push_back(spawn_child("--shard", shard_listens.back().fd()));
+  }
+
+  std::optional<MpPoint> out;
+  const auto ids = pick_balanced_clients(nshards, n_clients);
+  // Everything below connects into listen backlogs immediately and blocks on
+  // the first reply until the child finishes its keygen — no readiness
+  // handshake needed.
+  bool ok = true;
+  try {
+    for (std::size_t c = 0; c < n_clients && ok; ++c) {
+      net::FrameChannel ch(net::connect_loopback(km_listen.port()));
+      net::OnboardKeyMsg msg;
+      msg.client_id = ids[c];
+      msg.key_bytes = fhe::serialize_ciphertext(bgv.rns(), key_cts[c]);
+      ch.send(net::MsgType::kOnboardKey, net::encode_onboard_key(msg));
+      auto resp = ch.recv();
+      if (!resp || resp->type != net::MsgType::kOnboardAck ||
+          !net::decode_ack(resp->payload).ok) {
+        std::cerr << "multiprocess: onboarding failed for client " << ids[c]
+                  << "\n";
+        ok = false;
+      }
+    }
+
+    if (ok) {
+      std::vector<net::FrameChannel> channels;
+      for (const auto& listen : shard_listens) {
+        channels.emplace_back(net::connect_loopback(listen.port()));
+      }
+      net::Router router(bgv.rns(), std::move(channels),
+                         net::FrameChannel(net::connect_loopback(
+                             km_listen.port())));
+
+      auto make_wave = [&](std::uint64_t nonce_base) {
+        std::vector<service::TranscipherRequest> reqs;
+        for (std::size_t c = 0; c < n_clients; ++c) {
+          reqs.push_back(service::TranscipherRequest{
+              .client_id = ids[c],
+              .nonce = nonce_base + c,
+              .symmetric_ct = ciphers[c].encrypt(msgs[c], nonce_base + c)});
+        }
+        return reqs;
+      };
+
+      // Untimed warm wave: session installs, slab shaping, page faults.
+      for (const auto& r : router.process(make_wave(80000))) {
+        if (!r.ok()) {
+          std::cerr << "multiprocess: warm-up degraded for client "
+                    << r.client_id << ": " << r.error << "\n";
+          ok = false;
+        }
+      }
+
+      if (ok) {
+        const auto reqs = make_wave(81000);
+        net::RouterReport report;
+        const auto t0 = Clock::now();
+        const auto results = router.process(reqs, &report);
+        const double total_s = seconds_since(t0);
+        for (std::size_t c = 0; c < n_clients && ok; ++c) {
+          if (!results[c].ok()) {
+            std::cerr << "multiprocess: request degraded for client "
+                      << ids[c] << ": " << results[c].error << "\n";
+            ok = false;
+            break;
+          }
+          std::vector<std::uint64_t> got;
+          for (const auto& block : results[c].blocks) {
+            const auto vals =
+                service::TranscipherService::decode_block(config, bgv, block);
+            got.insert(got.end(), vals.begin(), vals.end());
+          }
+          if (got != msgs[c]) {
+            std::cerr << "multiprocess: MISMATCH for client " << ids[c] << "\n";
+            ok = false;
+          }
+        }
+        if (ok) {
+          MpPoint point;
+          point.shards = nshards;
+          point.clients = n_clients;
+          point.blocks = n_clients * blocks_per_client;
+          point.requests_ok = report.faults.ok;
+          point.total_s = total_s;
+          point.blocks_per_s = double(point.blocks) / total_s;
+          out = point;
+        }
+      }
+
+    }
+  } catch (const poe::Error& e) {
+    std::cerr << "multiprocess: " << e.what() << "\n";
+    out.reset();
+  }
+
+  // Orderly shutdown — runs even after a failure, or waitpid would hang on
+  // children that never saw a stop signal. Every router channel is closed by
+  // now (the Router left scope above), so each child is either blocked in
+  // accept() or about to be; the queued connection delivers one kShutdown
+  // frame. A child that already died just fails the connect, which is fine —
+  // waitpid reaps it either way.
+  auto send_shutdown = [](std::uint16_t port) {
+    try {
+      net::FrameChannel ch(net::connect_loopback(port));
+      ch.send(net::MsgType::kShutdown, {});
+    } catch (const poe::Error&) {
+    }
+  };
+  for (const auto& listen : shard_listens) send_shutdown(listen.port());
+  send_shutdown(km_listen.port());
+
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "multiprocess: child " << pid << " exited abnormally\n";
+      out.reset();
+    }
+  }
+  return out;
+}
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 3) {
+    const std::string role = argv[1];
+    if (role == "--shard") return run_shard(std::atoi(argv[2]));
+    if (role == "--keymanager") return run_key_manager(std::atoi(argv[2]));
+  }
   const auto config = hhe::HheConfig::batched_test();
   const std::size_t blocks_per_client = 4;
   const std::vector<std::size_t> client_counts = {1, 2, 4, 8};
@@ -224,6 +496,59 @@ int main() {
             << fixed(service_tput, 2) << " blocks/s — " << fixed(speedup, 2)
             << "x aggregate throughput (acceptance floor 1.3x)\n";
 
+  // ---- Multi-process scale-out: fork this binary into a key-manager
+  // ---- process plus {1, 2} worker-shard processes and push the same
+  // ---- 8-client workload through a Router over real sockets. ------------
+  std::vector<MpPoint> mp_sweep;
+  bool mp_ok = true;
+  {
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    std::cout << "\nmulti-process deployment (host cores: " << host_cores
+              << ", workers pinned to POE_THREADS=1)...\n";
+    // Weak scaling needs one full batch of clients PER shard; extend the
+    // client material beyond the in-process sweep's roster.
+    const std::size_t max_shards = 2;
+    const std::size_t mp_clients = max_shards * max_clients;
+    std::vector<pasta::PastaCipher> mp_ciphers = ciphers;
+    std::vector<fhe::Ciphertext> mp_key_cts = key_cts;
+    std::vector<std::vector<std::uint64_t>> mp_msgs = msgs;
+    for (std::size_t c = max_clients; c < mp_clients; ++c) {
+      const auto key = pasta::PastaCipher::random_key(config.pasta, rng);
+      mp_ciphers.emplace_back(config.pasta, key);
+      mp_key_cts.push_back(
+          hhe::encrypt_key_batched(config, bgv, encoder, layout, key));
+      std::vector<std::uint64_t> msg(msg_len);
+      for (auto& m : msg) m = rng.below(config.pasta.p);
+      mp_msgs.push_back(std::move(msg));
+    }
+    for (const std::size_t nshards : {std::size_t{1}, max_shards}) {
+      const auto point = run_multiprocess_point(
+          nshards, nshards * max_clients, config, bgv, blocks_per_client,
+          mp_ciphers, mp_key_cts, mp_msgs);
+      if (!point) {
+        mp_ok = false;
+        break;
+      }
+      mp_sweep.push_back(*point);
+    }
+    if (mp_ok) {
+      TextTable mp;
+      mp.header({"Shards", "Clients", "Blocks", "Total s", "Blocks/s"});
+      for (const auto& p : mp_sweep) {
+        mp.row({std::to_string(p.shards), std::to_string(p.clients),
+                std::to_string(p.blocks), fixed(p.total_s, 2),
+                fixed(p.blocks_per_s, 2)});
+      }
+      mp.print(std::cout);
+      std::cout << "2-shard scale-out: "
+                << fixed(mp_sweep[1].blocks_per_s / mp_sweep[0].blocks_per_s, 2)
+                << "x (scripts/check_shard_budget.py enforces the floor on "
+                   "multi-core hosts)\n";
+    } else {
+      std::cerr << "multi-process sweep FAILED\n";
+    }
+  }
+
   // ---- Machine-readable record. ------------------------------------------
   {
     std::ofstream json("BENCH_service.json");
@@ -295,8 +620,27 @@ int main() {
          << ", \"total_s\": " << fixed(baseline_s, 4)
          << ", \"blocks_per_s\": " << fixed(baseline_tput, 3) << "},\n"
          << "  \"speedup_at_" << max_clients
-         << "_clients\": " << fixed(speedup, 3) << "\n}\n";
+         << "_clients\": " << fixed(speedup, 3) << ",\n"
+         << "  \"multiprocess\": {\"host_cores\": "
+         << std::thread::hardware_concurrency()
+         << ", \"workers_single_threaded\": true, \"ok\": "
+         << (mp_ok ? "true" : "false") << ",\n    \"sweep\": [";
+    for (std::size_t i = 0; i < mp_sweep.size(); ++i) {
+      const auto& p = mp_sweep[i];
+      json << (i == 0 ? "\n" : ",\n")
+           << "      {\"shards\": " << p.shards
+           << ", \"clients\": " << p.clients << ", \"blocks\": " << p.blocks
+           << ", \"requests_ok\": " << p.requests_ok
+           << ", \"total_s\": " << fixed(p.total_s, 4)
+           << ", \"blocks_per_s\": " << fixed(p.blocks_per_s, 3) << "}";
+    }
+    json << "\n    ]";
+    if (mp_sweep.size() == 2) {
+      json << ",\n    \"speedup_2_shards\": "
+           << fixed(mp_sweep[1].blocks_per_s / mp_sweep[0].blocks_per_s, 3);
+    }
+    json << "\n  }\n}\n";
     std::cout << "(wrote BENCH_service.json)\n";
   }
-  return speedup >= 1.3 ? 0 : 1;
+  return speedup >= 1.3 && mp_ok ? 0 : 1;
 }

@@ -22,6 +22,14 @@
 //   service.queue.full      forced pipeline-queue saturation
 //   service.key.corrupt     corruption of a session's key ciphertext words
 //   service.wire.truncate   truncation of key-upload wire bytes
+//   net.frame.torn          (kForce) a peer dies mid-write: half a frame is
+//                           sent and the connection is wrecked
+//   net.peer.stall          (kStall) virtual peer slowness charged at frame
+//                           receive; shards echo it so the router's
+//                           slow-peer timeout runs on virtual time
+//   shard.kill              (kForce) a worker-shard process dies between
+//                           receiving a request and responding; its session
+//                           partition is lost and must rebalance
 // docs/TESTING.md lists the armed sites and how to replay a failed seed.
 #pragma once
 

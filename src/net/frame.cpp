@@ -1,0 +1,132 @@
+#include "net/frame.hpp"
+
+#include <string>
+
+namespace poe::net {
+
+bool known_msg_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(MsgType::kPing) &&
+         raw <= static_cast<std::uint16_t>(MsgType::kShutdown);
+}
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kError: return "error";
+    case MsgType::kOnboardKey: return "onboard_key";
+    case MsgType::kOnboardAck: return "onboard_ack";
+    case MsgType::kFetchKey: return "fetch_key";
+    case MsgType::kKeyState: return "key_state";
+    case MsgType::kInstallSession: return "install_session";
+    case MsgType::kInstallAck: return "install_ack";
+    case MsgType::kProcessBatch: return "process_batch";
+    case MsgType::kProcessResult: return "process_result";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::span<const std::uint8_t> payload) {
+  POE_ENSURE(payload.size() <= kMaxFramePayload,
+             "frame payload exceeds kMaxFramePayload");
+  WireWriter w;
+  w.u32(kFrameMagic);
+  w.u16(kFrameVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameHeader parse_frame_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw WireError("truncated frame header: " + std::to_string(bytes.size()) +
+                    " of " + std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  WireReader r(bytes.first(kFrameHeaderBytes));
+  const std::uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    throw WireError("bad frame magic");
+  }
+  FrameHeader h;
+  h.version = r.u16();
+  if (h.version != kFrameVersion) {
+    throw WireError("unsupported frame version " + std::to_string(h.version));
+  }
+  const std::uint16_t raw_type = r.u16();
+  if (!known_msg_type(raw_type)) {
+    throw WireError("unknown frame type " + std::to_string(raw_type));
+  }
+  h.type = static_cast<MsgType>(raw_type);
+  h.length = r.u32();
+  // Bound the untrusted length BEFORE anyone allocates or reads a payload
+  // sized from it.
+  if (h.length > kMaxFramePayload) {
+    throw WireError("frame payload length " + std::to_string(h.length) +
+                    " exceeds the protocol bound");
+  }
+  h.crc = r.u32();
+  return h;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes) {
+  const FrameHeader h = parse_frame_header(bytes);
+  const std::size_t total = kFrameHeaderBytes + h.length;
+  if (bytes.size() < total) {
+    throw WireError("truncated frame payload: header claims " +
+                    std::to_string(h.length) + " bytes, buffer has " +
+                    std::to_string(bytes.size() - kFrameHeaderBytes));
+  }
+  if (bytes.size() > total) {
+    throw WireError("frame has " + std::to_string(bytes.size() - total) +
+                    " trailing bytes past the declared payload");
+  }
+  Frame f;
+  f.type = h.type;
+  auto payload = bytes.subspan(kFrameHeaderBytes, h.length);
+  if (crc32(payload) != h.crc) {
+    throw WireError("frame payload CRC mismatch");
+  }
+  f.payload.assign(payload.begin(), payload.end());
+  return f;
+}
+
+void FrameChannel::send(MsgType type, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  if (exec_ != nullptr && fault_forced(*exec_, "net.frame.torn")) {
+    // Die mid-write: the peer reads a half frame, this endpoint is gone.
+    sock_.send_all(std::span(frame).first(frame.size() / 2));
+    sock_.shutdown_both();
+    throw WireError("torn frame injected: connection wrecked mid-write");
+  }
+  sock_.send_all(frame);
+}
+
+std::optional<FrameChannel::Received> FrameChannel::recv() {
+  Received out;
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!sock_.recv_exact(header)) return std::nullopt;  // clean close
+  // The slow-peer site is consulted once per frame that actually ARRIVED —
+  // charging at blocking-read entry would bank virtual slowness against
+  // whatever frame shows up next, possibly long after the chaos schedule
+  // moved on.
+  if (exec_ != nullptr) {
+    out.stall_s = fault_stall_s(*exec_, "net.peer.stall");
+  }
+  const FrameHeader h = parse_frame_header(header);
+  out.type = h.type;
+  out.payload.resize(h.length);  // bounded by parse_frame_header
+  if (h.length > 0 && !sock_.recv_exact(out.payload)) {
+    throw WireError("torn frame: peer closed between header and payload");
+  }
+  if (crc32(out.payload) != h.crc) {
+    throw WireError("frame payload CRC mismatch");
+  }
+  return out;
+}
+
+}  // namespace poe::net

@@ -1,0 +1,125 @@
+// The length-prefixed binary framing every process boundary speaks.
+//
+// Frame layout (little endian; 16-byte header, then the payload):
+//
+//   offset  0  u32  magic    0x464F4550 ("POEF")
+//           4  u16  version  kFrameVersion
+//           6  u16  type     MsgType
+//           8  u32  length   payload bytes, <= kMaxFramePayload
+//          12  u32  crc      CRC-32 of the payload
+//
+// Receivers validate the header (magic, version, known type, length bound)
+// BEFORE reading or allocating for the payload, and the CRC after — a
+// hostile or damaged length field can never size an allocation, the same
+// overflow discipline fhe/serialize.cpp applies to ciphertext bytes.
+//
+// FrameChannel is the transport binding: one frame per send/recv over a
+// connected socket, instrumented for the chaos harness (net.frame.torn
+// models a peer dying mid-write, net.peer.stall a slow peer — see
+// common/fault.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/exec_context.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace poe::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x464F4550;  // "POEF"
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Generous bound for one message (a packed batch of serialized ciphertexts
+/// stays well under it) — anything larger is protocol damage, rejected
+/// before allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
+
+/// Every message the router, shards and key manager exchange. Values are
+/// wire-stable: append new types, never renumber.
+enum class MsgType : std::uint16_t {
+  kPing = 1,
+  kPong = 2,
+  kError = 3,           ///< payload: str reason (unexpected frame, ...)
+  kOnboardKey = 4,      ///< client -> key manager: enc(K) upload
+  kOnboardAck = 5,
+  kFetchKey = 6,        ///< router -> key manager
+  kKeyState = 7,
+  kInstallSession = 8,  ///< router -> shard: serialized SessionState
+  kInstallAck = 9,
+  kProcessBatch = 10,   ///< router -> shard: transcipher requests
+  kProcessResult = 11,
+  kShutdown = 12,       ///< orderly stop, no reply
+};
+
+bool known_msg_type(std::uint16_t raw);
+const char* to_string(MsgType t);
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kPing;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Header + payload + CRC, ready to write to a socket.
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Validates magic, version, known type and the length bound from the first
+/// kFrameHeaderBytes of `bytes`. Does NOT check the CRC (the payload may not
+/// have been read yet). Throws WireError.
+FrameHeader parse_frame_header(std::span<const std::uint8_t> bytes);
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Whole-buffer decode (the fuzz/property suite's entry point): header
+/// validation, exact length match against the buffer, then the payload CRC.
+Frame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// One-frame-per-message transport over a connected socket.
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  /// `exec` (nullable) supplies the FaultInjector consulted by the chaos
+  /// sites; pass the owning component's context so injected network faults
+  /// are attributed to the right process.
+  explicit FrameChannel(Socket sock, ExecContext* exec = nullptr)
+      : sock_(std::move(sock)), exec_(exec) {}
+
+  bool valid() const { return sock_.valid(); }
+
+  /// Writes one frame. Chaos site `net.frame.torn` (kForce) models this
+  /// endpoint dying mid-write: only the first half of the frame is sent,
+  /// the connection is wrecked, and a WireError is thrown — the peer sees
+  /// a torn frame, this side sees a dead channel.
+  void send(MsgType type, std::span<const std::uint8_t> payload);
+
+  struct Received {
+    MsgType type = MsgType::kPing;
+    std::vector<std::uint8_t> payload;
+    /// Virtual seconds of injected peer slowness charged by the
+    /// `net.peer.stall` chaos site (bounded real sleep — see FaultInjector).
+    double stall_s = 0;
+  };
+
+  /// Blocking read of one frame. Returns std::nullopt on a clean close at a
+  /// frame boundary; throws WireError on a mid-frame close (torn frame) or
+  /// any header/CRC violation.
+  std::optional<Received> recv();
+
+  /// Wreck the connection (both directions); the peer observes EOF.
+  void shutdown() { sock_.shutdown_both(); }
+
+ private:
+  Socket sock_;
+  ExecContext* exec_ = nullptr;
+};
+
+}  // namespace poe::net

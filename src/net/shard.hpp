@@ -1,0 +1,54 @@
+// One worker shard: a TranscipherService behind a FrameChannel. The shard
+// owns its session-LRU partition and (in a real deployment) its own process
+// with its own ExecContext; the deterministic BgvParams seed means every
+// shard derives bit-identical evaluation key material independently, so no
+// secret ever crosses the wire. Shards never see onboarding traffic — the
+// router installs sessions from key-manager-validated enc(K) bytes via
+// kInstallSession, and every kProcessBatch response piggybacks key-less
+// SessionState snapshots of the sessions it touched so the router can
+// rebalance them to a survivor if this shard dies.
+#pragma once
+
+#include <memory>
+
+#include "fhe/bgv.hpp"
+#include "hhe/protocol.hpp"
+#include "net/frame.hpp"
+#include "service/service.hpp"
+
+namespace poe::net {
+
+class ShardServer {
+ public:
+  ShardServer(const hhe::HheConfig& config, const fhe::Bgv& bgv,
+              service::ServiceConfig service_config = {},
+              std::shared_ptr<const fhe::GaloisKeys> shared_keys = nullptr);
+
+  /// Why serve() returned — what a supervisor (the cluster harness, or a
+  /// real process manager) acts on.
+  enum class Exit {
+    kShutdown,        ///< orderly kShutdown frame
+    kKilled,          ///< chaos site `shard.kill` fired: the "process" died
+    kConnectionLost,  ///< peer EOF / torn frame; shard state survives
+  };
+
+  /// Serve one router connection until it ends. A fired `shard.kill` wrecks
+  /// the connection without a response and reports kKilled — the supervisor
+  /// must then discard this ShardServer (session state is lost, exactly
+  /// like a real process death) and construct a fresh one.
+  Exit serve(FrameChannel& ch);
+
+  service::TranscipherService& service() { return service_; }
+  const fhe::Bgv& bgv() const { return bgv_; }
+
+ private:
+  void handle_process_batch(FrameChannel& ch,
+                            std::span<const std::uint8_t> payload,
+                            double recv_stall_s);
+
+  const hhe::HheConfig& config_;
+  const fhe::Bgv& bgv_;
+  service::TranscipherService service_;
+};
+
+}  // namespace poe::net

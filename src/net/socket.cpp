@@ -1,0 +1,164 @@
+#include "net/socket.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace poe::net {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw WireError(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) throw WireError("send on a dead channel");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that died turns into EPIPE here instead of
+    // killing the process with SIGPIPE — the chaos harness depends on
+    // every network fault surfacing as a typed error.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(std::span<std::uint8_t> out) {
+  if (fd_ < 0) throw WireError("recv on a dead channel");
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close at a message boundary
+      throw WireError("torn frame: peer closed after " + std::to_string(got) +
+                      " of " + std::to_string(out.size()) + " bytes");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    port_ = o.port_;
+  }
+  return *this;
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ListenSocket ListenSocket::loopback() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  ListenSocket ls;
+  ls.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind 127.0.0.1");
+  }
+  if (::listen(fd, 16) < 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  ls.port_ = ntohs(addr.sin_port);
+  return ls;
+}
+
+ListenSocket ListenSocket::adopt(int fd) {
+  ListenSocket ls;
+  ls.fd_ = fd;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    ls.port_ = ntohs(addr.sin_port);
+  }
+  return ls;
+}
+
+Socket ListenSocket::accept() {
+  if (fd_ < 0) throw WireError("accept on a closed listener");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+void ListenSocket::abort() {
+  // shutdown() on a listening socket wakes a blocked accept() with an
+  // error (Linux semantics) without racing a concurrent close of the fd.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("connect 127.0.0.1");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace poe::net

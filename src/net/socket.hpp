@@ -1,0 +1,84 @@
+// Thin RAII layer over POSIX stream sockets — just enough transport for the
+// framed protocol: loopback TCP (the in-process cluster harness and the
+// multi-process bench both run router/shards/key-manager over 127.0.0.1)
+// plus exact-count send/recv with typed errors. A peer closing mid-read
+// surfaces as a WireError (a torn frame), not a short read the caller could
+// misparse.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace poe::net {
+
+/// Move-only owner of a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes every byte or throws WireError.
+  void send_all(std::span<const std::uint8_t> bytes);
+  /// Reads exactly out.size() bytes. Returns false when the peer closed
+  /// cleanly BEFORE the first byte (end of stream); throws WireError when
+  /// the stream ends mid-buffer (torn) or on a socket error.
+  bool recv_exact(std::span<std::uint8_t> out);
+
+  /// Half-kill the connection without releasing the fd; the peer sees EOF.
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 on an ephemeral port (or adopted
+/// from an inherited fd — how the multi-process bench hands a pre-bound
+/// socket to a forked worker).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  /// Bind + listen on 127.0.0.1:0; read the port back with port().
+  static ListenSocket loopback();
+  /// Adopt an already-listening fd (inherited across exec).
+  static ListenSocket adopt(int fd);
+
+  ListenSocket(ListenSocket&& o) noexcept
+      : fd_(std::exchange(o.fd_, -1)), port_(o.port_) {}
+  ListenSocket& operator=(ListenSocket&& o) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ~ListenSocket();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one connection; throws WireError if the listener was
+  /// aborted (or on any socket error).
+  Socket accept();
+
+  /// Wake a blocked accept() from another thread (it throws WireError) —
+  /// how the cluster harness stops a shard's accept loop.
+  void abort();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port; throws WireError on failure.
+Socket connect_loopback(std::uint16_t port);
+
+}  // namespace poe::net

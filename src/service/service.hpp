@@ -104,6 +104,29 @@ struct TranscipherRequest {
   std::vector<std::uint64_t> symmetric_ct;
 };
 
+/// Everything a session must carry across a process boundary: the encrypted
+/// PASTA key (serialized enc(K) wire bytes), the nonce replay window and the
+/// serving stats. This is what a shard snapshot/restore and the router's
+/// rebalance-to-a-survivor move around; serialize_session_state gives it a
+/// versioned wire form. A state exported mid-batch is legitimate and safe:
+/// nonces are recorded at admission, so a snapshot taken before the batch
+/// finished carries the nonce with zero served blocks — restoring it keeps
+/// the replay rejection and simply loses the in-flight work.
+struct SessionState {
+  std::uint64_t client_id = 0;
+  bool has_key = false;               ///< false: nonce-window/stats update only
+  std::vector<std::uint8_t> key_bytes;  ///< serialize_ciphertext(enc(K))
+  std::vector<std::uint64_t> nonces;    ///< replay window, oldest first
+  std::uint64_t requests_served = 0;    ///< kOk requests over the session
+  std::uint64_t blocks_served = 0;      ///< blocks delivered to the client
+};
+
+/// Versioned wire form ("SES1" magic + u16 version). Deserialization
+/// bounds-checks every length field before allocating and throws poe::Error
+/// on damage — same hardening discipline as fhe/serialize.cpp.
+std::vector<std::uint8_t> serialize_session_state(const SessionState& state);
+SessionState deserialize_session_state(std::span<const std::uint8_t> bytes);
+
 /// Where one block of a request's message landed: a tile of a (possibly
 /// shared) batch output ciphertext.
 struct PlacedBlock {
@@ -242,12 +265,33 @@ class TranscipherService {
                                                  const fhe::Bgv& bgv,
                                                  const PlacedBlock& block);
 
+  // --- Session-state snapshot/restore (shard restart and rebalance). ------
+
+  /// Snapshot a session (throws poe::Error when the client is unknown).
+  /// `include_key` = false produces a nonce-window/stats update — what a
+  /// shard piggybacks on its responses so a router can rebuild the session
+  /// elsewhere without ever holding enc(K) itself.
+  SessionState export_session(std::uint64_t client_id,
+                              bool include_key) const;
+
+  /// Install or update a session from a snapshot. A state carrying a key is
+  /// validated through the same wire path as open_session_wire (deserialize
+  /// + plausibility check); a key-less state requires the session to exist.
+  /// Nonce windows MERGE (set union, oldest first, clipped to the tracked
+  /// bound) and stats take the maximum — restoring a stale snapshot can
+  /// only widen replay protection, never re-admit an accepted nonce.
+  /// Returns false with `error` set on invalid input; never throws, never
+  /// partially applies.
+  bool import_session(const SessionState& state, std::string* error = nullptr);
+
  private:
   struct Session {
     fhe::Ciphertext key_ct;
     std::unordered_set<std::uint64_t> nonce_set;
     std::deque<std::uint64_t> nonce_order;  ///< bounded replay window
     std::list<std::uint64_t>::iterator lru_pos;
+    std::uint64_t requests_served = 0;  ///< kOk requests (scheduler stats)
+    std::uint64_t blocks_served = 0;
   };
 
   void touch(std::uint64_t client_id, Session& session);

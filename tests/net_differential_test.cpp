@@ -1,0 +1,278 @@
+// Cross-process differential suite (ctest label: diff): a LocalCluster —
+// router + worker shards + key manager, every byte over real loopback
+// sockets in the framed protocol — against the in-process
+// TranscipherService as reference.
+//
+// The bit-identity axis: every shard derives its key material independently
+// from the deterministic BgvParams seed, and a single-shard deployment
+// receives its wave in request order, reproducing the in-process batch
+// composition exactly — so the serialized result ciphertexts must be
+// BYTE-identical to the reference's, not merely decrypt the same. With two
+// shards the batch composition differs, so the check relaxes to
+// bit-identical decrypted outputs plus matching terminal statuses and the
+// ServiceReport partition invariants on every shard's report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fhe/serialize.hpp"
+#include "hhe/batched_server.hpp"
+#include "net/cluster.hpp"
+#include "service/service.hpp"
+
+namespace poe::net {
+namespace {
+
+using u64 = std::uint64_t;
+using service::RequestStatus;
+using service::ServiceReport;
+using service::TranscipherRequest;
+using service::TranscipherResult;
+using service::TranscipherService;
+
+struct Stack {
+  hhe::HheConfig config = hhe::HheConfig::batched_test();
+  fhe::Bgv bgv{config.bgv};
+  fhe::BatchEncoder encoder{config.bgv.n, config.bgv.t};
+  fhe::SlotLayout layout{config.bgv.n, config.bgv.t};
+  std::shared_ptr<const fhe::GaloisKeys> keys =
+      hhe::SimdBatchEngine::make_shared_rotation_keys(config, bgv);
+};
+
+Stack& stack() {
+  static Stack s;
+  return s;
+}
+
+struct TestClient {
+  u64 id;
+  std::vector<u64> key;
+  pasta::PastaCipher cipher;
+
+  TestClient(u64 client_id, u64 seed)
+      : id(client_id),
+        key([&] {
+          Xoshiro256 rng(seed);
+          return pasta::PastaCipher::random_key(stack().config.pasta, rng);
+        }()),
+        cipher(stack().config.pasta, key) {}
+
+  std::vector<std::uint8_t> key_wire() const {
+    return fhe::serialize_ciphertext(
+        stack().bgv.rns(),
+        hhe::encrypt_key_batched(stack().config, stack().bgv, stack().encoder,
+                                 stack().layout, key));
+  }
+
+  TranscipherRequest request(u64 nonce, const std::vector<u64>& msg) const {
+    return TranscipherRequest{.client_id = id,
+                              .nonce = nonce,
+                              .symmetric_ct = cipher.encrypt(msg, nonce)};
+  }
+};
+
+std::vector<u64> random_msg(std::size_t len, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u64> msg(len);
+  for (auto& m : msg) m = rng.below(stack().config.pasta.p);
+  return msg;
+}
+
+std::vector<u64> decode_all(const TranscipherResult& result) {
+  std::vector<u64> out;
+  for (const auto& block : result.blocks) {
+    const auto vals =
+        TranscipherService::decode_block(stack().config, stack().bgv, block);
+    out.insert(out.end(), vals.begin(), vals.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> wire_blocks(
+    const TranscipherResult& result) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const auto& block : result.blocks) {
+    out.push_back(fhe::serialize_ciphertext(stack().bgv.rns(), *block.ct));
+  }
+  return out;
+}
+
+void expect_router_partition(const RouterReport& rep) {
+  EXPECT_EQ(rep.faults.ok + rep.faults.rejected + rep.faults.shed +
+                rep.faults.quarantined + rep.faults.timed_out +
+                rep.faults.failed,
+            rep.requests);
+}
+
+void expect_shard_partition(const ShardReportMsg& rep) {
+  EXPECT_EQ(rep.faults.ok + rep.faults.rejected + rep.faults.shed +
+                rep.faults.quarantined + rep.faults.timed_out +
+                rep.faults.failed,
+            rep.requests);
+}
+
+TEST(NetDifferential, SingleShardIsBitIdenticalToInProcess) {
+  Stack& st = stack();
+  ClusterConfig cc;
+  cc.shards = 1;
+  LocalCluster cluster(st.config, st.bgv.rns(), cc);
+  TranscipherService reference(st.config, st.bgv, {}, st.keys);
+
+  std::vector<TestClient> clients;
+  for (u64 id = 1; id <= 4; ++id) clients.emplace_back(id, 9000 + id);
+  for (const TestClient& c : clients) {
+    // The SAME enc(K) bytes travel both paths: over the wire to the key
+    // manager, and straight into the reference service.
+    const auto wire = c.key_wire();
+    std::string error;
+    ASSERT_TRUE(cluster.onboard(c.id, wire, &error)) << error;
+    ASSERT_TRUE(reference.open_session_wire(c.id, wire));
+  }
+
+  std::vector<TranscipherRequest> wave;
+  std::vector<std::vector<u64>> msgs;
+  u64 nonce = 1;
+  for (const TestClient& c : clients) {
+    for (int j = 0; j < 2; ++j) {
+      msgs.push_back(
+          random_msg(st.config.pasta.t + 3 * static_cast<std::size_t>(j) + 1,
+                     500 + nonce));
+      wave.push_back(c.request(nonce, msgs.back()));
+      ++nonce;
+    }
+  }
+
+  ServiceReport ref_rep;
+  const auto ref_results = reference.process(wave, &ref_rep);
+  RouterReport net_rep;
+  const auto net_results = cluster.router().process(wave, &net_rep);
+
+  ASSERT_EQ(net_results.size(), ref_results.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    ASSERT_EQ(net_results[i].status, ref_results[i].status) << "request " << i;
+    ASSERT_TRUE(net_results[i].ok()) << net_results[i].error;
+    // Byte-identical serialized ciphertexts — the strongest form of the
+    // differential: same keys, same batch composition, same evaluation.
+    EXPECT_EQ(wire_blocks(net_results[i]), wire_blocks(ref_results[i]))
+        << "request " << i;
+    EXPECT_EQ(decode_all(net_results[i]), msgs[i]) << "request " << i;
+  }
+  EXPECT_EQ(net_rep.faults.ok, ref_rep.faults.ok);
+  EXPECT_EQ(net_rep.requests, ref_rep.requests);
+  expect_router_partition(net_rep);
+  ASSERT_EQ(net_rep.shard_reports.size(), 1u);
+  expect_shard_partition(net_rep.shard_reports[0]);
+  EXPECT_EQ(net_rep.shard_reports[0].requests, wave.size());
+}
+
+TEST(NetDifferential, TwoShardsDecryptIdenticallyWithPartitionInvariants) {
+  Stack& st = stack();
+  ClusterConfig cc;
+  cc.shards = 2;
+  LocalCluster cluster(st.config, st.bgv.rns(), cc);
+  TranscipherService reference(st.config, st.bgv, {}, st.keys);
+
+  // Pick client ids the deterministic ring places two-per-shard, so the
+  // wave genuinely exercises the fan-out and the collect merge.
+  std::vector<TestClient> clients;
+  std::size_t per_shard[2] = {0, 0};
+  for (u64 id = 100; clients.size() < 4; ++id) {
+    const std::size_t owner = cluster.router().owner(id);
+    if (per_shard[owner] < 2) {
+      ++per_shard[owner];
+      clients.emplace_back(id, 9100 + id);
+    }
+  }
+  for (const TestClient& c : clients) {
+    const auto wire = c.key_wire();
+    std::string error;
+    ASSERT_TRUE(cluster.onboard(c.id, wire, &error)) << error;
+    ASSERT_TRUE(reference.open_session_wire(c.id, wire));
+  }
+
+  std::vector<TranscipherRequest> wave;
+  std::vector<std::vector<u64>> msgs;
+  u64 nonce = 1;
+  for (const TestClient& c : clients) {
+    for (int j = 0; j < 2; ++j) {
+      msgs.push_back(random_msg(st.config.pasta.t + nonce % 5, 700 + nonce));
+      wave.push_back(c.request(nonce, msgs.back()));
+      ++nonce;
+    }
+  }
+
+  ServiceReport ref_rep;
+  const auto ref_results = reference.process(wave, &ref_rep);
+  RouterReport net_rep;
+  const auto net_results = cluster.router().process(wave, &net_rep);
+
+  ASSERT_EQ(net_results.size(), ref_results.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    ASSERT_EQ(net_results[i].status, ref_results[i].status) << "request " << i;
+    ASSERT_TRUE(net_results[i].ok()) << net_results[i].error;
+    // Batch composition differs across 2 shards, so ciphertext bytes may
+    // differ — the decrypted payload must not.
+    EXPECT_EQ(decode_all(net_results[i]), decode_all(ref_results[i]))
+        << "request " << i;
+    EXPECT_EQ(decode_all(net_results[i]), msgs[i]) << "request " << i;
+  }
+  EXPECT_EQ(net_rep.faults.ok, ref_rep.faults.ok);
+  expect_router_partition(net_rep);
+  ASSERT_EQ(net_rep.shard_reports.size(), 2u);
+  std::size_t shard_requests = 0;
+  for (const ShardReportMsg& rep : net_rep.shard_reports) {
+    expect_shard_partition(rep);
+    EXPECT_GT(rep.requests, 0u);  // both shards actually served
+    shard_requests += rep.requests;
+  }
+  EXPECT_EQ(shard_requests, wave.size());
+}
+
+TEST(NetDifferential, DegradedStatusesMatchInProcessReference) {
+  Stack& st = stack();
+  ClusterConfig cc;
+  cc.shards = 2;
+  LocalCluster cluster(st.config, st.bgv.rns(), cc);
+  TranscipherService reference(st.config, st.bgv, {}, st.keys);
+
+  TestClient good(7, 9777);
+  const auto wire = good.key_wire();
+  ASSERT_TRUE(cluster.onboard(good.id, wire));
+  ASSERT_TRUE(reference.open_session_wire(good.id, wire));
+  TestClient ghost(8, 9778);  // never onboarded anywhere
+
+  const auto msg = random_msg(st.config.pasta.t, 42);
+  const auto first = std::vector{good.request(1, msg)};
+  ASSERT_TRUE(reference.process(first)[0].ok());
+  ASSERT_TRUE(cluster.router().process(first)[0].ok());
+
+  // Second wave: a nonce replay and a session the key manager has never
+  // seen. Both must land as the SAME typed statuses the in-process service
+  // assigns — degradation is part of the differential contract.
+  const std::vector<TranscipherRequest> wave{good.request(1, msg),
+                                             ghost.request(2, msg),
+                                             good.request(2, msg)};
+  ServiceReport ref_rep;
+  const auto ref_results = reference.process(wave, &ref_rep);
+  RouterReport net_rep;
+  const auto net_results = cluster.router().process(wave, &net_rep);
+
+  ASSERT_EQ(ref_results[0].status, RequestStatus::kNonceReplay);
+  ASSERT_EQ(ref_results[1].status, RequestStatus::kUnknownSession);
+  ASSERT_EQ(ref_results[2].status, RequestStatus::kOk);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_EQ(net_results[i].status, ref_results[i].status) << "request " << i;
+  }
+  EXPECT_FALSE(net_results[0].error.empty());
+  EXPECT_FALSE(net_results[1].error.empty());
+  EXPECT_EQ(decode_all(net_results[2]), msg);
+  EXPECT_EQ(net_rep.faults.ok, ref_rep.faults.ok);
+  EXPECT_EQ(net_rep.faults.rejected, ref_rep.faults.rejected);
+  expect_router_partition(net_rep);
+}
+
+}  // namespace
+}  // namespace poe::net

@@ -1,8 +1,8 @@
 // Serialization fuzz regression suite.
 //
 // Replays the checked-in corpus (tests/corpus/, path injected as
-// POE_CORPUS_DIR) against the two deserializers that eat untrusted wire
-// bytes, then byte-mutates every corpus entry plus freshly generated valid
+// POE_CORPUS_DIR) against the three deserializers that eat untrusted wire
+// bytes (PASTA element buffers, BGV ciphertexts, protocol frames), then byte-mutates every corpus entry plus freshly generated valid
 // artifacts with a seeded RNG. The contract under fuzzing: throw a clean
 // poe::Error or produce a structurally valid result — never crash, never
 // read out of bounds (this binary is part of the sanitizer CI job).
@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "fhe/bgv.hpp"
 #include "fhe/serialize.hpp"
+#include "net/frame.hpp"
 #include "pasta/params.hpp"
 #include "pasta/serialize.hpp"
 
@@ -30,7 +31,7 @@ using u64 = std::uint64_t;
 
 struct Entry {
   std::string name;
-  std::string kind;    // "pasta" | "bgv"
+  std::string kind;    // "pasta" | "bgv" | "frame"
   u64 count = 0;       // pasta: elements demanded on unpack
   std::string expect;  // "roundtrip" | "error"
   std::vector<std::uint8_t> bytes;
@@ -65,7 +66,7 @@ std::vector<Entry> load_corpus() {
       else if (key == "expect") e.expect = value;
       else if (key == "hex") e.bytes = parse_hex(value);
     }
-    POE_ENSURE(e.kind == "pasta" || e.kind == "bgv",
+    POE_ENSURE(e.kind == "pasta" || e.kind == "bgv" || e.kind == "frame",
                "corpus entry with unknown kind: " + e.name);
     POE_ENSURE(e.expect == "roundtrip" || e.expect == "error",
                "corpus entry with unknown expectation: " + e.name);
@@ -95,6 +96,13 @@ bool try_decode(const Entry& e, std::span<const std::uint8_t> bytes) {
     for (const u64 v : decoded) EXPECT_LT(v, params.p) << e.name;
     return true;
   }
+  if (e.kind == "frame") {
+    const net::Frame f = net::decode_frame(bytes);
+    // A decoded frame's payload is exactly the bytes past the header.
+    EXPECT_EQ(f.payload.size(), bytes.size() - net::kFrameHeaderBytes)
+        << e.name;
+    return true;
+  }
   const fhe::Ciphertext ct =
       fhe::deserialize_ciphertext(toy_bgv().rns(), bytes);
   // Anything the deserializer accepts must also pass the decrypt-free
@@ -118,6 +126,9 @@ TEST(SerializeFuzz, CorpusReplaysVerbatim) {
       EXPECT_EQ(pasta::pack_elements(
                     params, pasta::unpack_elements(params, e.bytes, e.count)),
                 e.bytes);
+    } else if (e.kind == "frame") {
+      const net::Frame f = net::decode_frame(e.bytes);
+      EXPECT_EQ(net::encode_frame(f.type, f.payload), e.bytes);
     } else {
       EXPECT_EQ(fhe::serialize_ciphertext(
                     toy_bgv().rns(),
@@ -155,6 +166,20 @@ TEST(SerializeFuzz, MutatedCorpusNeverCrashes) {
     p.expect = "roundtrip";
     p.bytes = pasta::pack_elements(params, elems);
     seeds.push_back(std::move(p));
+
+    // A larger frame (kProcessBatch-sized payload) as a mutation seed for
+    // the wire protocol path.
+    Entry f;
+    f.name = "<generated frame>";
+    f.kind = "frame";
+    f.expect = "roundtrip";
+    Xoshiro256 frame_rng(13);
+    std::vector<std::uint8_t> frame_payload(512);
+    for (auto& b : frame_payload) {
+      b = static_cast<std::uint8_t>(frame_rng.next());
+    }
+    f.bytes = net::encode_frame(net::MsgType::kProcessBatch, frame_payload);
+    seeds.push_back(std::move(f));
   }
 
   const u64 seed = env_u64("POE_FAULT_SEED", 4242);

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "fhe/serialize.hpp"
 #include "hhe/batched_server.hpp"
@@ -614,6 +616,176 @@ TEST(TranscipherServiceTest, PipelinedMatchesUnpipelined) {
   EXPECT_EQ(rep_p.blocks, rep_s.blocks);
   EXPECT_GE(rep_p.max_queue_depth, 1u);
   EXPECT_EQ(rep_s.max_queue_depth, 0u);  // no queue in the sequential path
+}
+
+// ---------------------------------------------------------------------------
+// Session-state snapshot/restore: the versioned wire form a shard restart or
+// a router rebalance moves around.
+// ---------------------------------------------------------------------------
+
+TEST(SessionStateTest, WireRoundTripWithAndWithoutKey) {
+  SessionState full;
+  full.client_id = 42;
+  full.has_key = true;
+  full.key_bytes = {1, 2, 3, 4, 5, 6};
+  full.nonces = {9, 3, 7};  // order is part of the state (oldest first)
+  full.requests_served = 11;
+  full.blocks_served = 23;
+
+  const auto bytes = serialize_session_state(full);
+  const SessionState back = deserialize_session_state(bytes);
+  EXPECT_EQ(back.client_id, full.client_id);
+  EXPECT_TRUE(back.has_key);
+  EXPECT_EQ(back.key_bytes, full.key_bytes);
+  EXPECT_EQ(back.nonces, full.nonces);
+  EXPECT_EQ(back.requests_served, full.requests_served);
+  EXPECT_EQ(back.blocks_served, full.blocks_served);
+
+  SessionState update;  // the key-less piggyback form
+  update.client_id = 43;
+  update.nonces = {1};
+  const SessionState back2 =
+      deserialize_session_state(serialize_session_state(update));
+  EXPECT_EQ(back2.client_id, 43u);
+  EXPECT_FALSE(back2.has_key);
+  EXPECT_TRUE(back2.key_bytes.empty());
+  EXPECT_EQ(back2.nonces, update.nonces);
+}
+
+TEST(SessionStateTest, WireRejectsDamageTyped) {
+  SessionState state;
+  state.client_id = 7;
+  state.has_key = true;
+  state.key_bytes = {10, 20, 30};
+  state.nonces = {1, 2};
+  const auto good = serialize_session_state(state);
+
+  {  // bad magic
+    auto b = good;
+    b[0] ^= 0xFF;
+    EXPECT_THROW(deserialize_session_state(b), poe::Error);
+  }
+  {  // unsupported version
+    auto b = good;
+    b[4] = 0x7F;
+    EXPECT_THROW(deserialize_session_state(b), poe::Error);
+  }
+  {  // unknown flag bits
+    auto b = good;
+    b[7] = 0x80;
+    EXPECT_THROW(deserialize_session_state(b), poe::Error);
+  }
+  {  // every truncation is caught, none crashes or misparses
+    for (std::size_t n = 0; n < good.size(); ++n) {
+      EXPECT_THROW(
+          deserialize_session_state(std::span(good).first(n)), poe::Error);
+    }
+  }
+  {  // trailing bytes
+    auto b = good;
+    b.push_back(0);
+    EXPECT_THROW(deserialize_session_state(b), poe::Error);
+  }
+}
+
+TEST(SessionStateTest, ExportImportMovesReplayWindowAndStats) {
+  auto source = make_service();
+  TestClient client(70, 701);
+  source.open_session(client.id, client.encrypted_key());
+  const auto msg = random_msg(stack().config.pasta.t + 1, 702);
+  ASSERT_TRUE(source.process(std::vector{client.request(1, msg)})[0].ok());
+
+  const auto bytes = serialize_session_state(
+      source.export_session(client.id, /*include_key=*/true));
+
+  // A brand-new "process" restores the session purely from the snapshot.
+  auto restored = make_service();
+  std::string error;
+  ASSERT_TRUE(restored.import_session(deserialize_session_state(bytes), &error))
+      << error;
+  ASSERT_TRUE(restored.has_session(client.id));
+
+  ServiceReport rep;
+  const auto results = restored.process(
+      std::vector{client.request(1, msg),  // replay from before the move
+                  client.request(2, msg)},
+      &rep);
+  EXPECT_EQ(results[0].status, RequestStatus::kNonceReplay);
+  ASSERT_TRUE(results[1].ok()) << results[1].error;
+  EXPECT_EQ(decode_all(results[1]), msg);
+  // Stats survived the move and kept counting.
+  const SessionState after = restored.export_session(client.id, false);
+  EXPECT_EQ(after.requests_served, 2u);
+  EXPECT_GE(after.blocks_served, 2u);
+}
+
+TEST(SessionStateTest, ImportMergesWindowsAndRejectsKeylessStranger) {
+  auto service = make_service();
+  TestClient client(71, 711);
+  service.open_session(client.id, client.encrypted_key());
+  const auto msg = random_msg(3, 712);
+  ASSERT_TRUE(service.process(std::vector{client.request(5, msg)})[0].ok());
+
+  // A key-less update (what response piggybacks carry) MERGES: the session
+  // afterwards rejects both its own nonces and the update's.
+  SessionState update;
+  update.client_id = client.id;
+  update.nonces = {9};
+  ASSERT_TRUE(service.import_session(update));
+  const auto results = service.process(std::vector{
+      client.request(5, msg), client.request(9, msg), client.request(6, msg)});
+  EXPECT_EQ(results[0].status, RequestStatus::kNonceReplay);
+  EXPECT_EQ(results[1].status, RequestStatus::kNonceReplay);
+  ASSERT_TRUE(results[2].ok()) << results[2].error;
+
+  // A key-less state for a client this service has never seen cannot
+  // create a session (there is no key to serve with).
+  SessionState stranger;
+  stranger.client_id = 9999;
+  stranger.nonces = {1};
+  std::string error;
+  EXPECT_FALSE(service.import_session(stranger, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(service.has_session(9999));
+}
+
+TEST(SessionStateTest, RaggedMidBatchSnapshotKeepsReplayProtection) {
+  // Nonces are recorded at ADMISSION, before the pipeline runs — so a
+  // session snapshot taken after a batch failed mid-flight (the "ragged"
+  // case: nonce admitted, zero blocks delivered) must still carry that
+  // nonce, and a restore must still reject its replay. Losing the in-flight
+  // work is fine; reopening the nonce is not.
+  ServiceConfig cfg;
+  cfg.pipelined = false;
+  cfg.max_stage_attempts = 3;
+  cfg.backoff_base_s = 1e-4;
+  auto source = make_service(cfg);
+  TestClient client(72, 721);
+  source.open_session(client.id, client.encrypted_key());
+  const auto msg = random_msg(stack().config.pasta.t, 722);
+
+  FaultInjector fi;
+  fi.arm(FaultSpec{.site = "service.evaluate",
+                   .kind = FaultClass::kThrow,
+                   .count = 3});  // exhaust every attempt
+  stack().bgv.rns().exec().set_fault_injector(&fi);
+  const auto failed = source.process(std::vector{client.request(8, msg)});
+  stack().bgv.rns().exec().set_fault_injector(nullptr);
+  ASSERT_EQ(failed[0].status, RequestStatus::kFailed);
+  ASSERT_TRUE(failed[0].blocks.empty());
+
+  const SessionState ragged = source.export_session(client.id, true);
+  EXPECT_NE(std::find(ragged.nonces.begin(), ragged.nonces.end(), 8u),
+            ragged.nonces.end());
+  EXPECT_EQ(ragged.requests_served, 0u);  // nothing was ever delivered
+
+  auto restored = make_service(cfg);
+  ASSERT_TRUE(restored.import_session(ragged));
+  const auto results = restored.process(
+      std::vector{client.request(8, msg), client.request(9, msg)});
+  EXPECT_EQ(results[0].status, RequestStatus::kNonceReplay);
+  ASSERT_TRUE(results[1].ok()) << results[1].error;
+  EXPECT_EQ(decode_all(results[1]), msg);
 }
 
 }  // namespace
